@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Each benchmark target regenerates one table or figure from the paper's
+evaluation (see DESIGN.md's experiment index).  pytest-benchmark times
+the experiment; the printed rows are the deliverable.  Simulation runs
+are cached on disk (``.cache/runs``), so the first cold execution of the
+harness takes minutes and subsequent ones take seconds.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an experiment result around pytest's output capturing."""
+
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.format())
+
+    return _show

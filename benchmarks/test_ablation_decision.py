@@ -1,0 +1,60 @@
+"""Ablation: the decision-logic tiers DESIGN.md calls out.
+
+Compares, on the DDR4 server:
+
+* ``milc``          no decision logic at all (always the base code),
+* ``mil``           the paper's two-way rdyX logic (Figure 11),
+* ``mil-adaptive``  plus the uncoded fallback tier under saturation
+                    (the paper's Section 7.5.2 future-work direction).
+
+The trade surfaces exactly as the paper predicts: the adaptive tier buys
+back the residual slowdown on saturated benchmarks at the cost of some
+zero reduction.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.experiments.runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from repro.system import NIAGARA_SERVER
+
+BENCHES = ("MM", "SWIM", "CG", "GUPS")
+POLICIES = ("milc", "mil", "mil-adaptive")
+
+
+def run_ablation(accesses_per_core=EXPERIMENT_ACCESSES_PER_CORE):
+    rows = []
+    for bench in BENCHES:
+        base = cached_run(bench, NIAGARA_SERVER, "dbi",
+                          accesses_per_core=accesses_per_core)
+        row = [bench]
+        for policy in POLICIES:
+            s = cached_run(bench, NIAGARA_SERVER, policy,
+                           accesses_per_core=accesses_per_core)
+            row += [s.cycles / base.cycles,
+                    s.total_zeros / max(1, base.total_zeros)]
+        rows.append(row)
+    return rows
+
+
+def test_decision_logic_ablation(benchmark, show):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    headers = ["benchmark"]
+    for policy in POLICIES:
+        headers += [f"{policy}:time", f"{policy}:zeros"]
+
+    class _R:
+        def format(self):
+            return format_table(
+                headers, rows,
+                title="Ablation: decision-logic tiers (vs DBI baseline)",
+            )
+
+    show(_R())
+
+    times = np.array([[r[1], r[3], r[5]] for r in rows])
+    zeros = np.array([[r[2], r[4], r[6]] for r in rows])
+    # The adaptive tier must not be slower than plain MiL on average...
+    assert times[:, 2].mean() <= times[:, 1].mean() + 0.005
+    # ...and pays for it with equal-or-more zeros on the bus.
+    assert zeros[:, 2].mean() >= zeros[:, 1].mean() - 0.005

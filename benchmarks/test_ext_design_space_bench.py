@@ -1,0 +1,11 @@
+"""Benchmark target: controller design-space extension study."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_ext_design_space(benchmark, show):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["ext_design_space"], rounds=1, iterations=1
+    )
+    show(result)
+    assert result.rows, "experiment produced no rows"

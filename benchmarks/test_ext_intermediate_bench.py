@@ -1,0 +1,16 @@
+"""Benchmark target: Section 7.5.3 intermediate-code extension study."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_ext_intermediate(benchmark, show):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["ext_intermediate"], rounds=1, iterations=1
+    )
+    show(result)
+    assert result.rows, "experiment produced no rows"
+    # The intermediate code must win more long slots than the BL16 code.
+    assert (
+        result.observations["mean_long_share_lwc12"]
+        >= result.observations["mean_long_share_mil"]
+    )

@@ -1,0 +1,16 @@
+"""Benchmark target: LPDDR3 sensitivity studies (Section 7.5's omission)."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_ext_lpddr3(benchmark, show):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["ext_lpddr3"], rounds=1, iterations=1
+    )
+    show(result)
+    assert result.rows
+    # "Similar characteristics": slowdown grows with burst length, X=0
+    # is the worst look-ahead, long-code share anti-correlates with
+    # utilization — same shapes as the DDR4 studies.
+    assert result.observations["bl_monotone"] == "yes"
+    assert result.observations["corr_util_vs_3lwc_share"] < 0

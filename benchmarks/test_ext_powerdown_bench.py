@@ -1,0 +1,11 @@
+"""Benchmark target: ext_powerdown extension study (see DESIGN.md)."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_ext_powerdown(benchmark, show):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["ext_powerdown"], rounds=1, iterations=1
+    )
+    show(result)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,14 @@
+"""Benchmark target: Figure 5 pending cycle split.
+
+Regenerates the paper's fig05 rows (see DESIGN.md experiment index).
+pytest-benchmark reports the wall time of the (cached) experiment; the
+printed table is the reproduced result.
+"""
+
+from repro.experiments.fig05_pending import run_experiment
+
+
+def test_fig05(benchmark, show):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(result)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,14 @@
+"""Benchmark target: Figure 16 execution time.
+
+Regenerates the paper's fig16 rows (see DESIGN.md experiment index).
+pytest-benchmark reports the wall time of the (cached) experiment; the
+printed table is the reproduced result.
+"""
+
+from repro.experiments.fig16_performance import run_experiment
+
+
+def test_fig16(benchmark, show):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(result)
+    assert result.rows, "experiment produced no rows"

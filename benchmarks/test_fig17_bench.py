@@ -1,0 +1,14 @@
+"""Benchmark target: Figure 17 zeros vs DBI.
+
+Regenerates the paper's fig17 rows (see DESIGN.md experiment index).
+pytest-benchmark reports the wall time of the (cached) experiment; the
+printed table is the reproduced result.
+"""
+
+from repro.experiments.fig17_zeroes import run_experiment
+
+
+def test_fig17(benchmark, show):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(result)
+    assert result.rows, "experiment produced no rows"

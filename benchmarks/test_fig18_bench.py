@@ -1,0 +1,14 @@
+"""Benchmark target: Figure 18 DRAM energy breakdown.
+
+Regenerates the paper's fig18 rows (see DESIGN.md experiment index).
+pytest-benchmark reports the wall time of the (cached) experiment; the
+printed table is the reproduced result.
+"""
+
+from repro.experiments.fig18_energy_breakdown import run_experiment
+
+
+def test_fig18(benchmark, show):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(result)
+    assert result.rows, "experiment produced no rows"

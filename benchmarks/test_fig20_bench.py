@@ -1,0 +1,14 @@
+"""Benchmark target: Figure 20 fixed burst length sweep.
+
+Regenerates the paper's fig20 rows (see DESIGN.md experiment index).
+pytest-benchmark reports the wall time of the (cached) experiment; the
+printed table is the reproduced result.
+"""
+
+from repro.experiments.fig20_burst_length import run_experiment
+
+
+def test_fig20(benchmark, show):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(result)
+    assert result.rows, "experiment produced no rows"

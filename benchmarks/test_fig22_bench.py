@@ -1,0 +1,14 @@
+"""Benchmark target: Figure 22 MiLC vs 3-LWC mix.
+
+Regenerates the paper's fig22 rows (see DESIGN.md experiment index).
+pytest-benchmark reports the wall time of the (cached) experiment; the
+printed table is the reproduced result.
+"""
+
+from repro.experiments.fig22_scheme_mix import run_experiment
+
+
+def test_fig22(benchmark, show):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(result)
+    assert result.rows, "experiment produced no rows"

@@ -1,0 +1,57 @@
+"""Robustness bench: are the headline ratios stable across seeds?
+
+Synthetic workloads could, in principle, produce results that hinge on
+one lucky seed.  This target re-runs the MiL-vs-DBI comparison on three
+seeds for a latency-bound and a streaming benchmark and reports the
+spread; the assertion bounds it.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.experiments.runner import cached_run
+
+BENCHES = ("GUPS", "SWIM")
+SEEDS = (0, 1, 2)
+SCALE = 3000
+
+
+def run_stability():
+    rows = []
+    spreads = []
+    for bench in BENCHES:
+        zero_ratios = []
+        time_ratios = []
+        for seed in SEEDS:
+            base = cached_run(bench, "ddr4-server", "dbi",
+                              accesses_per_core=SCALE, seed=seed)
+            mil = cached_run(bench, "ddr4-server", "mil",
+                             accesses_per_core=SCALE, seed=seed)
+            zero_ratios.append(mil.total_zeros / max(1, base.total_zeros))
+            time_ratios.append(mil.cycles / base.cycles)
+        rows.append([
+            bench,
+            float(np.mean(zero_ratios)),
+            float(np.std(zero_ratios)),
+            float(np.mean(time_ratios)),
+            float(np.std(time_ratios)),
+        ])
+        spreads.append(float(np.std(zero_ratios)))
+    return rows, spreads
+
+
+def test_seed_stability(benchmark, show):
+    rows, spreads = benchmark.pedantic(run_stability, rounds=1, iterations=1)
+
+    class _R:
+        def format(self):
+            return format_table(
+                ["benchmark", "zeros_mean", "zeros_std", "time_mean",
+                 "time_std"],
+                rows,
+                title=f"Seed stability over seeds {SEEDS} (MiL vs DBI)",
+            )
+
+    show(_R())
+    # The zero-reduction ratio must not swing with the seed.
+    assert max(spreads) < 0.03

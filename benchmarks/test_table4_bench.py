@@ -1,0 +1,14 @@
+"""Benchmark target: Table 4 codec synthesis costs.
+
+Regenerates the paper's table4 rows (see DESIGN.md experiment index).
+pytest-benchmark reports the wall time of the (cached) experiment; the
+printed table is the reproduced result.
+"""
+
+from repro.experiments.table4_codec_cost import run_experiment
+
+
+def test_table4(benchmark, show):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    show(result)
+    assert result.rows, "experiment produced no rows"

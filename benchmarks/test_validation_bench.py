@@ -1,0 +1,13 @@
+"""Benchmark target: suite characterisation (DESIGN.md substitution)."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_validation(benchmark, show):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["validation"], rounds=1, iterations=1
+    )
+    show(result)
+    assert result.rows
+    # The suite must span a wide intensity range (Figure 5's premise).
+    assert result.observations["util_spread"] > 0.25

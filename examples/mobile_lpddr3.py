@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Mobile scenario: MiL over the unterminated LPDDR3 interface.
+
+Shows the Section 4.5 story end to end: the LPDDR3 bus pays energy per
+wire *flip*, transition signaling makes flips equal transmitted zeros,
+and the very same MiL framework then cuts mobile DRAM energy — more
+deeply than on DDR4, because LPDDR3's background power is tiny and IO
+dominates.
+
+Usage::
+
+    python examples/mobile_lpddr3.py [BENCHMARK ...]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.coding import TransitionSignaling
+from repro.core import run
+from repro.system import SNAPDRAGON_MOBILE
+
+
+def demo_transition_signaling() -> None:
+    """The Figure 15 circuit on a few beats of data."""
+    ts = TransitionSignaling(lanes=8)
+    beats = np.array(
+        [
+            [1, 1, 1, 1, 1, 1, 1, 1],  # all ones: no flips
+            [1, 1, 1, 1, 0, 0, 0, 0],  # four zeros: four flips
+            [1, 0, 1, 0, 1, 0, 1, 0],
+        ],
+        dtype=np.uint8,
+    )
+    levels = ts.encode(beats)
+    flips = int((levels[0] != 0).sum()) + int(
+        (np.diff(levels.astype(np.int8), axis=0) != 0).sum()
+    )
+    zeros = int(beats.size - beats.sum())
+    print("Transition signaling (Figure 15):")
+    print(f"  logical zeros transmitted : {zeros}")
+    print(f"  wire flips on the bus     : {flips}")
+    print("  -> flip energy == zero count; zero-minimizing codes apply\n")
+
+
+def main() -> None:
+    benchmarks = [b.upper() for b in sys.argv[1:]] or ["SWIM", "GUPS", "ART"]
+    demo_transition_signaling()
+
+    print(f"{'benchmark':10s} {'time':>7s} {'flips':>7s} {'dram':>7s} "
+          f"{'system':>7s}   (MiL vs DBI, LPDDR3 mobile)")
+    print("-" * 58)
+    for bench in benchmarks:
+        base = run(bench, SNAPDRAGON_MOBILE, "dbi", accesses_per_core=4000)
+        mil = run(bench, SNAPDRAGON_MOBILE, "mil", accesses_per_core=4000)
+        print(
+            f"{bench:10s} "
+            f"{mil.cycles / base.cycles:7.3f} "
+            f"{mil.total_zeros / max(1, base.total_zeros):7.3f} "
+            f"{mil.dram_total_j / base.dram_total_j:7.3f} "
+            f"{mil.system_total_j / base.system_total_j:7.3f}"
+        )
+    print()
+    print("paper (LPDDR3): 46% fewer transitions, 17% DRAM energy and "
+          "7% system energy savings, <4% slowdown")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark under MiL and print what it saved.
+
+This touches the whole public API in ~40 lines:
+
+1. pick a Table 2 system configuration,
+2. run the DBI baseline and the MiL framework on one workload,
+3. compare execution time, transferred zeros, and energy.
+
+Usage::
+
+    python examples/quickstart.py [BENCHMARK]   # default: GUPS
+"""
+
+import sys
+
+from repro.core import run
+from repro.system import NIAGARA_SERVER
+
+
+def main() -> None:
+    benchmark = sys.argv[1].upper() if len(sys.argv) > 1 else "GUPS"
+
+    print(f"Simulating {benchmark} on the DDR4-3200 microserver ...")
+    baseline = run(benchmark, NIAGARA_SERVER, policy="dbi",
+                   accesses_per_core=4000)
+    mil = run(benchmark, NIAGARA_SERVER, policy="mil",
+              accesses_per_core=4000)
+
+    def pct(new: float, old: float) -> str:
+        return f"{(new / old - 1) * 100:+.1f}%"
+
+    print()
+    print(f"{'metric':28s} {'DBI baseline':>14s} {'MiL':>14s} {'delta':>8s}")
+    print("-" * 68)
+    print(f"{'execution (DRAM cycles)':28s} {baseline.cycles:14d} "
+          f"{mil.cycles:14d} {pct(mil.cycles, baseline.cycles):>8s}")
+    print(f"{'zeros on the bus':28s} {baseline.total_zeros:14d} "
+          f"{mil.total_zeros:14d} "
+          f"{pct(mil.total_zeros, baseline.total_zeros):>8s}")
+    io_b = baseline.dram_energy["io"]
+    io_m = mil.dram_energy["io"]
+    print(f"{'IO energy (uJ)':28s} {io_b * 1e6:14.2f} {io_m * 1e6:14.2f} "
+          f"{pct(io_m, io_b):>8s}")
+    print(f"{'DRAM energy (uJ)':28s} {baseline.dram_total_j * 1e6:14.2f} "
+          f"{mil.dram_total_j * 1e6:14.2f} "
+          f"{pct(mil.dram_total_j, baseline.dram_total_j):>8s}")
+    print(f"{'system energy (uJ)':28s} "
+          f"{baseline.system_total_j * 1e6:14.2f} "
+          f"{mil.system_total_j * 1e6:14.2f} "
+          f"{pct(mil.system_total_j, baseline.system_total_j):>8s}")
+
+    counts = mil.scheme_counts
+    total = sum(counts.values()) or 1
+    print()
+    print("MiL burst mix: " + ", ".join(
+        f"{scheme}: {count / total:.0%}" for scheme, count in
+        sorted(counts.items())
+    ))
+    print(f"bus utilization (baseline): {baseline.bus_utilization:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` uses PEP 660 editable wheels when a build backend
+is declared, which requires the ``wheel`` package; on air-gapped
+machines without it, pip falls back to the legacy ``setup.py develop``
+path through this shim.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""MiL (More is Less) — reproduction of Song & Ipek, MICRO 2015.
+
+A data-communication framework built on top of DDR4/LPDDR3 that
+opportunistically transmits sparse-coded bursts during otherwise-idle
+data-bus cycles, cutting IO energy without hurting performance.
+
+Subpackages
+-----------
+``repro.coding``
+    DBI, bus-invert, transition signaling, 3-LWC, MiLC, CAFO, and the
+    optimal static LWC potential study.
+``repro.dram``
+    Cycle-level DDR4/LPDDR3 device and timing model (bank groups, tFAW,
+    refresh, the full Table 2 parameter sets).
+``repro.controller``
+    FR-FCFS memory controller with write-drain watermarks and an
+    event-skipping scheduling engine.
+``repro.core``
+    The MiL framework itself: look-ahead decision logic, dynamic burst
+    lengths, and the write-side double-encode optimisation.
+``repro.system``
+    Multicore CPU + cache substrate (L1/L2, MESI, stream prefetcher)
+    and the two Table 2 machine configurations.
+``repro.energy``
+    IO, DRAM, system, and codec-synthesis energy/cost models.
+``repro.workloads``
+    Synthetic versions of the 11-benchmark suite from Table 3.
+``repro.analysis``
+    Bus instrumentation and the Figures 4-6 metrics.
+``repro.experiments``
+    One module per table/figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+# Convenience re-exports, loaded lazily so `import repro` stays cheap
+# and numpy-free paths (e.g. `repro.__version__` lookups) don't pay for
+# the whole stack.
+_LAZY = {
+    "run": ("repro.core.framework", "run"),
+    "RunSummary": ("repro.core.framework", "RunSummary"),
+    "MiLConfig": ("repro.core.config", "MiLConfig"),
+    "NIAGARA_SERVER": ("repro.system.machine", "NIAGARA_SERVER"),
+    "SNAPDRAGON_MOBILE": ("repro.system.machine", "SNAPDRAGON_MOBILE"),
+    "BENCHMARKS": ("repro.workloads.benchmarks", "BENCHMARKS"),
+    "BENCHMARK_ORDER": ("repro.workloads.benchmarks", "BENCHMARK_ORDER"),
+    "ALL_EXPERIMENTS": ("repro.experiments", "ALL_EXPERIMENTS"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_LAZY))

@@ -1,0 +1,37 @@
+"""Bus instrumentation and the Figures 4-6 metrics."""
+
+from .charts import bar_chart, grouped_bars
+from .metrics import (
+    GAP_BUCKETS,
+    PendingSplit,
+    bucket_label,
+    idle_gap_histogram,
+    pending_split,
+    slack_histogram,
+)
+from .report import format_normalized_series, format_table
+from .tracedump import (
+    audit_dump,
+    dump_transactions_csv,
+    dump_transactions_jsonl,
+    load_transactions_csv,
+    load_transactions_jsonl,
+)
+
+__all__ = [
+    "bar_chart",
+    "grouped_bars",
+    "audit_dump",
+    "dump_transactions_csv",
+    "dump_transactions_jsonl",
+    "load_transactions_csv",
+    "load_transactions_jsonl",
+    "GAP_BUCKETS",
+    "PendingSplit",
+    "bucket_label",
+    "idle_gap_histogram",
+    "pending_split",
+    "slack_histogram",
+    "format_normalized_series",
+    "format_table",
+]

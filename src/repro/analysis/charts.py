@@ -1,0 +1,75 @@
+"""Terminal bar charts for experiment results.
+
+Matplotlib is deliberately not a dependency; these render the paper's
+bar-group figures as unicode bars so ``python -m repro experiment fig17
+--chart`` is self-contained anywhere.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bar_chart", "grouped_bars"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value / scale) * width
+    full = int(cells)
+    frac = cells - full
+    partial = _BLOCKS[int(frac * (len(_BLOCKS) - 1))] if full < width else ""
+    return "█" * min(full, width) + partial
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    title: str = "",
+    width: int = 40,
+    reference: float | None = None,
+) -> str:
+    """One horizontal bar per label.
+
+    ``reference`` draws a marker column at that value (e.g. 1.0 for
+    "normalized to baseline" figures).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    scale = max([*values, reference or 0.0, 1e-12])
+    label_w = max((len(str(lab)) for lab in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = _bar(value, scale, width)
+        line = f"{str(label).ljust(label_w)} |{bar.ljust(width)}| {value:.3f}"
+        if reference is not None:
+            mark = min(width - 1, int(reference / scale * width))
+            chars = list(line)
+            pos = label_w + 2 + mark
+            if 0 <= pos < len(chars) and chars[pos] == " ":
+                chars[pos] = "·"
+            line = "".join(chars)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    group_labels: list[str],
+    series: dict[str, list[float]],
+    title: str = "",
+    width: int = 32,
+) -> str:
+    """Grouped horizontal bars: one block per group, one bar per series."""
+    lines = [title] if title else []
+    series_w = max((len(s) for s in series), default=0)
+    flat = [v for values in series.values() for v in values]
+    scale = max([*flat, 1e-12])
+    for i, group in enumerate(group_labels):
+        lines.append(str(group))
+        for name, values in series.items():
+            bar = _bar(values[i], scale, width)
+            lines.append(
+                f"  {name.ljust(series_w)} |{bar.ljust(width)}| "
+                f"{values[i]:.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""ASCII table rendering for experiment output.
+
+Every benchmark target prints the rows/series its paper figure reports;
+this module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_normalized_series"]
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered_rows = [
+        [
+            float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_normalized_series(
+    title: str,
+    labels: list[str],
+    series: dict[str, list[float]],
+    baseline_note: str = "normalized to the DBI baseline",
+) -> str:
+    """Render one figure's bar groups: one column per scheme."""
+    headers = ["benchmark"] + list(series)
+    rows = []
+    for i, label in enumerate(labels):
+        rows.append([label] + [series[s][i] for s in series])
+    return format_table(headers, rows, title=f"{title} ({baseline_note})")

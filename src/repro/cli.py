@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the benchmark suite, systems, and coding policies.
+``run BENCH [--system S] [--policy P] [--scale N] [--baseline]``
+    Simulate one benchmark and print the summary (optionally next to
+    the DBI baseline).
+``experiment ID [--scale N]``
+    Regenerate one of the paper's tables/figures (``fig16``, ``table4``,
+    ...; see ``list``).
+``suite [--system S] [--policy P] [--scale N]``
+    Run the whole 11-benchmark suite under one policy, normalized to
+    the DBI baseline.
+``trace BENCH OUT.csv [--system S] [--policy P] [--scale N]``
+    Simulate one benchmark, dump the data-bus transaction log to CSV or
+    JSON-lines, and re-audit the dump against the DDRx protocol rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.report import format_table
+from .core.framework import POLICIES, run
+from .system.machine import SYSTEMS
+from .workloads.benchmarks import BENCHMARK_ORDER, BENCHMARKS
+
+__all__ = ["main"]
+
+DEFAULT_SCALE = 4000
+
+
+def _system(name: str):
+    try:
+        return SYSTEMS[name]
+    except KeyError:
+        sys.exit(f"unknown system {name!r}; known: {sorted(SYSTEMS)}")
+
+
+def cmd_list(_args) -> int:
+    print("Benchmarks (Table 3):")
+    for name in BENCHMARK_ORDER:
+        spec = BENCHMARKS[name]
+        print(f"  {name:10s} {spec.suite:14s} {spec.input_desc}")
+    print("\nSystems (Table 2):")
+    for name in SYSTEMS:
+        cfg = SYSTEMS[name]
+        print(f"  {name:14s} {cfg.cores} cores @ {cfg.cpu_ghz} GHz, "
+              f"{cfg.timing.name}")
+    print("\nCoding policies:")
+    print("  " + ", ".join(POLICIES))
+    from .experiments import ALL_EXPERIMENTS
+
+    print("\nExperiments:")
+    print("  " + ", ".join(ALL_EXPERIMENTS))
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _system(args.system)
+    summary = run(args.benchmark.upper(), config, args.policy,
+                  accesses_per_core=args.scale)
+    rows = [
+        ["cycles", summary.cycles],
+        ["seconds", f"{summary.seconds:.6f}"],
+        ["bus utilization", f"{summary.bus_utilization:.3f}"],
+        ["mean read latency", f"{summary.mean_read_latency:.1f}"],
+        ["zeros on bus", summary.total_zeros],
+        ["scheme mix", str(summary.scheme_counts)],
+        ["DRAM energy (uJ)", f"{summary.dram_total_j * 1e6:.2f}"],
+        ["system energy (uJ)", f"{summary.system_total_j * 1e6:.2f}"],
+    ]
+    if args.baseline and args.policy != "dbi":
+        base = run(args.benchmark.upper(), config, "dbi",
+                   accesses_per_core=args.scale)
+        rows += [
+            ["vs DBI: time", f"{summary.cycles / base.cycles:.3f}"],
+            ["vs DBI: zeros",
+             f"{summary.total_zeros / max(1, base.total_zeros):.3f}"],
+            ["vs DBI: DRAM energy",
+             f"{summary.dram_total_j / base.dram_total_j:.3f}"],
+        ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{summary.benchmark} on {summary.system} [{args.policy}]",
+    ))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from .experiments import ALL_EXPERIMENTS
+
+    try:
+        fn = ALL_EXPERIMENTS[args.id]
+    except KeyError:
+        sys.exit(
+            f"unknown experiment {args.id!r}; known: "
+            + ", ".join(ALL_EXPERIMENTS)
+        )
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["accesses_per_core"] = args.scale
+    result = fn(**kwargs)
+    print(result.format())
+    if args.chart and result.rows and len(result.headers) >= 2:
+        from .analysis.charts import bar_chart
+
+        numeric_cols = [
+            i for i in range(1, len(result.headers))
+            if all(isinstance(r[i], (int, float)) for r in result.rows)
+        ]
+        if numeric_cols:
+            col = numeric_cols[0]
+            print()
+            print(bar_chart(
+                [str(r[0]) for r in result.rows],
+                [float(r[col]) for r in result.rows],
+                title=f"{result.headers[col]} (first numeric column)",
+                reference=1.0,
+            ))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    config = _system(args.system)
+    rows = []
+    for bench in BENCHMARK_ORDER:
+        base = run(bench, config, "dbi", accesses_per_core=args.scale)
+        s = run(bench, config, args.policy, accesses_per_core=args.scale)
+        rows.append([
+            bench,
+            base.bus_utilization,
+            s.cycles / base.cycles,
+            s.total_zeros / max(1, base.total_zeros),
+            s.dram_total_j / base.dram_total_j if s.dram_energy else
+            float("nan"),
+        ])
+        print(f"  {bench} done", file=sys.stderr)
+    print(format_table(
+        ["benchmark", "base_util", "time", "zeros", "dram_energy"],
+        rows,
+        title=f"suite on {config.name}: {args.policy} vs DBI",
+    ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import dataclasses
+
+    from .analysis.tracedump import (
+        audit_dump,
+        dump_transactions_csv,
+        dump_transactions_jsonl,
+    )
+    from .coding.pipeline import precompute_line_zeros
+    from .core.framework import make_policy_factory
+    from .system.simulator import simulate
+    from .workloads.benchmarks import build_trace
+
+    config = _system(args.system)
+    trace = build_trace(args.benchmark.upper(), config,
+                        accesses_per_core=args.scale)
+    zeros = precompute_line_zeros(
+        trace.line_data, ("raw", "dbi", "milc", "3lwc", "lwc12",
+                          "cafo2", "cafo4"),
+    )
+    result = simulate(trace, config,
+                      make_policy_factory(args.policy, zeros))
+    # Each channel has its own data bus, so each gets its own dump and
+    # its own audit (a merged file would interleave unrelated buses).
+    stem, dot, suffix = args.output.rpartition(".")
+    if not dot:
+        stem, suffix = args.output, "csv"
+    failed = False
+    for ch, mc in enumerate(result.controllers):
+        path = f"{stem}.ch{ch}.{suffix}"
+        if suffix == "csv":
+            count = dump_transactions_csv(path, mc.channel.transactions)
+        else:
+            count = dump_transactions_jsonl(path, mc.channel.transactions)
+        report = audit_dump(path, config.timing)
+        status = "clean" if report["clean"] else "VIOLATIONS"
+        print(f"channel {ch}: {count} transactions -> {path} "
+              f"(audit: {status}, schemes: {report['schemes']})")
+        if not report["clean"]:
+            failed = True
+            for problem in report["violations"][:5]:
+                print(f"  {problem}")
+    del dataclasses  # imported for symmetry with other commands
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MiL (More is Less) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show benchmarks/systems/policies")
+
+    p_run = sub.add_parser("run", help="simulate one benchmark")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--system", default="ddr4-server")
+    p_run.add_argument("--policy", default="mil", choices=POLICIES)
+    p_run.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    p_run.add_argument("--baseline", action="store_true",
+                       help="also run and compare against DBI")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
+    p_exp.add_argument("id")
+    p_exp.add_argument("--scale", type=int, default=None)
+    p_exp.add_argument("--chart", action="store_true",
+                       help="render a unicode bar chart of the result")
+
+    p_suite = sub.add_parser("suite", help="run all 11 benchmarks")
+    p_suite.add_argument("--system", default="ddr4-server")
+    p_suite.add_argument("--policy", default="mil", choices=POLICIES)
+    p_suite.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+
+    p_trace = sub.add_parser(
+        "trace", help="dump and audit a run's bus-transaction log"
+    )
+    p_trace.add_argument("benchmark")
+    p_trace.add_argument("output", help=".csv or .jsonl path")
+    p_trace.add_argument("--system", default="ddr4-server")
+    p_trace.add_argument("--policy", default="mil", choices=POLICIES)
+    p_trace.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "experiment": cmd_experiment,
+        "suite": cmd_suite,
+        "trace": cmd_trace,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

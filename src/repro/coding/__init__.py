@@ -1,0 +1,71 @@
+"""Coding schemes for energy-efficient data movement.
+
+This package implements every code the paper uses or compares against:
+
+* :class:`~repro.coding.dbi.DBICode` — DDR4's native data bus inversion.
+* :class:`~repro.coding.businvert.BusInvertCode` — transition-count
+  bus-invert for unterminated interfaces.
+* :class:`~repro.coding.transition.TransitionSignaling` — the XOR-based
+  signaling layer that lets LPDDR3 reuse zero-minimising codes.
+* :class:`~repro.coding.lwc.ThreeLWC` — the improved (8, 17)
+  3-limited-weight code.
+* :class:`~repro.coding.milc.MiLCCode` — the paper's new (64, 80) code.
+* :class:`~repro.coding.cafo.CAFOCode` — the CAFO comparison point.
+* :class:`~repro.coding.optimal_lwc.OptimalStaticLWC` — frequency-optimal
+  static codes for the Figure 7 potential study.
+"""
+
+from .base import BlockShapeError, CodingScheme
+from .businvert import BusInvertCode
+from .cafo import CAFOCode
+from .dbi import DBICode, dbi_zero_table
+from .lwc import ThreeLWC, lwc_zero_table
+from .lwc_family import (
+    GOLAY_POLY,
+    KLimitedWeightCode,
+    PerfectThreeLWC,
+    golay_syndrome,
+    lwc_capacity_bits,
+)
+from .milc import MiLCCode
+from .optimal_lwc import OptimalStaticLWC, byte_frequencies, codeword_zero_levels
+from .pipeline import (
+    BURST_FORMATS,
+    LINE_BYTES,
+    BurstFormat,
+    beat_layout,
+    line_zeros,
+    precompute_line_zeros,
+    raw_line_zeros,
+    scheme_for,
+)
+from .transition import TransitionSignaling
+
+__all__ = [
+    "BlockShapeError",
+    "CodingScheme",
+    "BusInvertCode",
+    "CAFOCode",
+    "DBICode",
+    "dbi_zero_table",
+    "ThreeLWC",
+    "lwc_zero_table",
+    "GOLAY_POLY",
+    "KLimitedWeightCode",
+    "PerfectThreeLWC",
+    "golay_syndrome",
+    "lwc_capacity_bits",
+    "MiLCCode",
+    "OptimalStaticLWC",
+    "byte_frequencies",
+    "codeword_zero_levels",
+    "TransitionSignaling",
+    "BURST_FORMATS",
+    "LINE_BYTES",
+    "BurstFormat",
+    "beat_layout",
+    "line_zeros",
+    "precompute_line_zeros",
+    "raw_line_zeros",
+    "scheme_for",
+]

@@ -1,0 +1,109 @@
+"""Common interface for all coding schemes in the MiL framework.
+
+A :class:`CodingScheme` maps fixed-size blocks of data bits to fixed-size
+codewords.  The MiL framework (Section 4.3 of the paper) only admits
+codes with a *deterministic* latency and codeword length, because the
+memory controller must know, at scheduling time, exactly how many extra
+data-bus cycles a coded burst will occupy.  That constraint is captured
+here by ``data_bits``/``code_bits`` being class-level constants.
+
+Two views of each code are provided:
+
+* ``encode_blocks`` / ``decode_blocks`` — the real bit-level transform,
+  used by round-trip tests and by anything that needs actual codewords.
+* ``count_zeros`` — a (usually much faster) vectorised path that returns
+  only the number of 0s each encoded block would put on the bus, which is
+  all the energy model needs.  The default implementation derives it from
+  ``encode_blocks``; subclasses override it with lookup tables.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .bitops import zeros_in_bits
+
+__all__ = ["CodingScheme", "BlockShapeError"]
+
+
+class BlockShapeError(ValueError):
+    """Raised when input data is not shaped as whole coding blocks."""
+
+
+class CodingScheme(ABC):
+    """Abstract base for deterministic-latency block codes.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in experiment tables (``"dbi"``, ``"milc"``).
+    data_bits:
+        Number of data bits consumed per block.
+    code_bits:
+        Number of code bits produced per block.
+    extra_latency_cycles:
+        Codec latency in DRAM cycles added to tCL/tWL when this scheme is
+        in use (Section 4.4: one cycle for DBI/MiLC/3-LWC; k for CAFO-k).
+    """
+
+    name: str = "abstract"
+    data_bits: int = 0
+    code_bits: int = 0
+    extra_latency_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    # Core transform
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def encode_blocks(self, data_bits: np.ndarray) -> np.ndarray:
+        """Encode blocks of shape ``(..., data_bits)`` to ``(..., code_bits)``."""
+
+    @abstractmethod
+    def decode_blocks(self, code_bits: np.ndarray) -> np.ndarray:
+        """Invert :meth:`encode_blocks`."""
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+    def _check_shape(self, bits: np.ndarray, expected: int, what: str) -> np.ndarray:
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape[-1] != expected:
+            raise BlockShapeError(
+                f"{self.name}: {what} trailing axis must be {expected} bits, "
+                f"got {bits.shape[-1]}"
+            )
+        if bits.size and bits.max() > 1:
+            raise BlockShapeError(f"{self.name}: {what} is not a 0/1 bit array")
+        return bits
+
+    def encode(self, data_bits: np.ndarray) -> np.ndarray:
+        """Validate shape, then encode."""
+        return self.encode_blocks(self._check_shape(data_bits, self.data_bits, "data"))
+
+    def decode(self, code_bits: np.ndarray) -> np.ndarray:
+        """Validate shape, then decode."""
+        return self.decode_blocks(self._check_shape(code_bits, self.code_bits, "code"))
+
+    def count_zeros(self, data_bits: np.ndarray) -> np.ndarray:
+        """Number of 0s on the bus for each encoded block.
+
+        Shape ``(..., data_bits)`` in, shape ``(...)`` out.  Subclasses
+        with cheap closed forms (per-byte lookup tables) override this.
+        """
+        return zeros_in_bits(self.encode(data_bits))
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def expansion(self) -> float:
+        """Bandwidth overhead factor (code bits per data bit)."""
+        return self.code_bits / self.data_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name}: "
+            f"({self.data_bits},{self.code_bits})>"
+        )

@@ -1,0 +1,122 @@
+"""Bus-Invert (BI) coding for unterminated interfaces (LPDDR3).
+
+On an unterminated interface, energy is spent on 0->1 and 1->0
+transitions rather than on static 0s (Section 2.1.2).  Bus-invert
+coding [Stan & Burleson 1995] pairs each group of eight data wires with
+a BI wire; when transmitting a new byte would flip more than four wires
+relative to their current state, the inverted byte is sent instead and
+the BI wire is toggled to signal the inversion.
+
+Unlike the per-block codes, BI is *stateful*: the decision depends on
+what is currently on the wires.  :class:`BusInvertCode` therefore
+exposes a sequence-level API (``encode_sequence``) in addition to a
+stateless per-block view where the previous bus state is an explicit
+argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitops import bytes_to_bits
+
+__all__ = ["BusInvertCode"]
+
+
+class BusInvertCode:
+    """The (8, 9) bus-invert code, transition-count flavoured.
+
+    Codeword layout is ``[d7..d0, bi]``.  ``bi == 0`` means the byte is
+    original, ``bi == 1`` means it is inverted (the paper's convention in
+    Section 2.1.2).
+    """
+
+    name = "bi"
+    data_bits = 8
+    code_bits = 9
+    extra_latency_cycles = 0
+
+    def encode_step(
+        self, data_bits: np.ndarray, prev_wire: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode one beat given the previous wire state.
+
+        Parameters
+        ----------
+        data_bits:
+            Bits of shape ``(..., 8)`` to transmit.
+        prev_wire:
+            Current wire state of shape ``(..., 9)`` (data wires + BI wire).
+
+        Returns
+        -------
+        (codeword, transitions):
+            The new 9-bit wire state, and the number of wires that flipped.
+        """
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        prev_wire = np.asarray(prev_wire, dtype=np.uint8)
+        prev_data = prev_wire[..., :8]
+        prev_bi = prev_wire[..., 8]
+
+        flips_plain = np.count_nonzero(data_bits != prev_data, axis=-1)
+        # Sending the original byte keeps bi=0; sending the inverted byte
+        # sets bi=1.  Either choice may itself flip the BI wire.
+        flips_plain = flips_plain + (prev_bi != 0)
+        flips_inv = (8 - np.count_nonzero(data_bits != prev_data, axis=-1)) + (
+            prev_bi != 1
+        )
+
+        invert = (flips_inv < flips_plain)[..., None]
+        body = np.where(invert, 1 - data_bits, data_bits)
+        flag = invert[..., 0].astype(np.uint8)
+        code = np.concatenate([body, flag[..., None]], axis=-1)
+        transitions = np.where(invert[..., 0], flips_inv, flips_plain)
+        return code, transitions.astype(np.int64)
+
+    def decode_step(self, code_bits: np.ndarray) -> np.ndarray:
+        """Recover the original byte bits from a 9-bit wire state."""
+        code_bits = np.asarray(code_bits, dtype=np.uint8)
+        body = code_bits[..., :8]
+        flag = code_bits[..., 8:9]
+        return np.where(flag == 1, 1 - body, body)
+
+    def encode_sequence(
+        self, data: np.ndarray, initial_wire: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Encode a beat sequence over one 8-bit lane group.
+
+        Parameters
+        ----------
+        data:
+            uint8 byte values of shape ``(n_beats,)`` or bit array of
+            shape ``(n_beats, 8)``.
+        initial_wire:
+            Starting wire state (9 bits); all-zero if omitted, matching a
+            bus idling at ground.
+
+        Returns
+        -------
+        (codewords, transitions):
+            ``(n_beats, 9)`` wire states, and per-beat transition counts.
+        """
+        data = np.asarray(data)
+        bits = data if data.ndim >= 2 else bytes_to_bits(
+            data.astype(np.uint8)
+        ).reshape(-1, 8)
+        n = bits.shape[0]
+        wire = (
+            np.zeros(9, dtype=np.uint8)
+            if initial_wire is None
+            else np.asarray(initial_wire, dtype=np.uint8).copy()
+        )
+        codes = np.empty((n, 9), dtype=np.uint8)
+        trans = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            wire, t = self.encode_step(bits[i], wire)
+            codes[i] = wire
+            trans[i] = t
+        return codes, trans
+
+    def decode_sequence(self, codes: np.ndarray) -> np.ndarray:
+        """Recover the byte-bit sequence from the wire-state sequence."""
+        return self.decode_step(np.asarray(codes, dtype=np.uint8))

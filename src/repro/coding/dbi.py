@@ -1,0 +1,87 @@
+"""Data Bus Inversion (DBI) coding — the DDR4 baseline.
+
+DDR4 x8/x16 chips pair every eight data pins with one DBI pin
+(Section 2.1.1 of the paper).  When a byte contains more than four 0s,
+the ones' complement of the byte is transmitted and the DBI bit is
+driven to 0; otherwise the byte is sent as-is with the DBI bit at 1.
+This bounds the number of 0s in every 9-bit group to at most four,
+which bounds the pseudo-open-drain IO energy.
+
+DBI is the baseline *all* MiL results are normalized against, so its
+zero counts show up in the denominator of Figures 16-19.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CodingScheme
+from .bitops import byte_popcount_table, bytes_to_bits
+
+__all__ = ["DBICode", "dbi_zero_table"]
+
+
+def dbi_zero_table() -> np.ndarray:
+    """256-entry table: byte value -> zeros transmitted in its 9-bit group.
+
+    For a byte with ``z`` zeros: if ``z > 4`` the inverted byte plus a
+    0-valued DBI bit go on the bus (``8 - z + 1`` zeros); otherwise the
+    original byte plus a 1-valued DBI bit (``z`` zeros).
+    """
+    ones = byte_popcount_table().astype(np.int64)
+    zeros = 8 - ones
+    return np.where(zeros > 4, (8 - zeros) + 1, zeros).astype(np.uint8)
+
+
+_DBI_ZEROS = dbi_zero_table()
+
+
+class DBICode(CodingScheme):
+    """The (8, 9) data bus inversion code from the DDR4 standard.
+
+    The codeword layout is ``[d7..d0, dbi]``: eight (possibly inverted)
+    data bits followed by the DBI flag.  ``dbi == 1`` means the data bits
+    are original; ``dbi == 0`` means they are inverted.
+    """
+
+    name = "dbi"
+    data_bits = 8
+    code_bits = 9
+    # DBI is part of the baseline interface; its latency is already folded
+    # into the standard tCL, so MiL charges no *extra* cycles for it.
+    extra_latency_cycles = 0
+
+    def encode_blocks(self, data_bits: np.ndarray) -> np.ndarray:
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        zeros = 8 - np.count_nonzero(data_bits, axis=-1)
+        invert = (zeros > 4)[..., None]
+        body = np.where(invert, 1 - data_bits, data_bits)
+        flag = np.where(invert[..., 0], 0, 1).astype(np.uint8)
+        return np.concatenate([body, flag[..., None]], axis=-1)
+
+    def decode_blocks(self, code_bits: np.ndarray) -> np.ndarray:
+        code_bits = np.asarray(code_bits, dtype=np.uint8)
+        body = code_bits[..., :8]
+        flag = code_bits[..., 8:9]
+        return np.where(flag == 1, body, 1 - body)
+
+    def count_zeros(self, data_bits: np.ndarray) -> np.ndarray:
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        if data_bits.shape[-1] % 8 != 0:
+            raise ValueError("DBI zero counting needs whole bytes")
+        byte_vals = np.packbits(data_bits, axis=-1)
+        return _DBI_ZEROS[byte_vals].astype(np.int64).sum(axis=-1)
+
+    def count_zeros_bytes(self, data: np.ndarray) -> np.ndarray:
+        """Zero count straight from uint8 byte values (fast path).
+
+        Accepts any shape of uint8 bytes; sums over the trailing axis.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        return _DBI_ZEROS[data].astype(np.int64).sum(axis=-1)
+
+    def encode_bytes(self, data: np.ndarray) -> np.ndarray:
+        """Encode uint8 bytes of shape ``(..., n)`` to ``(..., n, 9)`` bits."""
+        bits = bytes_to_bits(np.asarray(data, dtype=np.uint8))
+        shaped = bits.reshape(bits.shape[:-1] + (bits.shape[-1] // 8, 8))
+        return self.encode_blocks(shaped)

@@ -1,0 +1,211 @@
+"""The limited-weight code family (Section 2.2 / 4.3.1 background).
+
+Stan & Burleson's k-LWC framework bounds every codeword's Hamming
+weight to ``k``.  The paper names three family members besides its own
+(8,17) 3-LWC:
+
+* bus-invert coding is an (n/2)-LWC,
+* a one-hot code is a 1-LWC,
+* the *perfect* 3-LWC maps 11 data bits onto the 2048 binary vectors of
+  length 23 and weight <= 3 — exactly the coset leaders of the binary
+  [23, 12, 7] Golay code, whose perfection is what makes the count come
+  out even: C(23,0)+C(23,1)+C(23,2)+C(23,3) = 2048 = 2^11.
+
+This module implements a generic enumerative :class:`KLimitedWeightCode`
+and the Golay-based :class:`PerfectThreeLWC`.  Neither is used by the
+default MiL configuration (the paper leaves alternate codes as future
+work), but both plug into the same :class:`~repro.coding.base.
+CodingScheme` interface, so a ``MiLConfig(long_scheme=...)`` experiment
+away.
+
+As everywhere in this package, the *transmitted* word is the ones'
+complement of the weight-bounded word, so "weight <= k" becomes
+"at most k zeros on the POD bus".
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+from .base import CodingScheme
+
+__all__ = [
+    "KLimitedWeightCode",
+    "PerfectThreeLWC",
+    "GOLAY_POLY",
+    "golay_syndrome",
+    "lwc_capacity_bits",
+]
+
+# Generator polynomial of the binary [23, 12, 7] Golay code:
+# x^11 + x^10 + x^6 + x^5 + x^4 + x^2 + 1.
+GOLAY_POLY = 0b110001110101
+
+
+def lwc_capacity_bits(code_bits: int, max_weight: int) -> int:
+    """Data bits an (m, k)-LWC can carry: floor(log2 sum C(m, j))."""
+    total = sum(comb(code_bits, j) for j in range(max_weight + 1))
+    return total.bit_length() - 1
+
+
+class KLimitedWeightCode(CodingScheme):
+    """Enumerative (n -> m) code with codeword weight <= k.
+
+    Data values are mapped to weight-bounded vectors in lexicographic
+    weight order (lowest weight first), which makes the all-ones
+    transmitted word represent value 0 — handy for sparse data.  This is
+    the "hard to implement algorithmically" general case the paper
+    sidesteps with MiLC/3-LWC; here the codebook is explicit, which is
+    fine for a simulator and for studying hypothetical design points.
+    """
+
+    def __init__(self, data_bits: int, code_bits: int, max_weight: int):
+        if data_bits < 1 or data_bits > 16:
+            raise ValueError("data_bits must be in [1, 16] (table-based)")
+        capacity = lwc_capacity_bits(code_bits, max_weight)
+        if capacity < data_bits:
+            raise ValueError(
+                f"a ({code_bits}, w<={max_weight}) code holds only "
+                f"{capacity} data bits, not {data_bits}"
+            )
+        self.data_bits = data_bits
+        self.code_bits = code_bits
+        self.max_weight = max_weight
+        self.name = f"lwc-{data_bits}-{code_bits}-w{max_weight}"
+        self.extra_latency_cycles = 1
+
+        size = 1 << data_bits
+        words = np.zeros((size, code_bits), dtype=np.uint8)
+        produced = 0
+        weight = 0
+        while produced < size:
+            for ones in combinations(range(code_bits), weight):
+                if produced >= size:
+                    break
+                words[produced, list(ones)] = 1
+                produced += 1
+            weight += 1
+        self._words = words
+        # Reverse lookup via packed integer keys.
+        keys = self._pack(words)
+        self._reverse = {int(k): i for i, k in enumerate(keys)}
+        # Transmitted zeros per data value (codeword weight, since the
+        # complement is transmitted).
+        self._zeros_by_value = words.sum(axis=1).astype(np.int64)
+
+    @staticmethod
+    def _pack(bits: np.ndarray) -> np.ndarray:
+        weights = 1 << np.arange(bits.shape[-1], dtype=np.int64)[::-1]
+        return (bits.astype(np.int64) * weights).sum(axis=-1)
+
+    def encode_blocks(self, data_bits: np.ndarray) -> np.ndarray:
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        lead = data_bits.shape[:-1]
+        values = self._pack(data_bits.reshape(-1, self.data_bits))
+        words = self._words[values]
+        return (1 - words).reshape(lead + (self.code_bits,))
+
+    def count_zeros_bytes(self, data: np.ndarray) -> np.ndarray:
+        """Zero count from uint8 byte values (8-bit codes only)."""
+        if self.data_bits != 8:
+            raise ValueError("byte fast path requires data_bits == 8")
+        data = np.asarray(data, dtype=np.uint8)
+        return self._zeros_by_value[data].sum(axis=-1)
+
+    def decode_blocks(self, code_bits: np.ndarray) -> np.ndarray:
+        code_bits = np.asarray(code_bits, dtype=np.uint8)
+        lead = code_bits.shape[:-1]
+        words = (1 - code_bits.reshape(-1, self.code_bits)).astype(np.uint8)
+        keys = self._pack(words)
+        try:
+            values = np.array(
+                [self._reverse[int(k)] for k in keys], dtype=np.int64
+            )
+        except KeyError:
+            raise ValueError("word is not a codeword of this LWC") from None
+        shifts = np.arange(self.data_bits - 1, -1, -1, dtype=np.int64)
+        bits = ((values[:, None] >> shifts) & 1).astype(np.uint8)
+        return bits.reshape(lead + (self.data_bits,))
+
+
+def golay_syndrome(words: np.ndarray) -> np.ndarray:
+    """Syndrome (11 bits as an int) of 23-bit words under the Golay code.
+
+    For the cyclic Golay code the syndrome of ``e(x)`` is simply
+    ``e(x) mod g(x)``; two error patterns share a syndrome iff they
+    differ by a codeword.
+    """
+    words = np.asarray(words, dtype=np.int64)
+    out = np.zeros_like(words)
+    for i in range(words.shape[0]):
+        reg = int(words[i])
+        for bit in range(22, 10, -1):
+            if reg & (1 << bit):
+                reg ^= GOLAY_POLY << (bit - 11)
+        out[i] = reg
+    return out
+
+
+class PerfectThreeLWC(CodingScheme):
+    """Stan & Zhang's perfect (11, 23) 3-LWC, the dual of the Golay code.
+
+    Each 11-bit datum is treated as a Golay syndrome and transmitted as
+    the complement of that syndrome's (unique, weight <= 3) coset
+    leader.  Decoding is purely algorithmic: the received word's
+    polynomial residue mod g(x) *is* the data — no table on the DRAM
+    side, which is the property that made the construction attractive
+    for low-power IO.
+    """
+
+    name = "perfect-3lwc"
+    data_bits = 11
+    code_bits = 23
+    extra_latency_cycles = 1
+
+    def __init__(self):
+        # Build the syndrome -> coset-leader table from all weight<=3
+        # patterns; the code's perfection guarantees a bijection.
+        patterns = []
+        for weight in range(4):
+            for ones in combinations(range(23), weight):
+                value = 0
+                for bit in ones:
+                    value |= 1 << bit
+                patterns.append(value)
+        patterns = np.array(patterns, dtype=np.int64)
+        syndromes = golay_syndrome(patterns)
+        if len(np.unique(syndromes)) != 2048:
+            raise AssertionError("Golay coset leaders are not distinct")
+        table = np.zeros(2048, dtype=np.int64)
+        table[syndromes] = patterns
+        self._leader_for_syndrome = table
+
+    @staticmethod
+    def _to_bits(values: np.ndarray, width: int) -> np.ndarray:
+        shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+        return ((values[:, None] >> shifts) & 1).astype(np.uint8)
+
+    @staticmethod
+    def _to_ints(bits: np.ndarray) -> np.ndarray:
+        width = bits.shape[-1]
+        shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+        return (bits.astype(np.int64) << shifts).sum(axis=-1)
+
+    def encode_blocks(self, data_bits: np.ndarray) -> np.ndarray:
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        lead = data_bits.shape[:-1]
+        values = self._to_ints(data_bits.reshape(-1, 11))
+        leaders = self._leader_for_syndrome[values]
+        words = self._to_bits(leaders, 23)
+        return (1 - words).reshape(lead + (23,))
+
+    def decode_blocks(self, code_bits: np.ndarray) -> np.ndarray:
+        code_bits = np.asarray(code_bits, dtype=np.uint8)
+        lead = code_bits.shape[:-1]
+        words = (1 - code_bits.reshape(-1, 23)).astype(np.uint8)
+        values = self._to_ints(words)
+        syndromes = golay_syndrome(values)
+        return self._to_bits(syndromes, 11).reshape(lead + (11,))

@@ -1,0 +1,187 @@
+"""MiLC — the "More is Less Code" (Section 4.3.2 / 5.2.3, Figures 10, 14).
+
+MiLC encodes 64 data bits laid out as an 8x8 square into an 80-bit
+codeword: the (transformed) square plus two extra mode columns.  Every
+8-bit row independently picks, among four candidates, the one with the
+fewest transmitted 0s (mode-bit 0s included):
+
+=========  =============================  ===========
+candidate  transmitted row                mode (inv, xor)
+=========  =============================  ===========
+original   ``row``                        (0, 0)
+inverted   ``~row``                       (1, 0)
+xor        ``row ^ prev_row``             (0, 1)
+inv-xor    ``~(row ^ prev_row)``          (1, 1)
+=========  =============================  ===========
+
+``prev_row`` is always the *original* previous data row, so all eight
+row encoders run in parallel (Figure 14) while the decoder recovers rows
+top-to-bottom.  The XOR candidates exploit spatial correlation: a row
+equal to its predecessor becomes all-ones under inv-xor — zero IO cost.
+
+Row 0 has no predecessor, so only the original/inverted candidates are
+available to it; its xor-column position is repurposed as the ``xorbi``
+bit (the gray bit in Figure 10), which bus-inverts the other seven xor
+mode bits in that column to squeeze out a few more 0s.
+
+Codeword layout (80 bits)::
+
+    [ row0 body (8) | row1 body (8) | ... | row7 body (8)    # 64 bits
+      inv0..inv7                                              # 8 bits
+      xorbi, xor1..xor7 ]                                     # 8 bits
+
+The mode polarity above means all-1 mode bits accompany the inv-xor
+candidate, so perfectly correlated data transmits (almost) no 0s at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CodingScheme
+
+__all__ = ["MiLCCode"]
+
+# Zeros contributed by the two mode bits of each candidate, in candidate
+# order (original, inverted, xor, inv-xor).  These constants are the
+# "additional constant" inputs of the Figure 14 row encoder.
+_MODE_ZERO_COST = np.array([2, 1, 1, 0], dtype=np.int64)
+
+
+class MiLCCode(CodingScheme):
+    """The (64, 80) MiLC block code."""
+
+    name = "milc"
+    data_bits = 64
+    code_bits = 80
+    extra_latency_cycles = 1
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def _candidates(self, square: np.ndarray) -> np.ndarray:
+        """Build the four candidate bodies for every row.
+
+        ``square`` has shape ``(n, 8, 8)``; the result has shape
+        ``(n, 8, 4, 8)`` indexed by (block, row, candidate, bit).  For
+        row 0 the xor candidates are filled with the plain candidates so
+        they never win (their zero cost is inflated by the caller).
+        """
+        n = square.shape[0]
+        prev = np.empty_like(square)
+        prev[:, 1:] = square[:, :-1]
+        prev[:, 0] = 0  # row 0 has no predecessor; masked out below
+
+        cands = np.empty((n, 8, 4, 8), dtype=np.uint8)
+        cands[:, :, 0] = square
+        cands[:, :, 1] = 1 - square
+        cands[:, :, 2] = square ^ prev
+        cands[:, :, 3] = 1 - (square ^ prev)
+        return cands
+
+    def encode_blocks(self, data_bits: np.ndarray) -> np.ndarray:
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        lead = data_bits.shape[:-1]
+        square = data_bits.reshape(-1, 8, 8)
+        n = square.shape[0]
+
+        cands = self._candidates(square)
+        zeros = 8 - cands.sum(axis=-1, dtype=np.int64)  # (n, 8, 4)
+        cost = zeros + _MODE_ZERO_COST  # include mode-bit zeros
+
+        # Row 0 may only choose original/inverted.
+        cost[:, 0, 2:] = np.iinfo(np.int64).max
+
+        choice = cost.argmin(axis=-1)  # (n, 8); argmin ties -> lowest index
+        rows = np.arange(n)[:, None]
+        row_idx = np.arange(8)[None, :]
+        body = cands[rows, row_idx, choice]  # (n, 8, 8)
+
+        inv_col = (choice % 2).astype(np.uint8)  # candidates 1, 3 invert
+        xor_col = (choice >= 2).astype(np.uint8)  # candidates 2, 3 xor
+
+        # xorbi: bus-invert the xor bits of rows 1..7 when that removes 0s.
+        tail = xor_col[:, 1:]
+        tail_ones = tail.sum(axis=1, dtype=np.int64)
+        # keep: xorbi=1 plus the 7 bits as-is -> zeros = 7 - ones
+        # flip: xorbi=0 plus the 7 bits inverted -> zeros = ones + 1
+        flip = (tail_ones + 1) < (7 - tail_ones)
+        xor_out = xor_col.copy()
+        xor_out[:, 0] = np.where(flip, 0, 1)
+        xor_out[:, 1:] = np.where(flip[:, None], 1 - tail, tail)
+
+        code = np.concatenate(
+            [body.reshape(n, 64), inv_col, xor_out], axis=1
+        ).astype(np.uint8)
+        return code.reshape(lead + (80,))
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode_blocks(self, code_bits: np.ndarray) -> np.ndarray:
+        code_bits = np.asarray(code_bits, dtype=np.uint8)
+        lead = code_bits.shape[:-1]
+        flat = code_bits.reshape(-1, 80)
+        n = flat.shape[0]
+
+        body = flat[:, :64].reshape(n, 8, 8)
+        inv_col = flat[:, 64:72]
+        xor_raw = flat[:, 72:80]
+
+        xorbi = xor_raw[:, 0]
+        xor_col = np.zeros((n, 8), dtype=np.uint8)
+        xor_col[:, 1:] = np.where(
+            (xorbi == 0)[:, None], 1 - xor_raw[:, 1:], xor_raw[:, 1:]
+        )
+
+        # Step 1 (parallel): undo inversion.
+        uninv = np.where(inv_col[:, :, None] == 1, 1 - body, body)
+
+        # Step 2 (sequential down the rows): undo XOR with decoded rows.
+        out = np.empty_like(uninv)
+        out[:, 0] = uninv[:, 0]
+        for i in range(1, 8):
+            out[:, i] = np.where(
+                xor_col[:, i, None] == 1, uninv[:, i] ^ out[:, i - 1], uninv[:, i]
+            )
+        return out.reshape(lead + (64,))
+
+    # ------------------------------------------------------------------
+    # Fast zero counting
+    # ------------------------------------------------------------------
+    def count_zeros(self, data_bits: np.ndarray) -> np.ndarray:
+        """Zeros on the bus per 64-bit block, without materialising codes."""
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        lead = data_bits.shape[:-1]
+        square = data_bits.reshape(-1, 8, 8)
+        n = square.shape[0]
+
+        cands = self._candidates(square)
+        zeros = 8 - cands.sum(axis=-1, dtype=np.int64)
+        cost = zeros + _MODE_ZERO_COST
+        cost[:, 0, 2:] = np.iinfo(np.int64).max
+        choice = cost.argmin(axis=-1)
+
+        rows = np.arange(n)[:, None]
+        row_idx = np.arange(8)[None, :]
+        body_zeros = zeros[rows, row_idx, choice].sum(axis=1)
+        inv_zeros = (1 - (choice % 2)).sum(axis=1, dtype=np.int64)
+
+        tail_ones = (choice[:, 1:] >= 2).sum(axis=1, dtype=np.int64)
+        xor_zeros = np.minimum(7 - tail_ones, tail_ones + 1)
+
+        total = body_zeros + inv_zeros + xor_zeros
+        return total.reshape(lead)
+
+    def count_zeros_bytes(self, data: np.ndarray) -> np.ndarray:
+        """Zero count from uint8 bytes of shape ``(..., k*8)``.
+
+        Each consecutive group of eight bytes forms one 64-bit block;
+        counts are summed over the trailing axis.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape[-1] % 8 != 0:
+            raise ValueError("MiLC operates on whole 8-byte blocks")
+        bits = np.unpackbits(data, axis=-1)
+        blocks = bits.reshape(bits.shape[:-1] + (data.shape[-1] // 8, 64))
+        return self.count_zeros(blocks).sum(axis=-1)

@@ -1,0 +1,155 @@
+"""Optimal static (8, n) limited-weight codes — the Figure 7 potential study.
+
+Section 3.2 of the paper asks how much headroom exists beyond DBI if one
+could afford arbitrary *static* codes: a code "(8, n)" optimally maps
+each 8-bit data pattern to a unique n-bit codeword "according to the
+frequency of different data patterns".  The optimal assignment is
+greedy: sort the 256 byte values by how often they occur in the
+application's memory traffic, sort all n-bit codewords by ascending
+zero count (descending Hamming weight), and pair them off — the most
+frequent byte gets the codeword with the fewest 0s.
+
+Such codes are impractical to implement (the paper notes a lookup-table
+codec has "exorbitant capacity overheads"), which is exactly why MiL
+adopts algorithmic codes instead; this module exists to reproduce the
+potential study.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, islice
+from math import comb
+
+import numpy as np
+
+from .base import CodingScheme
+
+__all__ = ["OptimalStaticLWC", "codeword_zero_levels", "byte_frequencies"]
+
+
+def byte_frequencies(data: np.ndarray) -> np.ndarray:
+    """Empirical probability of each byte value in a data corpus."""
+    data = np.asarray(data, dtype=np.uint8).ravel()
+    if data.size == 0:
+        raise ValueError("empty corpus")
+    counts = np.bincount(data, minlength=256).astype(np.float64)
+    return counts / counts.sum()
+
+
+def codeword_zero_levels(n_bits: int, n_codewords: int = 256) -> np.ndarray:
+    """Zero count of the i-th best n-bit codeword, for i < n_codewords.
+
+    Codewords sorted by ascending zero count: one all-ones codeword
+    (0 zeros), then ``C(n, 1)`` with a single zero, ``C(n, 2)`` with two,
+    and so on.  Only the *counts* matter for energy, so this avoids
+    materialising codewords.
+    """
+    if n_bits < 8:
+        raise ValueError("need at least 8 bits to host 256 codewords")
+    levels = np.empty(n_codewords, dtype=np.int64)
+    filled = 0
+    zeros = 0
+    while filled < n_codewords:
+        take = min(comb(n_bits, zeros), n_codewords - filled)
+        levels[filled : filled + take] = zeros
+        filled += take
+        zeros += 1
+    return levels
+
+
+class OptimalStaticLWC(CodingScheme):
+    """Frequency-optimal static (8, n) code fitted to a data corpus.
+
+    Parameters
+    ----------
+    n_bits:
+        Codeword width (the paper sweeps 9..17 in Figure 7).
+    frequencies:
+        Byte-value probabilities (length 256).  Uniform if omitted.
+    """
+
+    data_bits = 8
+
+    def __init__(self, n_bits: int, frequencies: np.ndarray | None = None):
+        if n_bits < 9 or n_bits > 32:
+            raise ValueError("n_bits must be in [9, 32]")
+        self.code_bits = n_bits
+        self.name = f"opt-lwc-8-{n_bits}"
+        self.extra_latency_cycles = 1
+
+        if frequencies is None:
+            frequencies = np.full(256, 1.0 / 256)
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        if frequencies.shape != (256,):
+            raise ValueError("frequencies must have length 256")
+        self.frequencies = frequencies
+
+        # Most frequent byte -> codeword with the fewest zeros.  Stable
+        # sort keeps the mapping deterministic across runs.
+        order = np.argsort(-frequencies, kind="stable")
+        levels = codeword_zero_levels(n_bits)
+        self._zeros_by_byte = np.empty(256, dtype=np.int64)
+        self._zeros_by_byte[order] = levels
+        self._rank_by_byte = np.empty(256, dtype=np.int64)
+        self._rank_by_byte[order] = np.arange(256)
+        self._codewords: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Explicit codeword table (built lazily; zero counting never needs it)
+    # ------------------------------------------------------------------
+    def _build_codewords(self) -> np.ndarray:
+        if self._codewords is None:
+            words = np.empty((256, self.code_bits), dtype=np.uint8)
+            produced = 0
+            zeros = 0
+            while produced < 256:
+                for zero_positions in islice(
+                    combinations(range(self.code_bits), zeros), 256 - produced
+                ):
+                    word = np.ones(self.code_bits, dtype=np.uint8)
+                    word[list(zero_positions)] = 0
+                    words[produced] = word
+                    produced += 1
+                zeros += 1
+            self._codewords = words
+        return self._codewords
+
+    def encode_blocks(self, data_bits: np.ndarray) -> np.ndarray:
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        lead = data_bits.shape[:-1]
+        byte_vals = np.packbits(data_bits.reshape(-1, 8), axis=-1).ravel()
+        words = self._build_codewords()
+        return words[self._rank_by_byte[byte_vals]].reshape(lead + (self.code_bits,))
+
+    def decode_blocks(self, code_bits: np.ndarray) -> np.ndarray:
+        code_bits = np.asarray(code_bits, dtype=np.uint8)
+        lead = code_bits.shape[:-1]
+        flat = code_bits.reshape(-1, self.code_bits)
+        words = self._build_codewords()
+        # Match each codeword against the table; static codes are a pure
+        # lookup at heart, and this decode path exists for verification.
+        matches = (flat[:, None, :] == words[None, :, :]).all(axis=2)
+        if not matches.any(axis=1).all():
+            raise ValueError("codeword not in the static code table")
+        ranks = matches.argmax(axis=1)
+        byte_for_rank = np.empty(256, dtype=np.uint8)
+        byte_for_rank[self._rank_by_byte] = np.arange(256, dtype=np.uint8)
+        byte_vals = byte_for_rank[ranks]
+        bits = np.unpackbits(byte_vals[:, None], axis=1)
+        return bits.reshape(lead + (8,))
+
+    def count_zeros(self, data_bits: np.ndarray) -> np.ndarray:
+        data_bits = np.asarray(data_bits, dtype=np.uint8)
+        if data_bits.shape[-1] % 8 != 0:
+            raise ValueError("static LWC zero counting needs whole bytes")
+        byte_vals = np.packbits(data_bits, axis=-1)
+        return self._zeros_by_byte[byte_vals].sum(axis=-1)
+
+    def count_zeros_bytes(self, data: np.ndarray) -> np.ndarray:
+        """Zero count straight from uint8 byte values (fast path)."""
+        data = np.asarray(data, dtype=np.uint8)
+        return self._zeros_by_byte[data].sum(axis=-1)
+
+    def expected_zeros_per_byte(self) -> float:
+        """Corpus-weighted mean zeros per transmitted byte."""
+        return float((self.frequencies * self._zeros_by_byte).sum())

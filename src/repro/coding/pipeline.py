@@ -1,0 +1,191 @@
+"""Burst-level coding pipeline: cache lines -> bus beats and zero counts.
+
+The DRAM simulator moves 64-byte cache lines.  This module knows how
+each coding scheme packs a line onto the DDR4 data pins (Figure 12 of
+the paper), what burst length that implies, and how many 0s end up on
+the wires — the quantity the pseudo-open-drain IO energy model charges
+for (and, via transition signaling, the LPDDR3 flip count).
+
+Burst formats (Section 4.4):
+
+========  ============  =====================================
+scheme    burst length  packing
+========  ============  =====================================
+dbi       8             64 data pins + 8 DBI pins, 8 beats
+milc      10            8 x (64 -> 80) blocks over 64 pins
+cafo2/4   10            8 x (64 -> 80) blocks over 64 pins
+3lwc      16            64 x (8 -> 17) codewords over the 72
+                        data+DBI pins, 64 pad bits sent as 1s
+========  ============  =====================================
+
+``precompute_line_zeros`` is the hot path: it evaluates every scheme
+over an entire trace of lines with vectorised numpy so the simulator
+only ever does table lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cafo import CAFOCode
+from .dbi import DBICode
+from .lwc import ThreeLWC
+from .lwc_family import KLimitedWeightCode
+from .milc import MiLCCode
+
+__all__ = [
+    "LINE_BYTES",
+    "BurstFormat",
+    "BURST_FORMATS",
+    "beat_layout",
+    "scheme_for",
+    "line_zeros",
+    "precompute_line_zeros",
+    "raw_line_zeros",
+]
+
+LINE_BYTES = 64
+
+_DBI = DBICode()
+_MILC = MiLCCode()
+_LWC = ThreeLWC()
+_CAFO2 = CAFOCode(iterations=2)
+_CAFO4 = CAFOCode(iterations=4)
+# The Section 7.5.3 intermediate design point: an (8, 12) 3-LWC fills
+# the gap between MiLC (BL10) and the (8, 17) 3-LWC (BL16).
+_LWC12 = KLimitedWeightCode(8, 12, 3)
+
+
+@dataclass(frozen=True)
+class BurstFormat:
+    """How one coding scheme occupies the data bus for a 64-byte line.
+
+    Attributes
+    ----------
+    scheme:
+        Short scheme name.
+    burst_length:
+        Beats per transaction (two beats per DRAM clock).
+    extra_latency:
+        Codec cycles added to tCL/tWL while this scheme is active.
+    """
+
+    scheme: str
+    burst_length: int
+    extra_latency: int
+
+    @property
+    def bus_cycles(self) -> int:
+        """DRAM clock cycles of data-bus occupancy (DDR: 2 beats/cycle)."""
+        return (self.burst_length + 1) // 2
+
+
+BURST_FORMATS: dict[str, BurstFormat] = {
+    # Uncoded transfer: the only option for x4 devices, which have no
+    # DBI pins (Section 2.1.1) - and MiL's fallback tier.
+    "raw": BurstFormat("raw", burst_length=8, extra_latency=0),
+    "dbi": BurstFormat("dbi", burst_length=8, extra_latency=0),
+    "milc": BurstFormat("milc", burst_length=10, extra_latency=1),
+    "3lwc": BurstFormat("3lwc", burst_length=16, extra_latency=1),
+    "cafo2": BurstFormat("cafo2", burst_length=10, extra_latency=2),
+    "cafo4": BurstFormat("cafo4", burst_length=10, extra_latency=4),
+    # Intermediate-length code (Section 7.5.3's suggestion): 64 x
+    # (8 -> 12) codewords fill exactly 12 beats over the 64 data pins.
+    "lwc12": BurstFormat("lwc12", burst_length=12, extra_latency=1),
+    # Hypothetical intermediate lengths for the Figure 20 fixed-burst
+    # sensitivity sweep (the paper evaluates BL 10/12/14/16 regardless
+    # of any specific code occupying them).
+    "bl12": BurstFormat("bl12", burst_length=12, extra_latency=1),
+    "bl14": BurstFormat("bl14", burst_length=14, extra_latency=1),
+}
+
+_SCHEMES = {
+    "dbi": _DBI,
+    "milc": _MILC,
+    "3lwc": _LWC,
+    "lwc12": _LWC12,
+    "cafo2": _CAFO2,
+    "cafo4": _CAFO4,
+}
+
+
+def scheme_for(name: str):
+    """Return the codec object registered under ``name``."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown coding scheme {name!r}; known: {sorted(_SCHEMES)}"
+        ) from None
+
+
+def raw_line_zeros(lines: np.ndarray) -> np.ndarray:
+    """Zeros in the *uncoded* 512-bit lines (Figure 7's normalisation)."""
+    lines = _check_lines(lines)
+    bits = np.unpackbits(lines, axis=-1)
+    return (bits.shape[-1] - bits.sum(axis=-1, dtype=np.int64)).astype(np.int64)
+
+
+def _check_lines(lines: np.ndarray) -> np.ndarray:
+    lines = np.asarray(lines, dtype=np.uint8)
+    if lines.ndim == 1:
+        lines = lines[None, :]
+    if lines.shape[-1] != LINE_BYTES:
+        raise ValueError(f"expected {LINE_BYTES}-byte lines, got {lines.shape[-1]}")
+    return lines
+
+
+def beat_layout(lines: np.ndarray) -> np.ndarray:
+    """Rearrange lines into bus-beat order (Figure 12(a)).
+
+    A x8 rank ships one byte per chip per beat and chip ``j`` stores
+    byte ``j`` of every 64-bit word, so beat ``p`` carries byte ``p`` of
+    words 0..7 — the same byte position across eight consecutive words.
+    MiLC and CAFO operate on those 64-bit beats as 8x8 squares, which is
+    exactly where the spatial correlation they exploit lives (adjacent
+    doubles share exponent bytes, adjacent ints share zero bytes).
+    """
+    lines = _check_lines(lines)
+    n = lines.shape[0]
+    return (
+        lines.reshape(n, 8, 8).transpose(0, 2, 1).reshape(n, LINE_BYTES)
+    )
+
+
+def line_zeros(scheme: str, lines: np.ndarray) -> np.ndarray:
+    """Zeros put on the bus per line when transmitted under ``scheme``.
+
+    Accepts ``(n, 64)`` uint8 lines (or a single line) and returns an
+    ``(n,)`` int64 count that already includes flag/mode/pad bits.
+    """
+    lines = _check_lines(lines)
+    if scheme == "dbi":
+        return _DBI.count_zeros_bytes(lines)
+    if scheme == "3lwc":
+        # 64 pad bits per line are driven to 1 and contribute no zeros.
+        return _LWC.count_zeros_bytes(lines)
+    if scheme == "milc":
+        return _MILC.count_zeros_bytes(beat_layout(lines))
+    if scheme == "cafo2":
+        return _CAFO2.count_zeros_bytes(beat_layout(lines))
+    if scheme == "cafo4":
+        return _CAFO4.count_zeros_bytes(beat_layout(lines))
+    if scheme == "lwc12":
+        return _LWC12.count_zeros_bytes(lines)
+    if scheme == "raw":
+        return raw_line_zeros(lines)
+    raise KeyError(f"unknown coding scheme {scheme!r}")
+
+
+def precompute_line_zeros(
+    lines: np.ndarray, schemes: tuple[str, ...] = ("dbi", "milc", "3lwc")
+) -> dict[str, np.ndarray]:
+    """Evaluate several schemes over a whole trace of lines at once.
+
+    The simulator calls this once per workload and then charges IO
+    energy with O(1) lookups per transferred burst.
+    """
+    lines = _check_lines(lines)
+    return {scheme: line_zeros(scheme, lines) for scheme in schemes}

@@ -1,0 +1,18 @@
+"""FR-FCFS memory controller with write drain and the MiL policy hook."""
+
+from .controller import AlwaysScheme, ChannelController
+from .frfcfs import CandidateCommand, FRFCFSScheduler
+from .queues import QueueFullError, TransactionQueue
+from .request import MemoryRequest
+from .writedrain import WriteDrainPolicy
+
+__all__ = [
+    "AlwaysScheme",
+    "ChannelController",
+    "CandidateCommand",
+    "FRFCFSScheduler",
+    "QueueFullError",
+    "TransactionQueue",
+    "MemoryRequest",
+    "WriteDrainPolicy",
+]

@@ -1,0 +1,396 @@
+"""The channel controller: queues, FR-FCFS, write drain, refresh, MiL hook.
+
+This is the event-driven engine that owns one :class:`DRAMChannel`.  It
+advances in DRAM cycles but never busy-waits: :meth:`next_event` reports
+the earliest future cycle at which anything could change, and the system
+simulator jumps straight there.
+
+The MiL framework plugs in through a *coding policy* object with two
+members (duck-typed to avoid a dependency cycle with ``repro.core``):
+
+``extra_cl``
+    Codec cycles folded into tCL/tWL for the whole run (Section 7.1).
+``choose(controller, request, now)``
+    Called when a column command is being issued; returns the coding
+    scheme name, which fixes the burst length for that transaction.
+
+The baseline :class:`AlwaysScheme` policy always answers ``"dbi"``.
+"""
+
+from __future__ import annotations
+
+from ..coding.pipeline import BURST_FORMATS
+from ..dram.channel import DRAMChannel
+from ..dram.commands import CommandType, Geometry
+from ..dram.refresh import RefreshScheduler
+from ..dram.timing import TimingParams
+from .frfcfs import FRFCFSScheduler
+from .queues import TransactionQueue
+from .request import MemoryRequest
+from .writedrain import WriteDrainPolicy
+
+__all__ = ["AlwaysScheme", "ChannelController"]
+
+
+class AlwaysScheme:
+    """Fixed-scheme coding policy (baseline DBI, or Figure 20 sweeps)."""
+
+    def __init__(self, scheme: str = "dbi", extra_cl: int | None = None):
+        if scheme not in BURST_FORMATS:
+            raise KeyError(f"unknown scheme {scheme!r}")
+        self.scheme = scheme
+        self.extra_cl = (
+            BURST_FORMATS[scheme].extra_latency if extra_cl is None else extra_cl
+        )
+
+    def choose(self, controller: "ChannelController", request, now: int) -> str:
+        return self.scheme
+
+    @property
+    def max_bus_cycles(self) -> int:
+        return BURST_FORMATS[self.scheme].bus_cycles
+
+
+class ChannelController:
+    """Event-skipping memory controller for one channel."""
+
+    def __init__(
+        self,
+        timing: TimingParams,
+        geometry: Geometry,
+        policy: AlwaysScheme | None = None,
+        read_queue_size: int = 64,
+        write_queue_size: int = 64,
+        drain_high: int = 60,
+        drain_low: int = 50,
+        keep_log: bool = True,
+        refresh_enabled: bool = True,
+        page_policy: str = "open",
+    ):
+        if page_policy not in ("open", "closed"):
+            raise ValueError("page_policy must be 'open' or 'closed'")
+        self.page_policy = page_policy
+        self.policy = policy if policy is not None else AlwaysScheme("dbi")
+        self.timing = timing.with_extra_cl(self.policy.extra_cl)
+        self.geometry = geometry
+        self.channel = DRAMChannel(self.timing, geometry, keep_log=keep_log)
+        self.scheduler = FRFCFSScheduler(self.channel)
+        self.refresh = (
+            RefreshScheduler(self.timing, geometry.ranks)
+            if refresh_enabled
+            else None
+        )
+        self.read_queue = TransactionQueue(read_queue_size)
+        self.write_queue = TransactionQueue(write_queue_size)
+        self.drain = WriteDrainPolicy(drain_high, drain_low, write_queue_size)
+        self.draining_now = False
+
+        self.completed: list[MemoryRequest] = []
+        self.next_cmd_cycle = 0
+        self.scheme_counts: dict[str, int] = {}
+        self.forwarded_reads = 0
+        self.coalesced_writes = 0
+
+        # Candidate cache: the FR-FCFS candidate list only changes when
+        # device or queue state does, so it is memoised against a state
+        # version counter (the dominant cost of the scheduling loop).
+        self._state_version = 0
+        self._cand_version = -1
+        self._cand_cache: list = []
+        # Wake cache: nothing can happen before this absolute cycle
+        # unless the state version changes (new request, command issued).
+        self._wake_version = -1
+        self._wake_time: int | None = None
+
+    # ------------------------------------------------------------------
+    # Front end
+    # ------------------------------------------------------------------
+    @property
+    def has_pending(self) -> bool:
+        """True when any transaction is queued (the Figure 5 predicate)."""
+        return len(self.read_queue) > 0 or len(self.write_queue) > 0
+
+    def can_accept(self, is_write: bool) -> bool:
+        """Back-pressure check used by the LLC/core model."""
+        queue = self.write_queue if is_write else self.read_queue
+        return not queue.full
+
+    def enqueue(self, request: MemoryRequest, now: int) -> None:
+        """Accept a request at cycle ``now``.
+
+        Reads that hit the write queue are forwarded and complete
+        immediately; writes coalesce with queued writes to the same
+        line.  Callers must respect :meth:`can_accept`.
+        """
+        if request.mapped is None:
+            raise ValueError("request must be address-mapped before enqueue")
+        request.arrival = now
+        self._state_version += 1
+        if request.is_write:
+            took_slot = self.write_queue.push(request, coalesce=True)
+            if not took_slot:
+                self.coalesced_writes += 1
+            return
+        hit = self.write_queue.find(request.address)
+        if hit is not None:
+            request.issue_cycle = now
+            request.finish_cycle = now
+            request.scheme = "forwarded"
+            self.forwarded_reads += 1
+            self.completed.append(request)
+            return
+        self.read_queue.push(request)
+
+    def drain_completions(self) -> list[MemoryRequest]:
+        """Hand completed requests to the caller and clear the list."""
+        done, self.completed = self.completed, []
+        return done
+
+    # ------------------------------------------------------------------
+    # MiL decision-logic support (the Figure 11 rdyX computation)
+    # ------------------------------------------------------------------
+    def column_ready_within(
+        self,
+        now: int,
+        window: int,
+        exclude: MemoryRequest | None = None,
+        include_prefetches: bool = False,
+        reads_only: bool = False,
+    ) -> int:
+        """Count queued column commands ready within ``window`` cycles.
+
+        This is the software analogue of the rdyX comparator tree:
+        a queued request contributes when its target row is open and all
+        its timing counters will reach zero within ``window`` cycles.
+
+        Prefetches are excluded by default: the controller knows which
+        queue entries are prefetches, and postponing one by a few cycles
+        cannot stall any core, so counting them would only veto long
+        coded bursts for no benefit (a refinement over the paper's
+        prefetch-blind comparator tree; see DESIGN.md).
+        """
+        count = 0
+        horizon = now + window
+        entries: list[MemoryRequest] = list(self.read_queue)
+        if self.draining_now:
+            entries += list(self.write_queue)
+        for req in entries:
+            if req is exclude:
+                continue
+            if req.is_prefetch and not include_prefetches:
+                continue
+            if reads_only and req.is_write:
+                continue
+            m = req.mapped
+            if self.channel.open_row(m.rank, m.bank_group, m.bank) != m.row:
+                continue
+            cmd = CommandType.WRITE if req.is_write else CommandType.READ
+            earliest = self.channel.earliest_issue(
+                cmd, m.rank, m.bank_group, m.bank, now
+            )
+            if earliest <= horizon:
+                count += 1
+        return count
+
+    def _row_has_more_hits(self, request: MemoryRequest) -> bool:
+        """Does any other queued request still want this open row?
+
+        Under the closed-page policy a column command auto-precharges
+        unless a queued sibling would hit the same row.
+        """
+        m = request.mapped
+        for queue in (self.read_queue, self.write_queue):
+            sibling = None
+            for req in queue:
+                if req is request:
+                    continue
+                rm = req.mapped
+                if (
+                    rm.rank == m.rank
+                    and rm.bank_group == m.bank_group
+                    and rm.bank == m.bank
+                    and rm.row == m.row
+                ):
+                    sibling = req
+                    break
+            if sibling is not None:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Scheduling engine
+    # ------------------------------------------------------------------
+    def _urgent_refresh_action(self, now: int):
+        """(cmd, rank, group, bank, earliest) for overdue refresh, or None."""
+        if self.refresh is None or not self.refresh.any_urgent():
+            return None
+        for rank in range(self.geometry.ranks):
+            if not self.refresh.urgent(rank):
+                continue
+            # Close any open bank, oldest constraint first.
+            best = None
+            for g in range(self.geometry.bank_groups):
+                for b in range(self.geometry.banks_per_group):
+                    if self.channel.open_row(rank, g, b) is not None:
+                        earliest = self.channel.earliest_issue(
+                            CommandType.PRECHARGE, rank, g, b, now
+                        )
+                        if best is None or earliest < best[4]:
+                            best = (CommandType.PRECHARGE, rank, g, b, earliest)
+            if best is not None:
+                return best
+            earliest = self.channel.earliest_issue(
+                CommandType.REFRESH, rank, 0, 0, now
+            )
+            return (CommandType.REFRESH, rank, 0, 0, earliest)
+        return None
+
+    def _idle_refresh_action(self, now: int):
+        """Opportunistic refresh when no transactions are pending."""
+        if self.refresh is None or self.has_pending:
+            return None
+        if not self.refresh.any_debt():
+            return None
+        for rank in self.refresh.pending_ranks():
+            if not self.channel.all_banks_closed(rank):
+                best = None
+                for g in range(self.geometry.bank_groups):
+                    for b in range(self.geometry.banks_per_group):
+                        if self.channel.open_row(rank, g, b) is not None:
+                            earliest = self.channel.earliest_issue(
+                                CommandType.PRECHARGE, rank, g, b, now
+                            )
+                            if best is None or earliest < best[4]:
+                                best = (
+                                    CommandType.PRECHARGE, rank, g, b, earliest
+                                )
+                return best
+            earliest = self.channel.earliest_issue(
+                CommandType.REFRESH, rank, 0, 0, now
+            )
+            return (CommandType.REFRESH, rank, 0, 0, earliest)
+        return None
+
+    def _active_entries(self, now: int) -> list[MemoryRequest]:
+        draining = self.drain.update(
+            len(self.write_queue), len(self.read_queue)
+        )
+        if draining != self.draining_now:
+            self.draining_now = draining
+            self._state_version += 1
+        queue = self.write_queue if self.draining_now else self.read_queue
+        return queue.oldest_first()
+
+    def _candidates(self, now: int) -> list:
+        """Memoised FR-FCFS candidate list (see ``_state_version``)."""
+        entries = self._active_entries(now)
+        if self._cand_version != self._state_version:
+            self._cand_cache = self.scheduler.candidates(entries, now)
+            self._cand_version = self._state_version
+        return self._cand_cache
+
+    def step(self, now: int) -> bool:
+        """Issue at most one command at cycle ``now``; True if issued."""
+        if now < self.next_cmd_cycle:
+            return False
+        if (
+            self._wake_version == self._state_version
+            and self._wake_time is not None
+            and now < self._wake_time
+        ):
+            return False  # provably nothing to do yet
+        if self.refresh is not None:
+            self.refresh.accrue(now)
+
+        action = self._urgent_refresh_action(now)
+        if action is not None:
+            cmd, rank, group, bank, earliest = action
+            if earliest > now:
+                return False
+            self.channel.issue(cmd, rank, group, bank, now)
+            if cmd is CommandType.REFRESH:
+                self.refresh.paid(rank)
+            self._state_version += 1
+            self.next_cmd_cycle = now + 1
+            return True
+
+        cands = self._candidates(now)
+        pick = self.scheduler.pick(cands, now)
+
+        if pick is None:
+            action = self._idle_refresh_action(now)
+            if action is not None:
+                cmd, rank, group, bank, earliest = action
+                if earliest <= now:
+                    self.channel.issue(cmd, rank, group, bank, now)
+                    if cmd is CommandType.REFRESH:
+                        self.refresh.paid(rank)
+                    self._state_version += 1
+                    self.next_cmd_cycle = now + 1
+                    return True
+            return False
+
+        if pick.cmd.is_column:
+            req = pick.request
+            scheme = self.policy.choose(self, req, now)
+            fmt = BURST_FORMATS[scheme]
+            auto_pre = (
+                self.page_policy == "closed"
+                and not self._row_has_more_hits(req)
+            )
+            data_end = self.channel.issue(
+                pick.cmd, pick.rank, pick.group, pick.bank, now,
+                bus_cycles=fmt.bus_cycles, scheme=scheme,
+                request_id=req.line_id, auto_precharge=auto_pre,
+            )
+            req.issue_cycle = now
+            req.finish_cycle = data_end
+            req.scheme = scheme
+            queue = self.write_queue if req.is_write else self.read_queue
+            queue.remove(req)
+            self.completed.append(req)
+            self.scheme_counts[scheme] = self.scheme_counts.get(scheme, 0) + 1
+        else:
+            self.channel.issue(
+                pick.cmd, pick.rank, pick.group, pick.bank, now, row=pick.row
+            )
+        self._state_version += 1
+        self.next_cmd_cycle = now + 1
+        return True
+
+    def next_event(self, now: int) -> int | None:
+        """Earliest cycle > ``now`` worth calling :meth:`step` at.
+
+        ``None`` means nothing will ever happen without new requests
+        (queues empty and refresh disabled).
+        """
+        floor = max(now + 1, self.next_cmd_cycle)
+        if (
+            self._wake_version == self._state_version
+            and self._wake_time is not None
+            and now < self._wake_time
+        ):
+            return max(floor, self._wake_time)
+
+        times: list[int] = []
+        if self.refresh is not None:
+            self.refresh.accrue(now)
+            times.append(self.refresh.next_event())
+            action = self._urgent_refresh_action(now)
+            if action is None and not self.has_pending:
+                action = self._idle_refresh_action(now)
+            if action is not None:
+                times.append(action[4])
+        if self.has_pending:
+            cands = self._candidates(now)
+            wake = self.scheduler.next_wakeup(cands)
+            if wake is not None:
+                times.append(wake)
+        if not times:
+            self._wake_version = self._state_version
+            self._wake_time = None
+            return None
+        wake = min(times)
+        self._wake_version = self._state_version
+        self._wake_time = wake
+        return max(floor, wake)

@@ -1,0 +1,44 @@
+"""Write-drain mode (Section 4.6; USIMM-style watermarks, Table 2).
+
+The tWTR bus-turnaround penalty makes interleaving individual reads and
+writes expensive, so the controller batches writes: it services reads
+until the write queue fills to a *high watermark*, then drains writes
+back-to-back until a *low watermark* is reached (or the write queue
+empties), then switches back.  Table 2 configures 60/50 on 64-entry
+queues.  The drain also engages opportunistically when there is no read
+work at all.
+"""
+
+from __future__ import annotations
+
+__all__ = ["WriteDrainPolicy"]
+
+
+class WriteDrainPolicy:
+    """Hysteresis state machine deciding reads-vs-writes each cycle."""
+
+    def __init__(self, high_watermark: int, low_watermark: int, capacity: int):
+        if not 0 <= low_watermark < high_watermark <= capacity:
+            raise ValueError(
+                "need 0 <= low < high <= capacity, got "
+                f"{low_watermark}/{high_watermark}/{capacity}"
+            )
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.capacity = capacity
+        self.draining = False
+        self.drain_entries = 0  # how many drain episodes started
+
+    def update(self, write_queue_len: int, read_queue_len: int) -> bool:
+        """Advance the state machine; returns True when writes go first."""
+        if self.draining:
+            if write_queue_len <= self.low_watermark:
+                self.draining = False
+        else:
+            if write_queue_len >= self.high_watermark:
+                self.draining = True
+                self.drain_entries += 1
+        # Opportunistic drain: no read work pending, writes available.
+        if not self.draining and read_queue_len == 0 and write_queue_len > 0:
+            return True
+        return self.draining

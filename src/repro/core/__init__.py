@@ -1,0 +1,24 @@
+"""The MiL framework: decision logic, policies, and end-to-end runs."""
+
+from .config import MiLConfig
+from .decision import MiLCOnlyPolicy, MiLPolicy
+from .framework import (
+    POLICIES,
+    RunSummary,
+    energy_params_for,
+    make_policy_factory,
+    run,
+    system_energy_params_for,
+)
+
+__all__ = [
+    "MiLConfig",
+    "MiLCOnlyPolicy",
+    "MiLPolicy",
+    "POLICIES",
+    "RunSummary",
+    "energy_params_for",
+    "make_policy_factory",
+    "run",
+    "system_energy_params_for",
+]

@@ -1,0 +1,90 @@
+"""MiL framework configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..coding.pipeline import BURST_FORMATS
+
+__all__ = ["MiLConfig"]
+
+
+@dataclass(frozen=True)
+class MiLConfig:
+    """Knobs of the opportunistic coding framework (Section 4).
+
+    Attributes
+    ----------
+    base_scheme:
+        The short code used whenever the long code would delay a ready
+        column command (the paper uses MiLC at burst length 10).
+    long_scheme:
+        The opportunistic long code used when the look-ahead window is
+        clear (the paper uses 3-LWC at burst length 16).
+    lookahead:
+        The rdyX window X in DRAM cycles.  ``None`` selects the natural
+        value — the long scheme's data-bus occupancy (Section 7.5.2:
+        X = 8 for 3-LWC, though the sweep found X = 14 slightly better).
+    write_optimization:
+        Section 4.6: writes granted a long slot are encoded with *both*
+        schemes ahead of time and ship whichever has fewer zeros.
+    """
+
+    base_scheme: str = "milc"
+    long_scheme: str = "3lwc"
+    lookahead: int | None = None
+    # Window for the base-vs-uncoded tier (Section 4.2 mentions that "a
+    # simpler code or the original data are transferred"; Section 7.5.2
+    # notes a more sophisticated decision logic is possible).  Even the
+    # base MiLC code stretches the burst by one bus cycle; when demand
+    # reads crowd the short window (or the read queue is saturation-
+    # deep), the burst ships uncoded (DBI) so nothing is delayed.
+    # ``None`` (the default, matching the paper's Figure 11 logic)
+    # disables the fallback: MiL always codes at least with MiLC.
+    short_lookahead: int | None = None
+    fallback_scheme: str = "dbi"
+    # Number of soon-ready demand reads that signals genuine bus
+    # saturation: below this, the base code's single extra cycle is
+    # harmless; at or above it, the burst ships uncoded.
+    fallback_threshold: int = 3
+    # Independent saturation signal: a deep read queue means latency is
+    # queueing-dominated and even one extra cycle per burst compounds,
+    # so the burst ships uncoded regardless of row readiness (random-
+    # access workloads rarely show "ready" columns, yet saturate).
+    fallback_queue_depth: int = 20
+    write_optimization: bool = True
+    # Count prefetches in the rdyX window?  Off by default: delaying a
+    # prefetch is free, so a prefetch-aware controller should not let
+    # prefetch trickle veto the long code.
+    count_prefetches: bool = False
+
+    def __post_init__(self) -> None:
+        for scheme in (self.base_scheme, self.long_scheme, self.fallback_scheme):
+            if scheme not in BURST_FORMATS:
+                raise KeyError(f"unknown scheme {scheme!r}")
+        if self.short_lookahead is not None and self.short_lookahead < 0:
+            raise ValueError("short_lookahead must be non-negative")
+        base = BURST_FORMATS[self.base_scheme]
+        long = BURST_FORMATS[self.long_scheme]
+        if long.bus_cycles < base.bus_cycles:
+            raise ValueError(
+                "long scheme must occupy at least as many bus cycles as "
+                "the base scheme"
+            )
+        if self.lookahead is not None and self.lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+
+    @property
+    def effective_lookahead(self) -> int:
+        """The X actually used by the decision logic."""
+        if self.lookahead is not None:
+            return self.lookahead
+        return BURST_FORMATS[self.long_scheme].bus_cycles
+
+    @property
+    def extra_cl(self) -> int:
+        """Codec latency folded into the column path (Section 7.1)."""
+        return max(
+            BURST_FORMATS[self.base_scheme].extra_latency,
+            BURST_FORMATS[self.long_scheme].extra_latency,
+        )

@@ -1,0 +1,125 @@
+"""MiL coding policies: the decision logic of Sections 4.2 and 5.1.
+
+A *policy* is the object the memory controller consults at every column
+command; it answers with a coding-scheme name, which fixes the burst
+length of that transaction.  The contract (duck-typed by
+:class:`repro.controller.controller.ChannelController`) is::
+
+    policy.extra_cl                     # codec cycles folded into tCL
+    policy.choose(controller, req, now) # -> scheme name
+
+Policies here:
+
+* :class:`MiLPolicy` — the paper's framework: the rdyX look-ahead
+  (Figure 11) grants the long 3-LWC slot only when no other column
+  command becomes ready within X cycles, falling back to MiLC
+  otherwise; writes granted a long slot may ship the shorter MiLC code
+  when it has fewer zeros (the Section 4.6 write optimization).
+* :class:`MiLCOnlyPolicy` — always the base code (the "MiLC-only" bars).
+* CAFO and fixed-burst-length variants reuse
+  :class:`repro.controller.controller.AlwaysScheme`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coding.pipeline import BURST_FORMATS
+from .config import MiLConfig
+
+__all__ = ["MiLPolicy", "MiLCOnlyPolicy"]
+
+
+class MiLCOnlyPolicy:
+    """Encode every burst with the base MiLC code."""
+
+    def __init__(self, scheme: str = "milc"):
+        if scheme not in BURST_FORMATS:
+            raise KeyError(f"unknown scheme {scheme!r}")
+        self.scheme = scheme
+        self.extra_cl = BURST_FORMATS[scheme].extra_latency
+
+    def choose(self, controller, request, now: int) -> str:
+        return self.scheme
+
+
+class MiLPolicy:
+    """The opportunistic MiL decision logic.
+
+    Parameters
+    ----------
+    config:
+        Framework knobs (schemes, look-ahead X, write optimization).
+    zeros_by_scheme:
+        Per-line zero-count tables (from
+        :func:`repro.coding.pipeline.precompute_line_zeros`), indexed by
+        the request's ``line_id``.  Needed only for the write
+        optimization; reads never inspect data (Section 4.6).
+
+    Statistics ``long_grants``/``base_grants`` record the Figure 22 mix;
+    ``write_optimized`` counts long-slot writes that shipped MiLC.
+    """
+
+    def __init__(
+        self,
+        config: MiLConfig | None = None,
+        zeros_by_scheme: dict[str, np.ndarray] | None = None,
+    ):
+        self.config = config if config is not None else MiLConfig()
+        self.zeros_by_scheme = zeros_by_scheme
+        self.extra_cl = self.config.extra_cl
+        self.long_grants = 0
+        self.base_grants = 0
+        self.fallback_grants = 0
+        self.write_optimized = 0
+
+    def choose(self, controller, request, now: int) -> str:
+        cfg = self.config
+        if cfg.short_lookahead is not None:
+            # Extended decision tier (Section 4.2's "or the original
+            # data"; Section 7.5.2's "more sophisticated decision logic
+            # is possible").  Two saturation signals ship the burst
+            # uncoded: a deep read queue (random-access workloads whose
+            # closed rows never look "ready" yet queue-delay compounds),
+            # or several demand reads crowding the short window.  Posted
+            # writes are not counted — they lose nothing to one cycle.
+            if len(controller.read_queue) >= cfg.fallback_queue_depth:
+                self.fallback_grants += 1
+                return cfg.fallback_scheme
+            imminent = controller.column_ready_within(
+                now, cfg.short_lookahead, exclude=request,
+                include_prefetches=cfg.count_prefetches,
+                reads_only=True,
+            )
+            if imminent >= cfg.fallback_threshold:
+                self.fallback_grants += 1
+                return cfg.fallback_scheme
+
+        window = cfg.effective_lookahead
+        others_ready = controller.column_ready_within(
+            now, window, exclude=request,
+            include_prefetches=cfg.count_prefetches,
+        )
+        if others_ready > 0:
+            # Another column command would be delayed by the long code:
+            # Section 4.2 says fall back to the simpler scheme.
+            self.base_grants += 1
+            return cfg.base_scheme
+
+        self.long_grants += 1
+        scheme = cfg.long_scheme
+        if (
+            cfg.write_optimization
+            and request.is_write
+            and self.zeros_by_scheme is not None
+            and request.line_id >= 0
+        ):
+            # The controller holds write data, so it can encode with
+            # both schemes ahead of time and ship the sparser one; the
+            # base code is never *longer*, so no command is delayed.
+            long_zeros = int(self.zeros_by_scheme[cfg.long_scheme][request.line_id])
+            base_zeros = int(self.zeros_by_scheme[cfg.base_scheme][request.line_id])
+            if base_zeros < long_zeros:
+                self.write_optimized += 1
+                scheme = cfg.base_scheme
+        return scheme

@@ -1,0 +1,260 @@
+"""End-to-end MiL runs: trace -> simulation -> energy -> summary.
+
+This is the top of the public API: :func:`run` executes one
+(benchmark, system, policy) combination and returns a JSON-serialisable
+:class:`RunSummary` with everything the paper's figures need —
+execution time, zero counts, scheme mix, energy breakdowns, and the
+Figures 4-6 bus statistics.  The experiment modules and the benchmark
+harness are thin loops around it.
+
+Policy names:
+
+========== =========================================================
+``raw``     uncoded bursts (the only option on x4 devices, which
+            lack DBI pins)
+``dbi``     baseline: DDR4's native DBI at burst length 8
+``milc``    MiLC-only (always the base code)
+``mil``     the full opportunistic framework (MiLC + 3-LWC + rdyX)
+``mil-adaptive`` mil plus an uncoded fallback tier under saturation
+            (the Section 7.5.2 "more sophisticated decision logic")
+``cafo2``   CAFO with two fixed iterations, under the MiL framework
+``cafo4``   CAFO with four fixed iterations
+``3lwc``    always-on 3-LWC (the Figure 2 strawman)
+``bl12``    fixed burst length 12 (Figure 20 sweep; no energy model)
+``bl14``    fixed burst length 14 (Figure 20 sweep; no energy model)
+========== =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..analysis.metrics import (
+    idle_gap_histogram,
+    pending_split,
+    slack_histogram,
+)
+from ..coding.pipeline import precompute_line_zeros, raw_line_zeros
+from ..controller.controller import AlwaysScheme
+from ..energy.constants import (
+    DDR4_ENERGY,
+    LPDDR3_ENERGY,
+    MOBILE_SYSTEM_ENERGY,
+    SERVER_SYSTEM_ENERGY,
+)
+from ..energy.dram_power import DramEnergyModel
+from ..energy.system_power import SystemEnergyModel
+from ..system.machine import NIAGARA_SERVER, SNAPDRAGON_MOBILE, SystemConfig
+from ..system.simulator import simulate
+from ..workloads.benchmarks import DEFAULT_ACCESSES_PER_CORE, build_trace
+from .config import MiLConfig
+from .decision import MiLCOnlyPolicy, MiLPolicy
+
+__all__ = ["POLICIES", "RunSummary", "run", "make_policy_factory",
+           "energy_params_for", "system_energy_params_for"]
+
+POLICIES = (
+    "raw", "dbi", "milc", "mil", "mil-adaptive", "mil-lwc12", "cafo2",
+    "cafo4", "3lwc", "bl12", "bl14",
+)
+
+# Coding schemes with real codecs (zero tables exist for these).
+_REAL_SCHEMES = ("raw", "dbi", "milc", "3lwc", "lwc12", "cafo2", "cafo4")
+
+
+def energy_params_for(config: SystemConfig):
+    """DRAM energy constants matching a system configuration.
+
+    Keyed by the DRAM generation so design-space variants of the two
+    Table 2 machines (renamed via ``dataclasses.replace``) still find
+    their constants.
+    """
+    if config.timing.name == DDR4_ENERGY.name:
+        return DDR4_ENERGY
+    if config.timing.name == LPDDR3_ENERGY.name:
+        return LPDDR3_ENERGY
+    raise KeyError(f"no energy parameters for system {config.name!r}")
+
+
+def system_energy_params_for(config: SystemConfig):
+    """Whole-system energy constants matching a configuration."""
+    if config.timing.name == DDR4_ENERGY.name:
+        return SERVER_SYSTEM_ENERGY
+    if config.timing.name == LPDDR3_ENERGY.name:
+        return MOBILE_SYSTEM_ENERGY
+    raise KeyError(f"no system energy parameters for {config.name!r}")
+
+
+def make_policy_factory(
+    policy: str,
+    zeros_by_scheme: dict[str, np.ndarray] | None = None,
+    lookahead: int | None = None,
+):
+    """Build a per-channel policy factory for :func:`simulate`."""
+    if policy == "dbi":
+        return lambda: AlwaysScheme("dbi")
+    if policy == "milc":
+        return lambda: MiLCOnlyPolicy("milc")
+    if policy == "mil":
+        config = MiLConfig(lookahead=lookahead)
+        return lambda: MiLPolicy(config, zeros_by_scheme)
+    if policy == "mil-lwc12":
+        # Section 7.5.3's intermediate long code: (8,12) 3-LWC at BL12
+        # captures shorter idle windows than the (8,17) code's BL16.
+        config = MiLConfig(lookahead=lookahead, long_scheme="lwc12")
+        return lambda: MiLPolicy(config, zeros_by_scheme)
+    if policy == "mil-adaptive":
+        # The Section 7.5.2 extension: a third, uncoded tier engaged
+        # under bus saturation (see MiLConfig.short_lookahead).
+        config = MiLConfig(lookahead=lookahead, short_lookahead=12)
+        return lambda: MiLPolicy(config, zeros_by_scheme)
+    if policy in ("raw", "cafo2", "cafo4", "3lwc", "bl12", "bl14"):
+        return lambda: AlwaysScheme(policy)
+    raise KeyError(f"unknown policy {policy!r}; known: {POLICIES}")
+
+
+@dataclass
+class RunSummary:
+    """Everything one (benchmark, system, policy) run produced."""
+
+    benchmark: str
+    system: str
+    policy: str
+    lookahead: int | None
+    cycles: int
+    seconds: float
+    bus_utilization: float
+    mean_read_latency: float
+    demand_reads: int
+    total_zeros: int  # zeros transferred over both channels
+    raw_zeros: int  # zeros the uncoded data would have cost
+    scheme_counts: dict = field(default_factory=dict)
+    dram_energy: dict = field(default_factory=dict)  # Figure 18 categories
+    system_energy: dict = field(default_factory=dict)
+    idle_gaps: dict = field(default_factory=dict)  # Figure 4 buckets
+    slack: dict = field(default_factory=dict)  # Figure 6 buckets
+    pending: dict = field(default_factory=dict)  # Figure 5 fractions
+    write_optimized: int = 0
+    trace_records: int = 0
+
+    @property
+    def dram_total_j(self) -> float:
+        return sum(self.dram_energy.values())
+
+    @property
+    def system_total_j(self) -> float:
+        return self.system_energy.get("total", 0.0)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSummary":
+        return cls(**data)
+
+
+def run(
+    benchmark: str,
+    config: SystemConfig,
+    policy: str = "mil",
+    lookahead: int | None = None,
+    accesses_per_core: int = DEFAULT_ACCESSES_PER_CORE,
+    seed: int = 0,
+) -> RunSummary:
+    """Execute one benchmark under one policy and summarise it.
+
+    The same trace (same benchmark/system/seed/scale) is replayed for
+    every policy, so policy comparisons are paired.
+    """
+    trace = build_trace(
+        benchmark, config, seed=seed, accesses_per_core=accesses_per_core
+    )
+    zeros_by_scheme = precompute_line_zeros(trace.line_data, _REAL_SCHEMES)
+    factory = make_policy_factory(policy, zeros_by_scheme, lookahead)
+
+    result = simulate(trace, config, factory)
+
+    # Energy: only defined for policies whose schemes have codecs.
+    has_energy = policy not in ("bl12", "bl14")
+    dram_energy: dict = {}
+    system_energy: dict = {}
+    total_zeros = 0
+    if has_energy:
+        dram_model = DramEnergyModel(energy_params_for(config))
+        breakdown = dram_model.evaluate(result, zeros_by_scheme)
+        dram_energy = breakdown.as_dict()
+        system_model = SystemEnergyModel(
+            system_energy_params_for(config), config
+        )
+        sys_breakdown = system_model.evaluate(result, trace, breakdown)
+        system_energy = {
+            "cores": sys_breakdown.cores,
+            "uncore": sys_breakdown.uncore,
+            "dram": sys_breakdown.dram.total,
+            "total": sys_breakdown.total,
+        }
+        for tr in result.transactions():
+            total_zeros += int(zeros_by_scheme[tr.scheme][tr.request_id])
+
+    raw_zeros = 0
+    if trace.line_data.size:
+        raw_per_line = raw_line_zeros(trace.line_data)
+        for tr in result.transactions():
+            raw_zeros += int(raw_per_line[tr.request_id])
+
+    # Figures 4-6 statistics (meaningful mainly for the baseline run).
+    # Gaps are a per-channel notion: each data bus has its own idle
+    # cycles, so the histograms are computed per controller and summed.
+    idle: dict[str, int] = {}
+    slack: dict[str, int] = {}
+    for mc in result.controllers:
+        for bucket, count in idle_gap_histogram(
+            mc.channel.transactions
+        ).items():
+            idle[bucket] = idle.get(bucket, 0) + count
+        for bucket, count in slack_histogram(
+            mc.channel.transactions, config.timing
+        ).items():
+            slack[bucket] = slack.get(bucket, 0) + count
+    splits = [
+        pending_split(
+            result.cycles,
+            mc.channel.busy_cycles,
+            result.pending_cycles[ch],
+        )
+        for ch, mc in enumerate(result.controllers)
+    ]
+    merged = pending_split(
+        result.cycles * len(splits),
+        sum(s.utilized for s in splits),
+        sum(s.utilized + s.idle_pending for s in splits),
+    )
+
+    write_optimized = 0
+    for mc in result.controllers:
+        if isinstance(mc.policy, MiLPolicy):
+            write_optimized += mc.policy.write_optimized
+
+    return RunSummary(
+        benchmark=benchmark,
+        system=config.name,
+        policy=policy,
+        lookahead=lookahead,
+        cycles=result.cycles,
+        seconds=result.seconds,
+        bus_utilization=result.bus_utilization,
+        mean_read_latency=result.mean_read_latency,
+        demand_reads=result.demand_reads,
+        total_zeros=total_zeros,
+        raw_zeros=raw_zeros,
+        scheme_counts=result.scheme_counts,
+        dram_energy=dram_energy,
+        system_energy=system_energy,
+        idle_gaps=idle,
+        slack=slack,
+        pending=merged.fractions(),
+        write_optimized=write_optimized,
+        trace_records=trace.total_records,
+    )

@@ -1,0 +1,128 @@
+"""Physical address mapping (page-interleaving, Table 2).
+
+The paper's memory controller uses *page interleaving*: consecutive DRAM
+pages (rows) are spread across channels, then ranks, then banks, so
+sequential streams keep whole rows open while independent streams land
+on different banks.  Address layout, from least-significant upward::
+
+    | line offset | column (line within row) | channel | rank |
+    | bank group  | bank                     | row     |
+
+The mapper is bijective; :meth:`AddressMapper.reverse` exists so tests
+can prove it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .commands import Geometry
+
+__all__ = ["MappedAddress", "AddressMapper"]
+
+
+def _log2(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class MappedAddress:
+    """Where a physical address lives in the DRAM system."""
+
+    channel: int
+    rank: int
+    bank_group: int
+    bank: int
+    row: int
+    column: int  # cache-line index within the row
+
+
+class AddressMapper:
+    """Physical-to-DRAM address translation.
+
+    Two interleaving policies:
+
+    * ``"page"`` (the paper's Table 2 configuration): consecutive cache
+      lines fill a DRAM row before moving to the next channel/rank/bank,
+      maximising row-buffer hits for streams;
+    * ``"line"``: consecutive cache lines round-robin across channels,
+      ranks, and banks first, maximising bank-level parallelism at the
+      cost of row locality — the classic alternative design point.
+    """
+
+    def __init__(
+        self, geometry: Geometry, channels: int, interleave: str = "page"
+    ):
+        if interleave not in ("page", "line"):
+            raise ValueError(
+                f"interleave must be 'page' or 'line', got {interleave!r}"
+            )
+        self.geometry = geometry
+        self.channels = channels
+        self.interleave = interleave
+        self._off_bits = _log2(geometry.line_bytes, "line size")
+        self._col_bits = _log2(geometry.lines_per_row, "lines per row")
+        self._ch_bits = _log2(channels, "channel count")
+        self._rank_bits = _log2(geometry.ranks, "rank count")
+        self._group_bits = _log2(geometry.bank_groups, "bank group count")
+        self._bank_bits = _log2(geometry.banks_per_group, "banks per group")
+        self._row_bits = _log2(geometry.rows, "row count")
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total addressable bytes across all channels."""
+        bits = (
+            self._off_bits + self._col_bits + self._ch_bits + self._rank_bits
+            + self._group_bits + self._bank_bits + self._row_bits
+        )
+        return 1 << bits
+
+    def map(self, address: int) -> MappedAddress:
+        """Translate a physical byte address."""
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        a = address >> self._off_bits
+        if self.interleave == "page":
+            column = a & ((1 << self._col_bits) - 1)
+            a >>= self._col_bits
+            channel = a & ((1 << self._ch_bits) - 1)
+            a >>= self._ch_bits
+            rank = a & ((1 << self._rank_bits) - 1)
+            a >>= self._rank_bits
+            group = a & ((1 << self._group_bits) - 1)
+            a >>= self._group_bits
+            bank = a & ((1 << self._bank_bits) - 1)
+            a >>= self._bank_bits
+            row = a & ((1 << self._row_bits) - 1)
+        else:  # line interleave: channel/rank/bank bits below the column
+            channel = a & ((1 << self._ch_bits) - 1)
+            a >>= self._ch_bits
+            group = a & ((1 << self._group_bits) - 1)
+            a >>= self._group_bits
+            bank = a & ((1 << self._bank_bits) - 1)
+            a >>= self._bank_bits
+            rank = a & ((1 << self._rank_bits) - 1)
+            a >>= self._rank_bits
+            column = a & ((1 << self._col_bits) - 1)
+            a >>= self._col_bits
+            row = a & ((1 << self._row_bits) - 1)
+        return MappedAddress(channel, rank, group, bank, row, column)
+
+    def reverse(self, mapped: MappedAddress) -> int:
+        """Rebuild the physical byte address (inverse of :meth:`map`)."""
+        a = mapped.row
+        if self.interleave == "page":
+            a = (a << self._bank_bits) | mapped.bank
+            a = (a << self._group_bits) | mapped.bank_group
+            a = (a << self._rank_bits) | mapped.rank
+            a = (a << self._ch_bits) | mapped.channel
+            a = (a << self._col_bits) | mapped.column
+        else:
+            a = (a << self._col_bits) | mapped.column
+            a = (a << self._rank_bits) | mapped.rank
+            a = (a << self._bank_bits) | mapped.bank
+            a = (a << self._group_bits) | mapped.bank_group
+            a = (a << self._ch_bits) | mapped.channel
+        return a << self._off_bits

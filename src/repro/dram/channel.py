@@ -1,0 +1,409 @@
+"""Cycle-level DRAM channel: banks, bank groups, ranks, and the data bus.
+
+This is the constraint engine under the memory controller.  It answers
+two questions:
+
+* :meth:`DRAMChannel.earliest_issue` — from the current device state,
+  what is the earliest cycle a given command could legally issue?
+* :meth:`DRAMChannel.issue` — commit a command at a cycle, updating all
+  the saturating down-counters (modelled as "earliest next cycle"
+  registers, the software dual of Figure 11's counters).
+
+Constraint scopes follow the DDR4 structure the paper leans on
+(Section 3.1): per-bank (tRCD/tRAS/tRC/tRTP/tWR/tRP), per-bank-group
+(tCCD_L/tRRD_L/tWTR_L), per-rank (tCCD_S/tRRD_S/tWTR_S/tFAW/tRFC), and
+per-channel for the shared data bus (burst occupancy, tRTRS rank
+switches, read/write turnaround bubbles).
+
+Variable burst lengths — the mechanism MiL rides on — enter through the
+``bus_cycles`` argument of column commands: a BL16 read occupies the bus
+for 8 cycles instead of 4, and stretches the effective column-to-column
+spacing to ``max(tCCD, bus_cycles)``.
+
+Every data-bus transaction is appended to :attr:`transactions`; the
+analysis layer derives Figures 4-6 from that log, and the test suite
+replays it through :class:`BusAuditor` to prove no overlaps or missing
+turnaround bubbles ever occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .commands import CommandType, Geometry
+from .timing import TimingParams
+
+__all__ = ["BankState", "BusTransaction", "DRAMChannel", "BusAuditor"]
+
+
+@dataclass(slots=True)
+class BankState:
+    """Per-bank row-buffer and earliest-next-command state."""
+
+    open_row: int | None = None
+    next_act: int = 0
+    next_pre: int = 0
+    next_rd: int = 0
+    next_wr: int = 0
+
+
+@dataclass(frozen=True)
+class BusTransaction:
+    """One completed data burst on the channel's data bus."""
+
+    start: int  # first cycle of data transfer
+    end: int  # one past the last cycle of data transfer
+    issue_cycle: int  # when the column command issued
+    is_write: bool
+    rank: int
+    bank_group: int
+    bank: int
+    scheme: str  # coding scheme used for this burst
+    request_id: int  # opaque tag from the controller (-1 if none)
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(slots=True)
+class _RankState:
+    """Per-rank constraint registers."""
+
+    next_act: int = 0
+    next_rd: int = 0
+    next_wr: int = 0
+    act_history: list = field(default_factory=list)  # for tFAW
+    group_next_act: list = field(default_factory=list)
+    group_next_rd: list = field(default_factory=list)
+    group_next_wr: list = field(default_factory=list)
+    # Row-buffer occupancy accounting (IDD3N vs IDD2N standby classes):
+    # how many banks hold an open row, when the rank last transitioned
+    # to "some bank open", and the accumulated open time.
+    open_banks: int = 0
+    open_since: int = 0
+    open_cycles: int = 0
+
+
+class DRAMChannel:
+    """One DDRx channel with its device timing state and data bus."""
+
+    def __init__(
+        self,
+        timing: TimingParams,
+        geometry: Geometry,
+        keep_log: bool = True,
+    ):
+        self.timing = timing
+        self.geometry = geometry
+        self.keep_log = keep_log
+
+        self.banks = [
+            [
+                [BankState() for _ in range(geometry.banks_per_group)]
+                for _ in range(geometry.bank_groups)
+            ]
+            for _ in range(geometry.ranks)
+        ]
+        self.ranks = [
+            _RankState(
+                group_next_act=[0] * geometry.bank_groups,
+                group_next_rd=[0] * geometry.bank_groups,
+                group_next_wr=[0] * geometry.bank_groups,
+            )
+            for _ in range(geometry.ranks)
+        ]
+
+        # Data bus state.
+        self.bus_free_at = 0
+        self.last_bus_rank: int | None = None
+        self.last_bus_was_write: bool | None = None
+        self.busy_cycles = 0
+
+        # Event counters for the energy model.
+        self.activate_count = 0
+        self.read_count = 0
+        self.write_count = 0
+        self.refresh_count = 0
+        self.auto_precharges = 0
+        self.read_beats = 0
+        self.write_beats = 0
+
+        self.transactions: list[BusTransaction] = []
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def bank(self, rank: int, group: int, bank: int) -> BankState:
+        """Access one bank's state."""
+        return self.banks[rank][group][bank]
+
+    def _bus_gap(self, rank: int, is_write: bool) -> int:
+        """Required idle bubble before a new burst may start.
+
+        Same rank, same direction: bursts may be seamless (device CCD
+        spacing still applies).  A rank switch or a direction change
+        costs a tRTRS bubble for bus turnaround / ODT settling.
+        """
+        if self.last_bus_rank is None:
+            return 0
+        if self.last_bus_rank != rank or self.last_bus_was_write != is_write:
+            return self.timing.RTRS
+        return 0
+
+    def _data_latency(self, is_write: bool) -> int:
+        return self.timing.WL if is_write else self.timing.CL
+
+    # ------------------------------------------------------------------
+    # Earliest legal issue time
+    # ------------------------------------------------------------------
+    def earliest_issue(
+        self,
+        cmd: CommandType,
+        rank: int,
+        group: int,
+        bank: int,
+        now: int,
+        bus_cycles: int = 4,
+    ) -> int:
+        """Earliest cycle >= ``now`` at which ``cmd`` could issue.
+
+        Pure query: no state changes.  For column commands,
+        ``bus_cycles`` is the data-bus occupancy (4 for BL8, 5 for BL10,
+        8 for BL16).
+        """
+        t = self.timing
+        b = self.banks[rank][group][bank]
+        r = self.ranks[rank]
+
+        if cmd is CommandType.ACTIVATE:
+            earliest = max(now, b.next_act, r.next_act, r.group_next_act[group])
+            if len(r.act_history) >= 4:
+                earliest = max(earliest, r.act_history[-4] + t.FAW)
+            return earliest
+
+        if cmd is CommandType.PRECHARGE:
+            return max(now, b.next_pre)
+
+        if cmd in (CommandType.READ, CommandType.WRITE):
+            is_write = cmd is CommandType.WRITE
+            if is_write:
+                earliest = max(now, b.next_wr, r.next_wr, r.group_next_wr[group])
+            else:
+                earliest = max(now, b.next_rd, r.next_rd, r.group_next_rd[group])
+            # Data-bus availability converts to an issue-time bound.
+            latency = self._data_latency(is_write)
+            gap = self._bus_gap(rank, is_write)
+            earliest = max(earliest, self.bus_free_at + gap - latency)
+            return earliest
+
+        if cmd is CommandType.REFRESH:
+            # All banks in the rank must be precharged and past tRP.
+            earliest = now
+            for grp in self.banks[rank]:
+                for bb in grp:
+                    if bb.open_row is not None:
+                        raise ValueError("refresh requires all banks closed")
+                    earliest = max(earliest, bb.next_act)
+            return earliest
+
+        raise ValueError(f"unknown command {cmd}")
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+    def issue(
+        self,
+        cmd: CommandType,
+        rank: int,
+        group: int,
+        bank: int,
+        cycle: int,
+        row: int | None = None,
+        bus_cycles: int = 4,
+        scheme: str = "dbi",
+        request_id: int = -1,
+        auto_precharge: bool = False,
+    ) -> int:
+        """Commit ``cmd`` at ``cycle``; return when its effect completes.
+
+        For column commands the return value is the cycle the data burst
+        finishes (one past the last data cycle); for others it is the
+        cycle the affected resource becomes usable again.
+
+        Raises ``ValueError`` if the command violates a timing
+        constraint — the controller is expected to consult
+        :meth:`earliest_issue` first, so a violation is a scheduler bug.
+        """
+        legal = self.earliest_issue(cmd, rank, group, bank, cycle, bus_cycles)
+        if cycle < legal:
+            raise ValueError(
+                f"{cmd.name} at cycle {cycle} violates timing "
+                f"(earliest legal: {legal})"
+            )
+
+        t = self.timing
+        b = self.banks[rank][group][bank]
+        r = self.ranks[rank]
+
+        if cmd is CommandType.ACTIVATE:
+            if b.open_row is not None:
+                raise ValueError("activate on a bank with an open row")
+            if row is None:
+                raise ValueError("activate needs a row")
+            b.open_row = row
+            if r.open_banks == 0:
+                r.open_since = cycle
+            r.open_banks += 1
+            b.next_rd = max(b.next_rd, cycle + t.RCD)
+            b.next_wr = max(b.next_wr, cycle + t.RCD)
+            b.next_pre = max(b.next_pre, cycle + t.RAS)
+            b.next_act = max(b.next_act, cycle + t.RC)
+            for g in range(self.geometry.bank_groups):
+                bound = t.RRD_L if g == group else t.RRD_S
+                r.group_next_act[g] = max(r.group_next_act[g], cycle + bound)
+            r.act_history.append(cycle)
+            if len(r.act_history) > 8:
+                del r.act_history[:-8]
+            self.activate_count += 1
+            return cycle + t.RCD
+
+        if cmd is CommandType.PRECHARGE:
+            if b.open_row is None:
+                raise ValueError("precharge on an already-closed bank")
+            b.open_row = None
+            r.open_banks -= 1
+            if r.open_banks == 0:
+                r.open_cycles += cycle - r.open_since
+            b.next_act = max(b.next_act, cycle + t.RP)
+            return cycle + t.RP
+
+        if cmd in (CommandType.READ, CommandType.WRITE):
+            is_write = cmd is CommandType.WRITE
+            if b.open_row is None:
+                raise ValueError("column command on a closed bank")
+            latency = self._data_latency(is_write)
+            data_start = cycle + latency
+            data_end = data_start + bus_cycles
+
+            # Column-to-column spacing stretches with the burst.
+            ccd_l = max(t.CCD_L, bus_cycles)
+            ccd_s = max(t.CCD_S, bus_cycles)
+            for g in range(self.geometry.bank_groups):
+                ccd = ccd_l if g == group else ccd_s
+                r.group_next_rd[g] = max(r.group_next_rd[g], cycle + ccd)
+                r.group_next_wr[g] = max(r.group_next_wr[g], cycle + ccd)
+
+            if is_write:
+                # Write recovery and write-to-read turnaround count from
+                # the end of write data.
+                b.next_pre = max(b.next_pre, data_end + t.WR)
+                r.next_rd = max(r.next_rd, data_end + t.WTR_S)
+                for g in range(self.geometry.bank_groups):
+                    bound = t.WTR_L if g == group else t.WTR_S
+                    r.group_next_rd[g] = max(r.group_next_rd[g], data_end + bound)
+                self.write_count += 1
+                self.write_beats += bus_cycles * 2
+            else:
+                b.next_pre = max(b.next_pre, cycle + t.RTP)
+                self.read_count += 1
+                self.read_beats += bus_cycles * 2
+
+            if auto_precharge:
+                # RDA/WRA: the device precharges itself once the column
+                # access completes; the bank is closed as of now and may
+                # re-activate after the internal precharge finishes.
+                b.open_row = None
+                r.open_banks -= 1
+                if r.open_banks == 0:
+                    r.open_cycles += cycle - r.open_since
+                b.next_act = max(b.next_act, b.next_pre + t.RP)
+                self.auto_precharges += 1
+
+            self.bus_free_at = data_end
+            self.last_bus_rank = rank
+            self.last_bus_was_write = is_write
+            self.busy_cycles += bus_cycles
+            if self.keep_log:
+                self.transactions.append(
+                    BusTransaction(
+                        start=data_start,
+                        end=data_end,
+                        issue_cycle=cycle,
+                        is_write=is_write,
+                        rank=rank,
+                        bank_group=group,
+                        bank=bank,
+                        scheme=scheme,
+                        request_id=request_id,
+                    )
+                )
+            return data_end
+
+        if cmd is CommandType.REFRESH:
+            done = cycle + t.RFC
+            for grp in self.banks[rank]:
+                for bb in grp:
+                    bb.next_act = max(bb.next_act, done)
+            self.refresh_count += 1
+            return done
+
+        raise ValueError(f"unknown command {cmd}")
+
+    # ------------------------------------------------------------------
+    # Introspection used by the decision logic and the analysis layer
+    # ------------------------------------------------------------------
+    def open_row(self, rank: int, group: int, bank: int) -> int | None:
+        """Row currently latched in the bank's row buffer."""
+        return self.banks[rank][group][bank].open_row
+
+    def all_banks_closed(self, rank: int) -> bool:
+        """True when the rank can accept a refresh."""
+        return all(
+            bb.open_row is None for grp in self.banks[rank] for bb in grp
+        )
+
+    def rank_open_cycles(self, rank: int, now: int) -> int:
+        """Cycles rank ``rank`` spent with at least one open row.
+
+        The IDD3N-vs-IDD2N standby split of the Micron power
+        methodology; ``now`` closes the still-open interval, if any.
+        """
+        r = self.ranks[rank]
+        total = r.open_cycles
+        if r.open_banks > 0:
+            total += max(0, now - r.open_since)
+        return total
+
+
+class BusAuditor:
+    """Independent checker for the data-bus log.
+
+    Re-derives the bus rules from scratch (overlap-free, tRTRS bubbles
+    on rank switches and direction changes) so a bug in
+    :class:`DRAMChannel` cannot hide itself.
+    """
+
+    def __init__(self, timing: TimingParams):
+        self.timing = timing
+
+    def check(self, transactions: list[BusTransaction]) -> list[str]:
+        """Return a list of violation descriptions (empty == clean)."""
+        problems = []
+        ordered = sorted(transactions, key=lambda tr: tr.start)
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur.start < prev.end:
+                problems.append(
+                    f"overlap: [{prev.start},{prev.end}) then "
+                    f"[{cur.start},{cur.end})"
+                )
+                continue
+            switch = (
+                prev.rank != cur.rank or prev.is_write != cur.is_write
+            )
+            if switch and cur.start - prev.end < self.timing.RTRS:
+                problems.append(
+                    f"missing turnaround bubble between {prev.end} and "
+                    f"{cur.start} (rank/direction switch)"
+                )
+        return problems

@@ -1,0 +1,71 @@
+"""DRAM command vocabulary and geometry descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["CommandType", "Geometry", "DDR4_GEOMETRY", "LPDDR3_GEOMETRY"]
+
+
+class CommandType(Enum):
+    """The command set the memory controller can issue.
+
+    Only the commands that matter for timing and energy are modelled;
+    mode-register writes and ZQ calibration are folded into background
+    power.
+    """
+
+    ACTIVATE = auto()
+    PRECHARGE = auto()
+    READ = auto()
+    WRITE = auto()
+    REFRESH = auto()
+
+    @property
+    def is_column(self) -> bool:
+        """True for the commands MiL's decision logic cares about."""
+        return self in (CommandType.READ, CommandType.WRITE)
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Channel organisation: how many ranks/groups/banks/rows/columns.
+
+    Table 2: both systems use channels/ranks/banks = 2/2/8 per channel.
+    DDR4 organises its 8 banks as 2 bank groups of 4; LPDDR3 has no bank
+    groups (modelled as a single group of 8, with CCD_S == CCD_L making
+    the distinction moot).
+    """
+
+    ranks: int
+    bank_groups: int
+    banks_per_group: int
+    rows: int
+    row_bytes: int  # DRAM page size (Table 2: 8 KB DDR4, 4 KB LPDDR3)
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if min(self.ranks, self.bank_groups, self.banks_per_group, self.rows) < 1:
+            raise ValueError("geometry dimensions must be positive")
+        if self.row_bytes % self.line_bytes != 0:
+            raise ValueError("row size must hold whole cache lines")
+
+    @property
+    def banks(self) -> int:
+        """Total banks per rank."""
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def lines_per_row(self) -> int:
+        """Cache lines per DRAM row (column addresses per page)."""
+        return self.row_bytes // self.line_bytes
+
+
+DDR4_GEOMETRY = Geometry(
+    ranks=2, bank_groups=2, banks_per_group=4, rows=1 << 15, row_bytes=8192
+)
+
+LPDDR3_GEOMETRY = Geometry(
+    ranks=2, bank_groups=1, banks_per_group=8, rows=1 << 14, row_bytes=4096
+)

@@ -1,0 +1,70 @@
+"""Per-rank refresh scheduling.
+
+Every rank must receive a REFRESH on average once per tREFI.  The
+controller may defer a few intervals (JEDEC allows up to 8 postponed
+refreshes); this model keeps a per-rank debt counter so deferrals are
+eventually repaid.  Refresh matters to MiL indirectly: it inflates the
+idle-gap distribution of Figure 4 and contributes the refresh slice of
+the Figure 18 energy breakdown.
+"""
+
+from __future__ import annotations
+
+from .timing import TimingParams
+
+__all__ = ["RefreshScheduler"]
+
+MAX_POSTPONED = 8
+
+
+class RefreshScheduler:
+    """Tracks refresh obligations for every rank on a channel."""
+
+    def __init__(self, timing: TimingParams, ranks: int):
+        self.timing = timing
+        self.ranks = ranks
+        # Next cycle each rank accrues one refresh obligation.
+        self._next_due = [timing.REFI] * ranks
+        self._debt = [0] * ranks
+        self._min_due = timing.REFI  # cheap gate for the hot path
+
+    def accrue(self, now: int) -> None:
+        """Convert elapsed time into refresh debt."""
+        if now < self._min_due:
+            return
+        for rank in range(self.ranks):
+            while self._next_due[rank] <= now:
+                self._debt[rank] += 1
+                self._next_due[rank] += self.timing.REFI
+        self._min_due = min(self._next_due)
+
+    def debt(self, rank: int) -> int:
+        """Outstanding refresh obligations for ``rank``."""
+        return self._debt[rank]
+
+    def urgent(self, rank: int) -> bool:
+        """True when the rank has exhausted its postponement budget."""
+        return self._debt[rank] >= MAX_POSTPONED
+
+    def any_urgent(self) -> bool:
+        """True when some rank must refresh before anything else."""
+        return max(self._debt) >= MAX_POSTPONED
+
+    def any_debt(self) -> bool:
+        """True when at least one refresh is owed somewhere."""
+        return any(self._debt)
+
+    def pending_ranks(self) -> list[int]:
+        """Ranks with at least one refresh owed, most indebted first."""
+        owed = [r for r in range(self.ranks) if self._debt[r] > 0]
+        return sorted(owed, key=lambda r: -self._debt[r])
+
+    def paid(self, rank: int) -> None:
+        """Record that one refresh was issued to ``rank``."""
+        if self._debt[rank] <= 0:
+            raise ValueError(f"rank {rank} has no refresh debt to pay")
+        self._debt[rank] -= 1
+
+    def next_event(self) -> int:
+        """Cycle at which the next obligation accrues (for event skipping)."""
+        return min(self._next_due)

@@ -1,0 +1,49 @@
+"""Energy models: IO interface, DRAM system, whole system, codec cost."""
+
+from .codec_cost import (
+    CODEC_DESIGNS,
+    LIB_22NM,
+    PAPER_TABLE4,
+    CodecCost,
+    CodecDesign,
+    GateLibrary,
+    synthesize,
+    table4,
+)
+from .constants import (
+    DDR3_ENERGY,
+    DDR4_ENERGY,
+    LPDDR3_ENERGY,
+    MOBILE_SYSTEM_ENERGY,
+    SERVER_SYSTEM_ENERGY,
+    DramEnergyParams,
+    SystemEnergyParams,
+)
+from .dram_power import DramEnergyBreakdown, DramEnergyModel
+from .io_power import BUS_PINS, IOEnergyModel, IOEnergyResult
+from .system_power import SystemEnergyBreakdown, SystemEnergyModel
+
+__all__ = [
+    "CODEC_DESIGNS",
+    "LIB_22NM",
+    "PAPER_TABLE4",
+    "CodecCost",
+    "CodecDesign",
+    "GateLibrary",
+    "synthesize",
+    "table4",
+    "DDR3_ENERGY",
+    "DDR4_ENERGY",
+    "LPDDR3_ENERGY",
+    "MOBILE_SYSTEM_ENERGY",
+    "SERVER_SYSTEM_ENERGY",
+    "DramEnergyParams",
+    "SystemEnergyParams",
+    "DramEnergyBreakdown",
+    "DramEnergyModel",
+    "BUS_PINS",
+    "IOEnergyModel",
+    "IOEnergyResult",
+    "SystemEnergyBreakdown",
+    "SystemEnergyModel",
+]

@@ -1,0 +1,150 @@
+"""DRAM-system energy model (Micron power-calculator style).
+
+Splits DRAM energy into the five categories of the paper's Figure 18:
+background, activate/precharge, read/write (column array + peripheral),
+refresh, and IO.  The inputs are a finished
+:class:`~repro.system.simulator.SimulationResult` plus the per-scheme
+zero tables from :func:`repro.coding.pipeline.precompute_line_zeros`.
+
+Background power follows the paper's observation that DDR4 lacks a fast
+power-down mode: a rank burns active-standby power whenever requests
+are in flight on its channel (approximated by the controller's
+pending-cycle integral) and precharge-standby power otherwise, all of
+it scaling with *execution time* — which is exactly why sparse codes
+that slow the program can lose system energy (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..system.simulator import SimulationResult
+from .constants import DramEnergyParams
+from .io_power import IOEnergyModel
+
+__all__ = ["DramEnergyBreakdown", "DramEnergyModel"]
+
+
+@dataclass(frozen=True)
+class DramEnergyBreakdown:
+    """Joules per category (the Figure 18 bars)."""
+
+    background: float
+    activate: float
+    read_write: float
+    refresh: float
+    io: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.background + self.activate + self.read_write
+            + self.refresh + self.io
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "background": self.background,
+            "activate": self.activate,
+            "read_write": self.read_write,
+            "refresh": self.refresh,
+            "io": self.io,
+        }
+
+    def share(self, category: str) -> float:
+        """Fraction of total energy in one category."""
+        total = self.total
+        return self.as_dict()[category] / total if total else 0.0
+
+
+class DramEnergyModel:
+    """Evaluates a simulation run into a Figure 18-style breakdown.
+
+    Parameters
+    ----------
+    params:
+        Per-event energies for the DRAM type.
+    fast_powerdown:
+        Model the power-down modes of Malladi et al. [MICRO 2012], which
+        the paper cites as a way to shrink DDR4's background slice and
+        thereby *increase* MiL's relative savings (Section 7.3).  When
+        enabled: (a) idle (no-pending) cycles burn only
+        ``powerdown_fraction`` of precharge-standby power, and (b) a
+        ``rank_idle_overlap`` fraction of *pending* cycles — the time a
+        rank sits untouched while its sibling serves the queue — drops
+        from active standby to the same napping level (per-rank
+        power-down is exactly what those modes enable).
+    """
+
+    def __init__(
+        self,
+        params: DramEnergyParams,
+        fast_powerdown: bool = False,
+        powerdown_fraction: float = 0.2,
+        rank_idle_overlap: float = 0.4,
+    ):
+        if not 0.0 <= powerdown_fraction <= 1.0:
+            raise ValueError("powerdown_fraction must be in [0, 1]")
+        if not 0.0 <= rank_idle_overlap <= 1.0:
+            raise ValueError("rank_idle_overlap must be in [0, 1]")
+        self.params = params
+        self.fast_powerdown = fast_powerdown
+        self.powerdown_fraction = powerdown_fraction
+        self.rank_idle_overlap = rank_idle_overlap
+        self.io_model = IOEnergyModel(params)
+
+    def evaluate(
+        self,
+        result: SimulationResult,
+        zeros_by_scheme: dict[str, np.ndarray],
+    ) -> DramEnergyBreakdown:
+        p = self.params
+        cycle_s = result.controllers[0].timing.cycle_ns * 1e-9
+
+        activate = 0.0
+        read_write = 0.0
+        refresh = 0.0
+        io = 0.0
+        background = 0.0
+
+        for ch, mc in enumerate(result.controllers):
+            chan = mc.channel
+            activate += chan.activate_count * p.energy_activate_precharge
+            read_write += (
+                chan.read_count * p.energy_column_read
+                + chan.write_count * p.energy_column_write
+            )
+            refresh += chan.refresh_count * p.energy_refresh_per_rank
+            io += self.io_model.evaluate(
+                chan.transactions, zeros_by_scheme
+            ).energy_j
+
+            # Ranks on this channel: active standby while transactions
+            # are pending, precharge standby otherwise.
+            ranks = mc.geometry.ranks
+            active_cycles = min(result.pending_cycles[ch], result.cycles)
+            idle_cycles = result.cycles - active_cycles
+            idle_w = p.background_precharge_w
+            active_w = p.background_active_w
+            if self.fast_powerdown:
+                nap_w = idle_w * self.powerdown_fraction
+                idle_w = nap_w
+                # A rank not being accessed naps even while its sibling
+                # keeps the channel "pending".
+                active_w = (
+                    (1 - self.rank_idle_overlap) * active_w
+                    + self.rank_idle_overlap * nap_w
+                )
+            background += ranks * cycle_s * (
+                active_cycles * active_w + idle_cycles * idle_w
+            )
+
+        return DramEnergyBreakdown(
+            background=background,
+            activate=activate,
+            read_write=read_write,
+            refresh=refresh,
+            io=io,
+        )

@@ -1,0 +1,91 @@
+"""IO-interface energy accounting: the quantity MiL exists to reduce.
+
+On the DDR4 pseudo-open-drain interface every transmitted **0** draws
+current from VDDQ to ground for a bit time while **1**s are free
+(Section 2.1.1), so IO energy is simply ``zeros * E_zero`` plus a small
+per-beat clocking overhead.  On the unterminated LPDDR3 interface the
+cost is per wire *flip*, and transition signaling (Section 4.5) makes
+the flip count equal the zero count — so the very same accounting
+applies with that interface's per-flip constant.
+
+``IOEnergyModel`` turns a bus-transaction log plus precomputed
+per-scheme zero tables into joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dram.channel import BusTransaction
+from .constants import DramEnergyParams
+
+__all__ = ["IOEnergyModel", "IOEnergyResult", "BUS_PINS"]
+
+# 64 data pins plus the 8 DBI pins the standard adds (Section 2.1.1).
+BUS_PINS = 72
+
+
+@dataclass(frozen=True)
+class IOEnergyResult:
+    """IO energy and the counts behind it."""
+
+    energy_j: float
+    zeros: int
+    beats: int
+    transactions: int
+
+    @property
+    def zeros_per_transaction(self) -> float:
+        return self.zeros / self.transactions if self.transactions else 0.0
+
+
+class IOEnergyModel:
+    """Charges IO energy for a sequence of data-bus transactions."""
+
+    def __init__(self, params: DramEnergyParams):
+        self.params = params
+
+    def transaction_energy(self, zeros: int, beats: int) -> float:
+        """Energy of one burst given its zero count and beat count."""
+        if zeros < 0 or beats < 0:
+            raise ValueError("counts must be non-negative")
+        return (
+            zeros * self.params.energy_per_zero_bit
+            + beats * BUS_PINS * self.params.energy_per_beat
+        )
+
+    def evaluate(
+        self,
+        transactions: list[BusTransaction],
+        zeros_by_scheme: dict[str, np.ndarray],
+    ) -> IOEnergyResult:
+        """Total IO energy for a transaction log.
+
+        ``zeros_by_scheme`` maps a coding-scheme name to the per-line
+        zero counts (indexed by the transaction's ``request_id``, which
+        the simulator sets to the trace line id).
+        """
+        total_zeros = 0
+        total_beats = 0
+        for tr in transactions:
+            try:
+                table = zeros_by_scheme[tr.scheme]
+            except KeyError:
+                raise KeyError(
+                    f"no zero table for scheme {tr.scheme!r}; "
+                    f"have {sorted(zeros_by_scheme)}"
+                ) from None
+            total_zeros += int(table[tr.request_id])
+            total_beats += tr.cycles * 2  # DDR: two beats per cycle
+        energy = (
+            total_zeros * self.params.energy_per_zero_bit
+            + total_beats * BUS_PINS * self.params.energy_per_beat
+        )
+        return IOEnergyResult(
+            energy_j=energy,
+            zeros=total_zeros,
+            beats=total_beats,
+            transactions=len(transactions),
+        )

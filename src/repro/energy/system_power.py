@@ -1,0 +1,82 @@
+"""Whole-system energy (cores + uncore + DRAM), McPAT-style.
+
+The Figure 19 metric: system energy normalized to the DBI baseline.
+Core energy splits execution time into *active* cycles (the trace's
+think-time gaps, when the core is doing CPU work) and *stall* cycles
+(waiting on memory), at different power levels; the uncore (shared L2,
+interconnect, clock tree) burns constant power for the whole run.
+
+This coarse model captures the couplings the paper's results hinge on:
+
+* slowing the program (longer coded bursts) stretches every power rail
+  over more seconds — the effect that made always-on 3-LWC a wash in
+  Figure 2; and
+* the *share* of system energy in DRAM decides how much of MiL's DRAM
+  savings shows up at the system level (server 3.7 %, mobile 7 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..system.machine import SystemConfig
+from ..system.simulator import SimulationResult
+from ..workloads.trace import MemoryTrace
+from .constants import SystemEnergyParams
+from .dram_power import DramEnergyBreakdown
+
+__all__ = ["SystemEnergyBreakdown", "SystemEnergyModel"]
+
+
+@dataclass(frozen=True)
+class SystemEnergyBreakdown:
+    """Joules per system component."""
+
+    cores: float
+    uncore: float
+    dram: DramEnergyBreakdown
+
+    @property
+    def total(self) -> float:
+        return self.cores + self.uncore + self.dram.total
+
+    @property
+    def dram_share(self) -> float:
+        total = self.total
+        return self.dram.total / total if total else 0.0
+
+
+class SystemEnergyModel:
+    """Evaluates core/uncore energy around a DRAM breakdown."""
+
+    def __init__(self, params: SystemEnergyParams, config: SystemConfig):
+        self.params = params
+        self.config = config
+
+    def core_active_cycles(self, trace: MemoryTrace) -> list[int]:
+        """Per-core DRAM cycles of genuine CPU work (the trace gaps)."""
+        return [
+            sum(rec.gap for rec in records)
+            for records in trace.records_by_core
+        ]
+
+    def evaluate(
+        self,
+        result: SimulationResult,
+        trace: MemoryTrace,
+        dram: DramEnergyBreakdown,
+    ) -> SystemEnergyBreakdown:
+        p = self.params
+        cycle_s = self.config.timing.cycle_ns * 1e-9
+        run_s = result.cycles * cycle_s
+
+        cores_j = 0.0
+        active = self.core_active_cycles(trace)
+        for core in range(self.config.cores):
+            busy = active[core] if core < len(active) else 0
+            busy_s = min(busy, result.cycles) * cycle_s
+            cores_j += busy_s * p.core_active_w
+            cores_j += (run_s - busy_s) * p.core_stall_w
+
+        uncore_j = run_s * p.uncore_w
+        return SystemEnergyBreakdown(cores=cores_j, uncore=uncore_j, dram=dram)

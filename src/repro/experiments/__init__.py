@@ -1,0 +1,71 @@
+"""One module per table/figure of the paper's evaluation.
+
+Each module exposes ``run_experiment(accesses_per_core=...)`` returning
+an :class:`~repro.experiments.base.ExperimentResult`; running a module
+as a script prints the reproduced rows next to the paper's claim.
+``ALL_EXPERIMENTS`` maps experiment ids to those callables so the
+benchmark harness and EXPERIMENTS.md generation can iterate them.
+"""
+
+from . import (
+    ext_design_space,
+    ext_lpddr3_sensitivity,
+    validation,
+    ext_intermediate_code,
+    ext_powerdown,
+    ext_x4_width,
+    fig01_power_breakdown,
+    fig02_always_lwc,
+    fig04_idle_gaps,
+    fig05_pending,
+    fig06_slack,
+    fig07_optimal_lwc,
+    fig16_performance,
+    fig17_zeroes,
+    fig18_energy_breakdown,
+    fig19_system_energy,
+    fig20_burst_length,
+    fig21_lookahead,
+    fig22_scheme_mix,
+    table4_codec_cost,
+)
+from .base import ExperimentResult
+from .runner import (
+    CACHE_VERSION,
+    EXPERIMENT_ACCESSES_PER_CORE,
+    cache_dir,
+    cached_run,
+)
+
+ALL_EXPERIMENTS = {
+    "fig01": fig01_power_breakdown.run_experiment,
+    "fig02": fig02_always_lwc.run_experiment,
+    "fig04": fig04_idle_gaps.run_experiment,
+    "fig05": fig05_pending.run_experiment,
+    "fig06": fig06_slack.run_experiment,
+    "fig07": fig07_optimal_lwc.run_experiment,
+    "table4": table4_codec_cost.run_experiment,
+    "fig16": fig16_performance.run_experiment,
+    "fig17": fig17_zeroes.run_experiment,
+    "fig18": fig18_energy_breakdown.run_experiment,
+    "fig19": fig19_system_energy.run_experiment,
+    "fig20": fig20_burst_length.run_experiment,
+    "fig21": fig21_lookahead.run_experiment,
+    "fig22": fig22_scheme_mix.run_experiment,
+    # Extension studies (paper Sections 4.1, 7.3, and 7.5.2 directions).
+    "ext_x4": ext_x4_width.run_experiment,
+    "ext_powerdown": ext_powerdown.run_experiment,
+    "ext_design_space": ext_design_space.run_experiment,
+    "ext_intermediate": ext_intermediate_code.run_experiment,
+    "validation": validation.run_experiment,
+    "ext_lpddr3": ext_lpddr3_sensitivity.run_experiment,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "CACHE_VERSION",
+    "EXPERIMENT_ACCESSES_PER_CORE",
+    "cache_dir",
+    "cached_run",
+]

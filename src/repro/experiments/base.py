@@ -1,0 +1,49 @@
+"""Experiment result container shared by every figure/table module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.report import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table or figure, plus the paper's claim.
+
+    ``headers``/``rows`` carry the reproduced numbers; ``paper_claim``
+    states what the original figure reports so EXPERIMENTS.md can put
+    the two side by side; ``observations`` summarise how the
+    reproduction compares (filled by each experiment).
+    """
+
+    experiment: str  # e.g. "fig16"
+    title: str
+    headers: list = field(default_factory=list)
+    rows: list = field(default_factory=list)
+    paper_claim: str = ""
+    observations: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        table = format_table(self.headers, self.rows, title=self.title)
+        parts = [table]
+        if self.paper_claim:
+            parts.append(f"paper: {self.paper_claim}")
+        for key, value in self.observations.items():
+            shown = f"{value:.3f}" if isinstance(value, float) else value
+            parts.append(f"{key}: {shown}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> list:
+        """Extract one column by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def row_for(self, label) -> list:
+        """Extract the row whose first cell equals ``label``."""
+        for row in self.rows:
+            if row[0] == label:
+                return row
+        raise KeyError(f"no row labelled {label!r}")

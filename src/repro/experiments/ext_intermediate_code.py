@@ -1,0 +1,87 @@
+"""Extension study: the intermediate-length code of Section 7.5.3.
+
+Figure 22's take-away is that data-intensive benchmarks cannot fit the
+(8,17) 3-LWC's BL16 bursts into their shorter idle windows, and the
+paper concludes that "an intermediate sparse code with code length in
+between that of MiLC and 3-LWC may improve the energy efficiency".
+
+This study builds that code — an (8,12) 3-limited-weight code whose 64
+codewords fill exactly BL12 over the 64 data pins — and runs MiL with
+it as the long scheme on the memory-intensive half of the suite.  The
+expected trade: more long-code grants and less slowdown per grant, at a
+lower per-burst zero saving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..system.machine import NIAGARA_SERVER
+from ..workloads.benchmarks import MEMORY_INTENSIVE
+from .base import ExperimentResult
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+
+__all__ = ["run_experiment"]
+
+
+def _long_share(summary) -> float:
+    counts = summary.scheme_counts
+    total = sum(counts.values()) or 1
+    return sum(
+        count for scheme, count in counts.items()
+        if scheme in ("3lwc", "lwc12")
+    ) / total
+
+
+def run_experiment(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> ExperimentResult:
+    rows = []
+    shares = {"mil": [], "mil-lwc12": []}
+    times = {"mil": [], "mil-lwc12": []}
+    for bench in MEMORY_INTENSIVE:
+        base = cached_run(bench, NIAGARA_SERVER, "dbi",
+                          accesses_per_core=accesses_per_core)
+        row = [bench]
+        for policy in ("mil", "mil-lwc12"):
+            summary = cached_run(bench, NIAGARA_SERVER, policy,
+                                 accesses_per_core=accesses_per_core)
+            time_ratio = summary.cycles / base.cycles
+            zero_ratio = summary.total_zeros / max(1, base.total_zeros)
+            share = _long_share(summary)
+            row += [time_ratio, zero_ratio, share]
+            shares[policy].append(share)
+            times[policy].append(time_ratio)
+        rows.append(row)
+
+    result = ExperimentResult(
+        experiment="ext_intermediate",
+        title=(
+            "Extension: MiL with the Section 7.5.3 intermediate (8,12) "
+            "long code vs the default (8,17), memory-intensive suite"
+        ),
+        headers=[
+            "benchmark",
+            "mil:time", "mil:zeros", "mil:long%",
+            "lwc12:time", "lwc12:zeros", "lwc12:long%",
+        ],
+        rows=rows,
+        paper_claim=(
+            "an intermediate sparse code with length between MiLC and "
+            "3-LWC may improve energy efficiency for data-intensive "
+            "benchmarks (Section 7.5.3)"
+        ),
+    )
+    result.observations["mean_long_share_mil"] = float(np.mean(shares["mil"]))
+    result.observations["mean_long_share_lwc12"] = float(
+        np.mean(shares["mil-lwc12"])
+    )
+    result.observations["mean_time_mil"] = float(np.mean(times["mil"]))
+    result.observations["mean_time_lwc12"] = float(
+        np.mean(times["mil-lwc12"])
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run_experiment().format())

@@ -1,0 +1,60 @@
+"""Figure 16: execution time of every coding scheme, vs the DBI baseline.
+
+Two sub-figures: (a) the DDR4 microserver, (b) the LPDDR3 mobile system.
+The paper's claims: MiL's average degradation is below 2 % on DDR4 and
+below 4 % on LPDDR3; MiL outperforms CAFO2/CAFO4/MiLC-only on average;
+and degradation grows with memory intensity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..system.machine import NIAGARA_SERVER, SNAPDRAGON_MOBILE
+from ..workloads.benchmarks import BENCHMARK_ORDER
+from .base import ExperimentResult
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+
+__all__ = ["run_experiment", "SCHEMES"]
+
+SCHEMES = ("cafo2", "cafo4", "milc", "mil")
+
+
+def run_experiment(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> ExperimentResult:
+    rows = []
+    means: dict[tuple[str, str], float] = {}
+    for config in (NIAGARA_SERVER, SNAPDRAGON_MOBILE):
+        per_scheme = {s: [] for s in SCHEMES}
+        for bench in BENCHMARK_ORDER:
+            base = cached_run(bench, config, "dbi",
+                              accesses_per_core=accesses_per_core)
+            row = [config.name, bench]
+            for scheme in SCHEMES:
+                summary = cached_run(bench, config, scheme,
+                                     accesses_per_core=accesses_per_core)
+                ratio = summary.cycles / base.cycles
+                row.append(ratio)
+                per_scheme[scheme].append(ratio)
+            rows.append(row)
+        for scheme, ratios in per_scheme.items():
+            means[(config.name, scheme)] = float(np.exp(np.mean(np.log(ratios))))
+
+    result = ExperimentResult(
+        experiment="fig16",
+        title="Figure 16: execution time normalized to the DBI baseline",
+        headers=["system", "benchmark"] + list(SCHEMES),
+        rows=rows,
+        paper_claim=(
+            "MiL degrades performance <2% on DDR4 and <4% on LPDDR3 on "
+            "average; highly memory-intensive benchmarks degrade most"
+        ),
+    )
+    for (system, scheme), mean in means.items():
+        result.observations[f"geomean_{system}_{scheme}"] = mean
+    return result
+
+
+if __name__ == "__main__":
+    print(run_experiment().format())

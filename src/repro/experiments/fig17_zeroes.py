@@ -1,0 +1,65 @@
+"""Figure 17: zeros transferred, normalized to the DDR4 DBI baseline.
+
+The paper reports MiL beating DBI, CAFO2, CAFO4, and MiLC-only by 49 %,
+12 %, 11 %, and 9 % on average, with the biggest cuts on MM, STRMATCH,
+and GUPS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..system.machine import NIAGARA_SERVER
+from ..workloads.benchmarks import BENCHMARK_ORDER
+from .base import ExperimentResult
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+
+__all__ = ["run_experiment", "SCHEMES"]
+
+SCHEMES = ("cafo2", "cafo4", "milc", "mil")
+
+
+def run_experiment(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> ExperimentResult:
+    rows = []
+    per_scheme = {s: [] for s in SCHEMES}
+    for bench in BENCHMARK_ORDER:
+        base = cached_run(bench, NIAGARA_SERVER, "dbi",
+                          accesses_per_core=accesses_per_core)
+        row = [bench]
+        for scheme in SCHEMES:
+            summary = cached_run(bench, NIAGARA_SERVER, scheme,
+                                 accesses_per_core=accesses_per_core)
+            ratio = summary.total_zeros / max(1, base.total_zeros)
+            row.append(ratio)
+            per_scheme[scheme].append(ratio)
+        rows.append(row)
+
+    result = ExperimentResult(
+        experiment="fig17",
+        title=(
+            "Figure 17: zeros on the bus, normalized to the DDR4 DBI "
+            "baseline"
+        ),
+        headers=["benchmark"] + list(SCHEMES),
+        rows=rows,
+        paper_claim=(
+            "MiL reduces zeros 49% vs DBI and beats CAFO2/CAFO4/"
+            "MiLC-only by 12%/11%/9%"
+        ),
+    )
+    for scheme, ratios in per_scheme.items():
+        result.observations[f"mean_{scheme}"] = float(np.mean(ratios))
+    mil = np.array(per_scheme["mil"])
+    result.observations["mil_vs_milc_only"] = float(
+        1 - np.mean(mil / np.array(per_scheme["milc"]))
+    )
+    result.observations["mil_vs_cafo2"] = float(
+        1 - np.mean(mil / np.array(per_scheme["cafo2"]))
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run_experiment().format())

@@ -1,0 +1,61 @@
+"""Figure 19: system-wide energy, normalized to the DBI baseline.
+
+Paper: average system savings on the server are 2.2 % / 1.6 % / 3.1 % /
+3.7 % for CAFO2 / CAFO4 / MiLC-only / MiL, and 5 % / 5 % / 6 % / 7 % on
+mobile.  The driver is the benchmark's memory-energy share: MM and
+STRMATCH save little despite big zero cuts, GUPS and SCALPARC save most.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..system.machine import NIAGARA_SERVER, SNAPDRAGON_MOBILE
+from ..workloads.benchmarks import BENCHMARK_ORDER
+from .base import ExperimentResult
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+
+__all__ = ["run_experiment", "SCHEMES"]
+
+SCHEMES = ("cafo2", "cafo4", "milc", "mil")
+
+
+def run_experiment(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> ExperimentResult:
+    rows = []
+    observations: dict[str, float] = {}
+    for config in (NIAGARA_SERVER, SNAPDRAGON_MOBILE):
+        per_scheme = {s: [] for s in SCHEMES}
+        for bench in BENCHMARK_ORDER:
+            base = cached_run(bench, config, "dbi",
+                              accesses_per_core=accesses_per_core)
+            row = [config.name, bench]
+            for scheme in SCHEMES:
+                summary = cached_run(bench, config, scheme,
+                                     accesses_per_core=accesses_per_core)
+                ratio = summary.system_total_j / base.system_total_j
+                row.append(ratio)
+                per_scheme[scheme].append(ratio)
+            rows.append(row)
+        for scheme, ratios in per_scheme.items():
+            observations[f"mean_savings_{config.name}_{scheme}"] = float(
+                1 - np.mean(ratios)
+            )
+
+    result = ExperimentResult(
+        experiment="fig19",
+        title="Figure 19: system energy normalized to the DBI baseline",
+        headers=["system", "benchmark"] + list(SCHEMES),
+        rows=rows,
+        paper_claim=(
+            "average system savings: server 2.2/1.6/3.1/3.7% and mobile "
+            "5/5/6/7% for CAFO2/CAFO4/MiLC-only/MiL"
+        ),
+        observations=observations,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run_experiment().format())

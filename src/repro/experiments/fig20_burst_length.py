@@ -1,0 +1,65 @@
+"""Figure 20: sensitivity of execution time to a fixed burst length.
+
+The naive alternative to MiL: always code with one fixed (longer) burst
+length.  The paper measures +3 % / +6 % / +6.5 % / +9.3 % average
+slowdowns at BL10 / BL12 / BL14 / BL16, with the data-intensive
+benchmarks suffering most — which is why the *opportunistic* hybrid is
+needed.  (STRMATCH even speeds up slightly at BL14 in the paper; queue
+pressure can help FR-FCFS see more candidates.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..system.machine import NIAGARA_SERVER
+from ..workloads.benchmarks import BENCHMARK_ORDER
+from .base import ExperimentResult
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+
+__all__ = ["run_experiment", "BURST_POLICIES"]
+
+# Policy name -> burst length it pins the bus to.
+BURST_POLICIES = (("milc", 10), ("bl12", 12), ("bl14", 14), ("3lwc", 16))
+
+PAPER_MEAN_SLOWDOWN = {10: 1.03, 12: 1.06, 14: 1.065, 16: 1.093}
+
+
+def run_experiment(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> ExperimentResult:
+    rows = []
+    per_bl = {bl: [] for _, bl in BURST_POLICIES}
+    for bench in BENCHMARK_ORDER:
+        base = cached_run(bench, NIAGARA_SERVER, "dbi",
+                          accesses_per_core=accesses_per_core)
+        row = [bench]
+        for policy, bl in BURST_POLICIES:
+            summary = cached_run(bench, NIAGARA_SERVER, policy,
+                                 accesses_per_core=accesses_per_core)
+            ratio = summary.cycles / base.cycles
+            row.append(ratio)
+            per_bl[bl].append(ratio)
+        rows.append(row)
+
+    result = ExperimentResult(
+        experiment="fig20",
+        title=(
+            "Figure 20: execution time at fixed burst lengths, "
+            "normalized to BL8 (DDR4 server)"
+        ),
+        headers=["benchmark"] + [f"BL{bl}" for _, bl in BURST_POLICIES],
+        rows=rows,
+        paper_claim=(
+            "always coding costs +3/+6/+6.5/+9.3% at BL10/12/14/16; the "
+            "data-intensive benchmarks suffer most"
+        ),
+    )
+    for bl, ratios in per_bl.items():
+        result.observations[f"mean_BL{bl}"] = float(np.mean(ratios))
+        result.observations[f"paper_BL{bl}"] = PAPER_MEAN_SLOWDOWN[bl]
+    return result
+
+
+if __name__ == "__main__":
+    print(run_experiment().format())

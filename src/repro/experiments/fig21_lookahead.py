@@ -1,0 +1,64 @@
+"""Figure 21: impact of the look-ahead distance X on execution time.
+
+X is how far ahead the rdyX comparators look for soon-ready column
+commands before granting the long 3-LWC slot.  Small X grants long
+codes recklessly (more energy, more slowdown); the natural value is
+X = 8 (the 3-LWC bus occupancy), and the paper finds execution times
+within 4 % of each other for X >= 6, with X = 14 marginally best
+because the simple logic cannot see requests that arrive later.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..system.machine import NIAGARA_SERVER
+from ..workloads.benchmarks import BENCHMARK_ORDER
+from .base import ExperimentResult
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+
+__all__ = ["run_experiment", "LOOKAHEADS"]
+
+LOOKAHEADS = (0, 2, 4, 6, 8, 14, 20)
+
+
+def run_experiment(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> ExperimentResult:
+    rows = []
+    geomeans = {}
+    ratios_by_x = {x: [] for x in LOOKAHEADS}
+    for bench in BENCHMARK_ORDER:
+        base = cached_run(bench, NIAGARA_SERVER, "dbi",
+                          accesses_per_core=accesses_per_core)
+        row = [bench]
+        for x in LOOKAHEADS:
+            summary = cached_run(bench, NIAGARA_SERVER, "mil", lookahead=x,
+                                 accesses_per_core=accesses_per_core)
+            ratio = summary.cycles / base.cycles
+            row.append(ratio)
+            ratios_by_x[x].append(ratio)
+        rows.append(row)
+    for x, ratios in ratios_by_x.items():
+        geomeans[x] = float(np.exp(np.mean(np.log(ratios))))
+
+    result = ExperimentResult(
+        experiment="fig21",
+        title=(
+            "Figure 21: execution time vs look-ahead distance X, "
+            "normalized to DBI (DDR4 server)"
+        ),
+        headers=["benchmark"] + [f"X={x}" for x in LOOKAHEADS],
+        rows=rows,
+        paper_claim=(
+            "geomean execution within 4% of baseline for X >= 6; the "
+            "natural X = 8, slightly better at X = 14"
+        ),
+    )
+    for x, gm in geomeans.items():
+        result.observations[f"geomean_X{x}"] = gm
+    return result
+
+
+if __name__ == "__main__":
+    print(run_experiment().format())

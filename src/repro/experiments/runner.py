@@ -1,0 +1,95 @@
+"""Shared experiment infrastructure: cached runs and aggregation.
+
+Figures 16-19 and 22 all consume the same 110 simulation runs
+(2 systems x 11 benchmarks x 5 policies), and the benchmark harness
+executes each figure in its own pytest process; an on-disk JSON cache
+keyed by the run parameters (plus a cache version, bumped whenever a
+model change invalidates old numbers) keeps the whole harness re-runnable
+in seconds once warm.
+
+Set the environment variable ``REPRO_NO_CACHE=1`` to force fresh runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..core.framework import RunSummary, run
+from ..system.machine import SYSTEMS, SystemConfig
+
+__all__ = [
+    "CACHE_VERSION",
+    "EXPERIMENT_ACCESSES_PER_CORE",
+    "cache_dir",
+    "cached_run",
+    "normalized",
+]
+
+# Bump when simulator/energy/workload changes invalidate cached results.
+CACHE_VERSION = 6
+
+# Scale used by every experiment unless overridden: large enough for
+# stable statistics, small enough to keep a cold full-campaign run in
+# minutes on a laptop.
+EXPERIMENT_ACCESSES_PER_CORE = 5000
+
+
+def cache_dir() -> Path:
+    """Directory holding cached run summaries."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".cache" / "runs"
+
+
+def _cache_key(
+    benchmark: str,
+    system: str,
+    policy: str,
+    lookahead: int | None,
+    accesses_per_core: int,
+    seed: int,
+) -> str:
+    look = "auto" if lookahead is None else str(lookahead)
+    return (
+        f"v{CACHE_VERSION}-{benchmark}-{system}-{policy}-x{look}"
+        f"-n{accesses_per_core}-s{seed}"
+    )
+
+
+def cached_run(
+    benchmark: str,
+    config: SystemConfig | str,
+    policy: str,
+    lookahead: int | None = None,
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+    seed: int = 0,
+) -> RunSummary:
+    """Like :func:`repro.core.run` but memoised on disk."""
+    if isinstance(config, str):
+        config = SYSTEMS[config]
+    key = _cache_key(
+        benchmark, config.name, policy, lookahead, accesses_per_core, seed
+    )
+    path = cache_dir() / f"{key}.json"
+    if not os.environ.get("REPRO_NO_CACHE") and path.exists():
+        try:
+            return RunSummary.from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, TypeError):
+            path.unlink()  # corrupt entry: recompute
+    summary = run(
+        benchmark, config, policy,
+        lookahead=lookahead,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(summary.to_dict()))
+    return summary
+
+
+def normalized(value: float, baseline: float) -> float:
+    """Safe ratio (1.0 when the baseline is zero)."""
+    return value / baseline if baseline else 1.0

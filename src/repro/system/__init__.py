@@ -1,0 +1,31 @@
+"""Multicore CPU + cache substrate and the full-system timing simulator."""
+
+from .cache import AccessResult, Cache
+from .hierarchy import CoreAccessStream, filter_through_hierarchy
+from .machine import (
+    NIAGARA_SERVER,
+    SNAPDRAGON_MOBILE,
+    SYSTEMS,
+    SystemConfig,
+)
+from .mesi import CoherenceOutcome, MESIDirectory, MESIState
+from .prefetcher import PrefetcherConfig, StreamPrefetcher
+from .simulator import SimulationResult, simulate
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CoreAccessStream",
+    "filter_through_hierarchy",
+    "SystemConfig",
+    "NIAGARA_SERVER",
+    "SNAPDRAGON_MOBILE",
+    "SYSTEMS",
+    "CoherenceOutcome",
+    "MESIDirectory",
+    "MESIState",
+    "PrefetcherConfig",
+    "StreamPrefetcher",
+    "SimulationResult",
+    "simulate",
+]

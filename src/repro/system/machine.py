@@ -1,0 +1,111 @@
+"""The two Table 2 machine configurations.
+
+* ``NIAGARA_SERVER`` — the Niagara-like microserver: 8 in-order cores at
+  3.2 GHz with 4 threads each, a 4 MB shared L2, an aggressive stream
+  prefetcher (64/32/4), and two channels of DDR4-3200.
+* ``SNAPDRAGON_MOBILE`` — the Snapdragon-like mobile system: 8
+  out-of-order cores at 1.6 GHz, a 2 MB shared L2, a conservative
+  prefetcher (64/8/1), and two channels of LPDDR3-1600.
+
+Both clocks are exactly 2x their DRAM clock, which keeps the CPU-to-DRAM
+cycle conversion integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.commands import DDR4_GEOMETRY, LPDDR3_GEOMETRY, Geometry
+from ..dram.timing import DDR4_3200, LPDDR3_1600, TimingParams
+from .prefetcher import PrefetcherConfig
+
+__all__ = ["SystemConfig", "NIAGARA_SERVER", "SNAPDRAGON_MOBILE", "SYSTEMS"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything the hierarchy and the timing simulator need to know."""
+
+    name: str
+    cores: int
+    threads_per_core: int
+    cpu_ghz: float
+    issue_ipc: float  # sustained non-memory IPC per core
+    mlp: int  # outstanding demand misses a core can sustain
+    out_of_order: bool
+
+    l1_bytes: int
+    l1_ways: int
+    l2_bytes: int
+    l2_ways: int
+    l2_hit_cpu_cycles: int
+
+    prefetcher: PrefetcherConfig
+    timing: TimingParams
+    geometry: Geometry
+    channels: int = 2
+    read_queue: int = 64
+    write_queue: int = 64
+    drain_high: int = 60
+    drain_low: int = 50
+    line_bytes: int = 64
+    # Calibration multiplier on each workload's arithmetic intensity for
+    # this system (the mobile platform pairs its cores with a slower bus
+    # but its single-threaded cores also extract less traffic per cycle).
+    intensity_scale: float = 1.0
+    # Design-space knobs (Table 2 uses page interleaving + open page).
+    address_interleave: str = "page"  # or "line"
+    page_policy: str = "open"  # or "closed" (auto-precharge columns)
+
+    @property
+    def cpu_per_dram_clock(self) -> float:
+        """CPU cycles per DRAM clock cycle."""
+        return self.cpu_ghz / self.timing.clock_ghz
+
+    def cpu_to_dram_cycles(self, cpu_cycles: float) -> int:
+        """Convert CPU cycles to whole DRAM cycles (ceiling)."""
+        ratio = self.cpu_per_dram_clock
+        return max(0, int(-(-cpu_cycles // ratio)))
+
+
+NIAGARA_SERVER = SystemConfig(
+    name="ddr4-server",
+    cores=8,
+    threads_per_core=4,
+    cpu_ghz=3.2,
+    issue_ipc=2.0,  # fetch/issue width 4/2, in-order
+    mlp=4,  # one outstanding miss per hardware thread
+    out_of_order=False,
+    l1_bytes=32 * 1024,
+    l1_ways=4,
+    l2_bytes=4 * 1024 * 1024,
+    l2_ways=8,
+    l2_hit_cpu_cycles=16,
+    prefetcher=PrefetcherConfig(nstreams=64, distance=32, degree=4),
+    timing=DDR4_3200,
+    geometry=DDR4_GEOMETRY,
+)
+
+SNAPDRAGON_MOBILE = SystemConfig(
+    name="lpddr3-mobile",
+    cores=8,
+    threads_per_core=1,
+    cpu_ghz=1.6,
+    issue_ipc=1.5,  # 3-wide out-of-order, single thread
+    mlp=8,  # OoO window exposes more memory-level parallelism
+    out_of_order=True,
+    l1_bytes=32 * 1024,
+    l1_ways=4,
+    l2_bytes=2 * 1024 * 1024,
+    l2_ways=8,
+    l2_hit_cpu_cycles=8,
+    prefetcher=PrefetcherConfig(nstreams=64, distance=8, degree=1),
+    timing=LPDDR3_1600,
+    geometry=LPDDR3_GEOMETRY,
+    intensity_scale=3.0,
+)
+
+SYSTEMS = {
+    NIAGARA_SERVER.name: NIAGARA_SERVER,
+    SNAPDRAGON_MOBILE.name: SNAPDRAGON_MOBILE,
+}

@@ -1,0 +1,306 @@
+"""Closed-loop timing simulation: cores + caches' residue + DRAM.
+
+The simulator replays a :class:`~repro.workloads.trace.MemoryTrace`
+against the two-channel memory system.  Each core is a small state
+machine that honours, per record:
+
+* **think time** — ``gap`` DRAM cycles of CPU work since its previous
+  record;
+* **memory-level parallelism** — at most ``config.mlp`` demand reads in
+  flight;
+* **dependences** — a record flagged ``dependent`` waits for the
+  previous demand read's data (pointer chasing);
+* **back-pressure** — writes are posted but stall the core when the
+  write queue is full; prefetches are dropped instead of stalling.
+
+Execution time is the cycle at which every demand access has completed,
+which is how longer coded bursts turn into the Figure 16 performance
+deltas.  The loop is event-skipping: it advances straight to the next
+cycle at which a controller, a completion, or a core can make progress.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..controller.controller import AlwaysScheme, ChannelController
+from ..controller.request import MemoryRequest
+from ..dram.address import AddressMapper
+from ..workloads.trace import MemoryTrace
+from .machine import SystemConfig
+
+__all__ = ["SimulationResult", "simulate"]
+
+
+@dataclass
+class SimulationResult:
+    """Outputs of one benchmark x system x policy run."""
+
+    name: str
+    system: str
+    policy: str
+    cycles: int  # execution time in DRAM cycles
+    controllers: list  # the ChannelControllers (logs, counters)
+    pending_cycles: list  # per channel: cycles with queued requests
+    demand_reads: int = 0
+    read_latency_sum: int = 0
+    dropped_prefetches: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        clock_hz = self.controllers[0].timing.clock_ghz * 1e9
+        return self.cycles / clock_hz
+
+    @property
+    def mean_read_latency(self) -> float:
+        if not self.demand_reads:
+            return 0.0
+        return self.read_latency_sum / self.demand_reads
+
+    @property
+    def scheme_counts(self) -> dict:
+        merged: dict[str, int] = {}
+        for mc in self.controllers:
+            for scheme, count in mc.scheme_counts.items():
+                merged[scheme] = merged.get(scheme, 0) + count
+        return merged
+
+    def transactions(self):
+        """All data-bus transactions across channels."""
+        for mc in self.controllers:
+            yield from mc.channel.transactions
+
+    @property
+    def bus_utilization(self) -> float:
+        busy = sum(mc.channel.busy_cycles for mc in self.controllers)
+        return busy / (self.cycles * len(self.controllers)) if self.cycles else 0.0
+
+
+class _CoreState:
+    """Progress of one core through its trace."""
+
+    __slots__ = (
+        "records", "index", "earliest", "outstanding",
+        "wait_completion_of", "last_demand_read",
+    )
+
+    def __init__(self, records):
+        self.records = records
+        self.index = 0
+        self.earliest = 0  # earliest cycle the next record may issue
+        self.outstanding = 0  # in-flight demand reads
+        self.wait_completion_of: int | None = None  # request serial
+        self.last_demand_read: MemoryRequest | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.index >= len(self.records)
+
+
+def simulate(
+    trace: MemoryTrace,
+    config: SystemConfig,
+    policy_factory=None,
+    max_cycles: int = 200_000_000,
+) -> SimulationResult:
+    """Run ``trace`` on ``config`` under a coding policy.
+
+    ``policy_factory()`` builds one policy per channel (default: the
+    always-DBI baseline).  Returns a :class:`SimulationResult`.
+    """
+    if policy_factory is None:
+        policy_factory = lambda: AlwaysScheme("dbi")  # noqa: E731
+
+    mapper = AddressMapper(
+        config.geometry, config.channels,
+        interleave=config.address_interleave,
+    )
+    controllers = [
+        ChannelController(
+            config.timing,
+            config.geometry,
+            policy=policy_factory(),
+            read_queue_size=config.read_queue,
+            write_queue_size=config.write_queue,
+            drain_high=config.drain_high,
+            drain_low=config.drain_low,
+            page_policy=config.page_policy,
+        )
+        for _ in range(config.channels)
+    ]
+    policy = controllers[0].policy
+    policy_name = getattr(policy, "scheme", None) or type(policy).__name__
+
+    cores = [_CoreState(recs) for recs in trace.records_by_core]
+    completion_heap: list[tuple[int, int]] = []  # (finish_cycle, serial)
+    inflight: dict[int, tuple[MemoryRequest, int]] = {}  # serial -> (req, core)
+
+    pending_cycles = [0] * config.channels
+    demand_reads = 0
+    read_latency_sum = 0
+    dropped_prefetches = 0
+    last_completion = 0
+    address_mask = mapper.capacity_bytes - 1
+
+    def issue_from_core(core_id: int, core: _CoreState, now: int) -> bool:
+        """Try to issue the core's next record; True on progress."""
+        nonlocal dropped_prefetches
+        rec = core.records[core.index]
+        if now < core.earliest:
+            return False
+        if rec.dependent and core.wait_completion_of is not None:
+            return False
+        if not rec.is_write and not rec.is_prefetch:
+            if core.outstanding >= config.mlp:
+                return False
+        address = rec.address & address_mask
+        mapped = mapper.map(address)
+        mc = controllers[mapped.channel]
+        if rec.is_prefetch:
+            if not mc.can_accept(False):
+                dropped_prefetches += 1
+                core.index += 1
+                _arm_next(core, now)
+                return True
+        elif not mc.can_accept(rec.is_write):
+            return False
+
+        request = MemoryRequest(
+            address=address,
+            is_write=rec.is_write,
+            core=core_id,
+            line_id=rec.line_id,
+            is_prefetch=rec.is_prefetch,
+        )
+        request.mapped = mapped
+        mc.enqueue(request, now)
+        if request.completed:
+            # Forwarded from the write queue: done instantly.
+            pass
+        elif not rec.is_write and not rec.is_prefetch:
+            core.outstanding += 1
+            inflight[request.serial] = (request, core_id)
+            core.last_demand_read = request
+        core.index += 1
+        _arm_next(core, now)
+        return True
+
+    def _arm_next(core: _CoreState, now: int) -> None:
+        """Set earliest-issue constraints for the core's next record."""
+        if core.done:
+            return
+        nxt = core.records[core.index]
+        core.earliest = now + nxt.gap
+        if nxt.dependent and core.last_demand_read is not None:
+            if core.last_demand_read.completed:
+                core.wait_completion_of = None
+                core.earliest = max(
+                    core.earliest,
+                    core.last_demand_read.finish_cycle + nxt.gap,
+                )
+            else:
+                core.wait_completion_of = core.last_demand_read.serial
+        else:
+            core.wait_completion_of = None
+
+    now = 0
+    while now < max_cycles:
+        # 1. Retire completions whose data has arrived.
+        while completion_heap and completion_heap[0][0] <= now:
+            finish, serial = heapq.heappop(completion_heap)
+            request, core_id = inflight.pop(serial)
+            core = cores[core_id]
+            core.outstanding -= 1
+            if core.wait_completion_of == serial:
+                core.wait_completion_of = None
+                # The dependent record's think time starts when the data
+                # arrives, not when the load issued.
+                if not core.done:
+                    gap = core.records[core.index].gap
+                    core.earliest = max(core.earliest, finish + gap)
+
+        # 2. Let every core push work into the controllers.
+        for core_id, core in enumerate(cores):
+            while core.index < len(core.records) and issue_from_core(
+                core_id, core, now
+            ):
+                pass
+
+        # 3. One scheduling step per controller.
+        stepped = [mc.step(now) for mc in controllers]
+
+        # 4. Collect newly scheduled transfers into the completion heap.
+        for mc in controllers:
+            for request in mc.drain_completions():
+                if request.is_write or request.is_prefetch:
+                    last_completion = max(last_completion, request.finish_cycle)
+                    continue
+                demand_reads += 1
+                read_latency_sum += request.queue_latency()
+                last_completion = max(last_completion, request.finish_cycle)
+                if request.serial in inflight:
+                    heapq.heappush(
+                        completion_heap, (request.finish_cycle, request.serial)
+                    )
+
+        all_cores_done = all(
+            core.index >= len(core.records) for core in cores
+        )
+        if all_cores_done and not inflight and not any(
+            mc.has_pending for mc in controllers
+        ):
+            break
+
+        # 5. Jump to the next event.
+        candidates: list[int] = []
+        if completion_heap:
+            candidates.append(completion_heap[0][0])
+        for mc, did in zip(controllers, stepped):
+            nxt = (now + 1) if did else mc.next_event(now)
+            if nxt is not None:
+                candidates.append(nxt)
+        for core in cores:
+            if core.index >= len(core.records):
+                continue
+            if core.wait_completion_of is not None:
+                continue  # completion heap covers the wake-up
+            rec = core.records[core.index]
+            if not rec.is_write and not rec.is_prefetch:
+                if core.outstanding >= config.mlp:
+                    continue  # a completion will free a slot
+            candidates.append(max(now + 1, core.earliest))
+
+        if not candidates:
+            raise RuntimeError(
+                f"simulation deadlocked at cycle {now} "
+                f"({sum(c.done for c in cores)}/{len(cores)} cores done)"
+            )
+        nxt = max(now + 1, min(candidates))
+        for ch, mc in enumerate(controllers):
+            # "Pending" in the Figure 5 sense: work queued *or* a burst
+            # still streaming on the data bus.
+            if mc.has_pending:
+                pending_cycles[ch] += nxt - now
+            elif mc.channel.bus_free_at > now:
+                pending_cycles[ch] += min(nxt, mc.channel.bus_free_at) - now
+        now = nxt
+
+    cycles = max(last_completion, now)
+    return SimulationResult(
+        name=trace.name,
+        system=config.name,
+        policy=policy_name,
+        cycles=cycles,
+        controllers=controllers,
+        pending_cycles=pending_cycles,
+        demand_reads=demand_reads,
+        read_latency_sum=read_latency_sum,
+        dropped_prefetches=dropped_prefetches,
+        stats={
+            "trace_records": trace.total_records,
+            "forwarded_reads": sum(mc.forwarded_reads for mc in controllers),
+            "coalesced_writes": sum(mc.coalesced_writes for mc in controllers),
+        },
+    )

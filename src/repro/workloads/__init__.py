@@ -1,0 +1,30 @@
+"""Synthetic versions of the Table 3 benchmark suite."""
+
+from .benchmarks import (
+    BENCHMARK_ORDER,
+    BENCHMARKS,
+    DEFAULT_ACCESSES_PER_CORE,
+    MEMORY_INTENSIVE,
+    BenchmarkSpec,
+    build_trace,
+    clear_trace_cache,
+    get_benchmark,
+)
+from .datamodel import DataModel, WORD_CATEGORIES, splitmix64
+from .trace import MemoryTrace, TraceRecord
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "BENCHMARKS",
+    "DEFAULT_ACCESSES_PER_CORE",
+    "MEMORY_INTENSIVE",
+    "BenchmarkSpec",
+    "build_trace",
+    "clear_trace_cache",
+    "get_benchmark",
+    "DataModel",
+    "WORD_CATEGORIES",
+    "splitmix64",
+    "MemoryTrace",
+    "TraceRecord",
+]

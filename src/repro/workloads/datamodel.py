@@ -1,0 +1,169 @@
+"""Deterministic address-to-data models for the benchmark suite.
+
+The IO energy MiL saves depends entirely on the *values* moving over the
+bus, so each synthetic benchmark carries a data model that reproduces
+the value statistics of its real counterpart: integer codes full of
+zero bytes (GUPS tables, SCALPARC attribute ids), IEEE-754 doubles with
+correlated exponent bytes (CG/MM/SWIM/OCEAN), ASCII text
+(String Match), and so on.
+
+Data is generated *by address*: reading the same line twice always
+yields the same bytes, and a line's content never depends on trace
+order.  That determinism comes from a splitmix64 hash of
+``(model seed, line address, word index)`` rather than from a stateful
+RNG.
+
+Each 64-byte line is eight 64-bit words.  A *whole line* is drawn from
+one of the following categories (mixture weights are the model's
+knobs), because real lines come from homogeneous arrays — an int-array
+line is eight int words, a double-array line is eight doubles.  That
+homogeneity is what aligns the zero/exponent bytes of adjacent words at
+the same byte position, i.e. in the same bus beat (Figure 12), which is
+precisely the spatial correlation MiLC and CAFO exploit:
+
+``zero``    all-zero line (zero pages, padding, untouched allocations)
+``int1``    eight values < 2^8   (flags, pixels: 7 zero bytes/word)
+``int2``    eight values < 2^16  (counts, indices: 6 zero bytes/word)
+``int4``    eight values < 2^32  (pointers/ids: 4 zero bytes/word)
+``fp``      eight IEEE-754-shaped doubles: sign/exponent bytes shared
+            across the line, random mantissa, often-zero trailing bytes
+``text``    printable ASCII bytes
+``repeat``  one byte value repeated through the line (memset patterns)
+``random``  uniformly random bytes (hashed/encrypted data)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DataModel", "WORD_CATEGORIES", "splitmix64"]
+
+WORD_CATEGORIES = (
+    "zero", "int1", "int2", "int4", "fp", "text", "repeat", "random",
+)
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 mixing function over uint64."""
+    x = np.asarray(x, dtype=np.uint64)
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+class DataModel:
+    """Mixture-of-categories line payload generator.
+
+    Parameters
+    ----------
+    mix:
+        Mapping from category name to weight; normalised internally.
+    seed:
+        Distinguishes models with identical mixes (per benchmark).
+    fp_trailing_zero_prob:
+        Probability that an ``fp`` word's two lowest mantissa bytes are
+        zero ("round" doubles are common in initialised arrays).
+    """
+
+    def __init__(
+        self,
+        mix: dict[str, float],
+        seed: int = 0,
+        fp_trailing_zero_prob: float = 0.55,
+    ):
+        unknown = set(mix) - set(WORD_CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown categories: {sorted(unknown)}")
+        weights = np.array(
+            [float(mix.get(c, 0.0)) for c in WORD_CATEGORIES], dtype=np.float64
+        )
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ValueError("mixture weights must be non-negative, sum > 0")
+        self.mix = {c: w for c, w in zip(WORD_CATEGORIES, weights / weights.sum())}
+        self.seed = seed
+        self.fp_trailing_zero_prob = fp_trailing_zero_prob
+        self._cdf = np.cumsum(weights / weights.sum())
+
+    # ------------------------------------------------------------------
+    def _hash(self, addresses: np.ndarray, stream: int) -> np.ndarray:
+        base = addresses.astype(np.uint64) * np.uint64(2654435761)
+        salt = np.uint64(self.seed * 0x9E3779B9 + stream * 0x85EBCA6B)
+        return splitmix64(base ^ salt)
+
+    def lines_for(self, addresses: np.ndarray) -> np.ndarray:
+        """Payloads for ``addresses`` as ``(n, 64)`` uint8 (little-endian).
+
+        ``addresses`` are byte addresses; only the line number matters.
+        """
+        addresses = np.atleast_1d(np.asarray(addresses, dtype=np.int64))
+        lines = (addresses // 64).astype(np.uint64)
+        n = lines.shape[0]
+
+        # Per-line category selection: a line is one slice of one array.
+        word_ids = lines[:, None] * np.uint64(8) + np.arange(8, dtype=np.uint64)
+        h_cat = self._hash(lines, stream=1)
+        u = (h_cat >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+        category = np.searchsorted(self._cdf, u, side="right")
+        category = np.minimum(category, len(WORD_CATEGORIES) - 1)
+        category = np.broadcast_to(category[:, None], (n, 8)).copy()
+
+        # Raw random material, 8 bytes per word.
+        h_val = self._hash(word_ids.ravel(), stream=2).reshape(n, 8)
+        raw = h_val.copy().view(np.uint64)
+        raw_bytes = raw[..., None].view(np.uint8).reshape(n, 8, 8)
+
+        out = np.zeros((n, 8, 8), dtype=np.uint8)
+
+        zero = category == 0
+        int1 = category == 1
+        int2 = category == 2
+        int4 = category == 3
+        fp = category == 4
+        text = category == 5
+        repeat = category == 6
+        rand = category == 7
+
+        # Integers: little-endian, so low bytes carry the value.
+        out[int1, 0] = raw_bytes[int1, 0]
+        for k in range(2):
+            out[int2, k] = raw_bytes[int2, k]
+        for k in range(4):
+            out[int4, k] = raw_bytes[int4, k]
+
+        # Text: printable ASCII 0x20..0x7E.
+        out[text] = 0x20 + (raw_bytes[text] % 95)
+
+        # Repeat: one byte value smeared across the whole line (memset);
+        # take it from the line hash so all eight words agree.
+        rep_byte = (self._hash(lines, stream=5) % np.uint64(256)).astype(np.uint8)
+        rep_rows, rep_cols = np.nonzero(repeat)
+        out[rep_rows, rep_cols] = rep_byte[rep_rows, None]
+
+        # Random: raw bytes untouched.
+        out[rand] = raw_bytes[rand]
+
+        # FP: bytes 7..6 are sign/exponent, shared per line so that
+        # words in a line look like elements of one array.
+        h_line = self._hash(lines, stream=3)
+        exp_hi = (0x3F + (h_line % np.uint64(2))).astype(np.uint8)  # 0x3F/0x40
+        exp_lo = ((h_line >> np.uint64(8)) % np.uint64(256)).astype(np.uint8)
+        fp_rows, fp_cols = np.nonzero(fp)
+        out[fp_rows, fp_cols, 7] = exp_hi[fp_rows]
+        out[fp_rows, fp_cols, 6] = exp_lo[fp_rows]
+        for k in range(2, 6):
+            out[fp_rows, fp_cols, k] = raw_bytes[fp_rows, fp_cols, k]
+        # Trailing mantissa bytes often zero ("round" values).
+        round_val = (h_val % np.uint64(1000)).astype(np.float64) / 1000.0
+        keep = round_val[fp_rows, fp_cols] >= self.fp_trailing_zero_prob
+        for k in range(2):
+            out[fp_rows, fp_cols, k] = np.where(
+                keep, raw_bytes[fp_rows, fp_cols, k], 0
+            )
+
+        assert zero.dtype == bool  # zero words stay all-zero by construction
+        return out.reshape(n, 64)
+
+    def expected_category_shares(self) -> dict[str, float]:
+        """The normalised mixture (for tests and documentation)."""
+        return dict(self.mix)

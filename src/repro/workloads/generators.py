@@ -1,0 +1,179 @@
+"""Address-stream primitives the synthetic benchmarks are built from.
+
+Every primitive returns parallel numpy arrays ``(addresses, is_write)``
+describing one core's accesses in program order.  The primitives are
+deliberately simple and composable; :mod:`repro.workloads.benchmarks`
+assembles them into the eleven Table 3 workloads.
+
+All primitives take an explicit ``rng`` so benchmark traces are fully
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sequential_stream",
+    "random_access",
+    "strided_sweep",
+    "gather_stream",
+    "tile_reuse",
+    "update_pairs",
+    "interleave",
+]
+
+LINE = 64
+
+
+def sequential_stream(
+    rng: np.random.Generator,
+    count: int,
+    base: int,
+    span_bytes: int,
+    element_bytes: int = 8,
+    write_fraction: float = 0.0,
+    start_offset: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A linear sweep through ``[base, base + span)``, wrapping around."""
+    if count <= 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    start = (
+        int(rng.integers(0, max(1, span_bytes // element_bytes)))
+        if start_offset is None
+        else start_offset
+    )
+    idx = (start + np.arange(count, dtype=np.int64)) % max(
+        1, span_bytes // element_bytes
+    )
+    addresses = base + idx * element_bytes
+    is_write = rng.random(count) < write_fraction
+    return addresses, is_write
+
+
+def random_access(
+    rng: np.random.Generator,
+    count: int,
+    base: int,
+    span_bytes: int,
+    element_bytes: int = 8,
+    write_fraction: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniformly random element accesses over a region (GUPS-style)."""
+    elements = max(1, span_bytes // element_bytes)
+    idx = rng.integers(0, elements, size=count)
+    addresses = base + idx * element_bytes
+    is_write = rng.random(count) < write_fraction
+    return addresses.astype(np.int64), is_write
+
+
+def strided_sweep(
+    rng: np.random.Generator,
+    count: int,
+    base: int,
+    span_bytes: int,
+    stride_bytes: int,
+    element_bytes: int = 8,
+    write_fraction: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A constant-stride walk (FFT butterflies, multigrid levels)."""
+    elements = max(1, span_bytes // element_bytes)
+    stride_elems = max(1, stride_bytes // element_bytes)
+    idx = (np.arange(count, dtype=np.int64) * stride_elems) % elements
+    addresses = base + idx * element_bytes
+    is_write = rng.random(count) < write_fraction
+    return addresses, is_write
+
+
+def gather_stream(
+    rng: np.random.Generator,
+    count: int,
+    seq_base: int,
+    seq_span: int,
+    gather_base: int,
+    gather_span: int,
+    gather_ratio: float = 0.5,
+    write_fraction: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sequential index stream interleaved with random gathers (CG).
+
+    Models ``y[i] += A[j] * x[col[j]]``: the matrix and column arrays
+    stream sequentially while the source-vector reads scatter randomly.
+    """
+    seq_count = count - int(count * gather_ratio)
+    seq_addr, seq_wr = sequential_stream(
+        rng, seq_count, seq_base, seq_span, write_fraction=write_fraction
+    )
+    g_count = count - seq_count
+    g_addr, g_wr = random_access(rng, g_count, gather_base, gather_span)
+    return interleave(rng, [(seq_addr, seq_wr), (g_addr, g_wr)])
+
+
+def tile_reuse(
+    rng: np.random.Generator,
+    count: int,
+    base: int,
+    span_bytes: int,
+    tile_bytes: int,
+    reuse_factor: int,
+    write_fraction: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Blocked-algorithm pattern: sweep a tile ``reuse_factor`` times,
+    then move to the next tile (matrix multiply)."""
+    tiles = max(1, span_bytes // tile_bytes)
+    per_tile = max(1, (tile_bytes // 8) * reuse_factor)
+    addresses = np.empty(count, dtype=np.int64)
+    produced = 0
+    tile = int(rng.integers(0, tiles))
+    while produced < count:
+        take = min(per_tile, count - produced)
+        offsets = (np.arange(take, dtype=np.int64) * 8) % tile_bytes
+        addresses[produced : produced + take] = base + tile * tile_bytes + offsets
+        produced += take
+        tile = (tile + 1) % tiles
+    is_write = rng.random(count) < write_fraction
+    return addresses, is_write
+
+
+def update_pairs(
+    rng: np.random.Generator,
+    count: int,
+    base: int,
+    span_bytes: int,
+    element_bytes: int = 8,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Read-modify-write pairs at random elements (GUPS updates)."""
+    pairs = count // 2
+    elements = max(1, span_bytes // element_bytes)
+    idx = rng.integers(0, elements, size=pairs)
+    addresses = np.repeat(base + idx * element_bytes, 2).astype(np.int64)
+    is_write = np.tile(np.array([False, True]), pairs)
+    return addresses, is_write
+
+
+def interleave(
+    rng: np.random.Generator,
+    streams: list[tuple[np.ndarray, np.ndarray]],
+    chunk: int = 4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge several (addresses, is_write) streams in chunked round-robin."""
+    streams = [s for s in streams if len(s[0])]
+    if not streams:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    addr_parts: list[np.ndarray] = []
+    wr_parts: list[np.ndarray] = []
+    positions = [0] * len(streams)
+    live = list(range(len(streams)))
+    while live:
+        nxt = []
+        for s in live:
+            a, w = streams[s]
+            start = positions[s]
+            stop = min(start + chunk, len(a))
+            addr_parts.append(a[start:stop])
+            wr_parts.append(w[start:stop])
+            positions[s] = stop
+            if stop < len(a):
+                nxt.append(s)
+        live = nxt
+    return np.concatenate(addr_parts), np.concatenate(wr_parts)

@@ -1,0 +1,83 @@
+"""Memory-trace data structures passed between pipeline stages.
+
+The reproduction pipeline is::
+
+    benchmark generator        (repro.workloads.benchmarks)
+        -> per-core CPU access streams
+    cache hierarchy filter     (repro.system.hierarchy)
+        -> MemoryTrace: DRAM-level records with think-time gaps
+    timing simulator           (repro.system.simulator)
+        -> SimulationResult
+
+A :class:`TraceRecord` is one DRAM transaction candidate.  ``gap`` is the
+CPU think time (already converted to DRAM cycles) separating it from the
+core's previous record — the quantity that turns cache hit-rates into
+memory intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TraceRecord", "MemoryTrace"]
+
+
+@dataclass(slots=True)
+class TraceRecord:
+    """One LLC-to-memory transaction in program order for a core."""
+
+    core: int
+    gap: int  # DRAM cycles of CPU work before this record can issue
+    address: int
+    is_write: bool
+    line_id: int
+    is_prefetch: bool = False
+    dependent: bool = False  # serialised behind the previous demand read
+
+
+@dataclass
+class MemoryTrace:
+    """Everything the timing simulator needs for one benchmark run."""
+
+    name: str
+    records_by_core: list  # list[list[TraceRecord]]
+    line_data: np.ndarray  # (n_records, 64) uint8 payloads
+    cpu_accesses: int = 0  # CPU-level accesses the trace represents
+    l1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n_records = sum(len(recs) for recs in self.records_by_core)
+        if self.line_data.shape != (n_records, 64):
+            raise ValueError(
+                f"line_data shape {self.line_data.shape} does not match "
+                f"{n_records} trace records"
+            )
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(recs) for recs in self.records_by_core)
+
+    @property
+    def demand_reads(self) -> int:
+        return sum(
+            1
+            for recs in self.records_by_core
+            for r in recs
+            if not r.is_write and not r.is_prefetch
+        )
+
+    @property
+    def writes(self) -> int:
+        return sum(
+            1 for recs in self.records_by_core for r in recs if r.is_write
+        )
+
+    @property
+    def prefetches(self) -> int:
+        return sum(
+            1 for recs in self.records_by_core for r in recs if r.is_prefetch
+        )

@@ -1,0 +1,129 @@
+"""Tests for the Figures 4-6 analysis metrics."""
+
+import pytest
+
+from repro.analysis import (
+    GAP_BUCKETS,
+    bucket_label,
+    format_normalized_series,
+    format_table,
+    idle_gap_histogram,
+    pending_split,
+    slack_histogram,
+)
+from repro.dram import DDR4_3200
+from repro.dram.channel import BusTransaction
+
+
+def tx(start, end, rank=0, write=False):
+    return BusTransaction(start=start, end=end, issue_cycle=start - 20,
+                          is_write=write, rank=rank, bank_group=0, bank=0,
+                          scheme="dbi", request_id=0)
+
+
+class TestBuckets:
+    def test_labels(self):
+        assert bucket_label(0) == "0"
+        assert bucket_label(1) == "1-7"
+        assert bucket_label(8) == "8-15"
+        assert bucket_label(64) == "64+"
+
+    def test_bucket_edges_match_paper(self):
+        assert GAP_BUCKETS == (0, 1, 8, 16, 32, 64)
+
+
+class TestIdleGaps:
+    def test_back_to_back(self):
+        hist = idle_gap_histogram([tx(0, 4), tx(4, 8)])
+        assert hist["0"] == 1
+
+    def test_gap_bucketing(self):
+        log = [tx(0, 4), tx(9, 13), tx(25, 29), tx(200, 204)]
+        hist = idle_gap_histogram(log)
+        assert hist["1-7"] == 1  # gap 5
+        assert hist["8-15"] == 1  # gap 12
+        assert hist["64+"] == 1  # gap 171
+
+    def test_total_is_pairs(self):
+        log = [tx(i * 50, i * 50 + 4) for i in range(10)]
+        hist = idle_gap_histogram(log)
+        assert sum(hist.values()) == 9
+
+    def test_unsorted_input_ok(self):
+        log = [tx(100, 104), tx(0, 4)]
+        hist = idle_gap_histogram(log)
+        assert hist["64+"] == 1
+
+    def test_empty_and_single(self):
+        assert sum(idle_gap_histogram([]).values()) == 0
+        assert sum(idle_gap_histogram([tx(0, 4)]).values()) == 0
+
+
+class TestSlack:
+    def test_same_stream_slack_equals_gap(self):
+        hist = slack_histogram([tx(0, 4), tx(14, 18)], DDR4_3200)
+        assert hist["8-15"] == 1  # gap 10, no turnaround
+
+    def test_rank_switch_eats_rtrs(self):
+        # Gap of 2 with a rank switch: all of it is mandatory bubble.
+        log = [tx(0, 4, rank=0), tx(4 + DDR4_3200.RTRS, 8 + DDR4_3200.RTRS,
+                                    rank=1)]
+        hist = slack_histogram(log, DDR4_3200)
+        assert hist["0"] == 1
+
+    def test_direction_switch_eats_rtrs(self):
+        log = [tx(0, 4, write=False), tx(9, 13, write=True)]
+        hist = slack_histogram(log, DDR4_3200)
+        # Gap 5 minus tRTRS 2 = slack 3.
+        assert hist["1-7"] == 1
+
+    def test_slack_never_negative(self):
+        log = [tx(0, 4, rank=0), tx(4, 8, rank=1)]  # illegal but robust
+        hist = slack_histogram(log, DDR4_3200)
+        assert hist["0"] == 1
+
+
+class TestPendingSplit:
+    def test_partition(self):
+        split = pending_split(cycles=100, busy_cycles=30, pending_cycles=70)
+        assert split.utilized == 30
+        assert split.idle_pending == 40
+        assert split.no_pending == 30
+        assert split.total == 100
+
+    def test_fractions_sum_to_one(self):
+        split = pending_split(100, 25, 60)
+        assert sum(split.fractions().values()) == pytest.approx(1.0)
+
+    def test_busy_nested_in_pending(self):
+        # Busy cycles in excess of pending are clamped sanely.
+        split = pending_split(100, 50, 20)
+        assert split.idle_pending == 0
+        assert split.no_pending == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pending_split(10, 20, 5)
+
+    def test_zero_cycles(self):
+        split = pending_split(0, 0, 0)
+        assert split.fractions()["utilized"] == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [["x", 1.5], ["yy", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert "1.500" in text
+
+    def test_format_table_with_title(self):
+        text = format_table(["a"], [["b"]], title="My Title")
+        assert text.startswith("My Title")
+
+    def test_normalized_series(self):
+        text = format_normalized_series(
+            "Fig", ["X", "Y"], {"mil": [0.5, 0.6], "dbi": [1.0, 1.0]}
+        )
+        assert "mil" in text and "0.500" in text

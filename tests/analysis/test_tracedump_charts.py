@@ -1,0 +1,113 @@
+"""Tests for trace export/audit tooling and terminal charts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    audit_dump,
+    bar_chart,
+    dump_transactions_csv,
+    dump_transactions_jsonl,
+    grouped_bars,
+    load_transactions_csv,
+    load_transactions_jsonl,
+)
+from repro.dram import DDR4_3200, DDR4_GEOMETRY
+from repro.dram.channel import BusTransaction
+from repro.system import NIAGARA_SERVER, simulate
+from repro.workloads import MemoryTrace, TraceRecord
+
+
+def sample_log():
+    return [
+        BusTransaction(10, 14, 0, False, 0, 0, 0, "dbi", 1),
+        BusTransaction(20, 25, 5, True, 1, 1, 2, "milc", 2),
+        BusTransaction(40, 48, 18, False, 0, 0, 1, "3lwc", 3),
+    ]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    def test_round_trip(self, tmp_path, fmt):
+        path = tmp_path / f"log.{fmt}"
+        log = sample_log()
+        if fmt == "csv":
+            count = dump_transactions_csv(path, log)
+            loaded = load_transactions_csv(path)
+        else:
+            count = dump_transactions_jsonl(path, log)
+            loaded = load_transactions_jsonl(path)
+        assert count == 3
+        assert loaded == log
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert dump_transactions_csv(path, []) == 0
+        assert load_transactions_csv(path) == []
+
+
+class TestAudit:
+    def test_clean_dump(self, tmp_path):
+        path = tmp_path / "log.csv"
+        dump_transactions_csv(path, sample_log())
+        report = audit_dump(path, DDR4_3200)
+        assert report["clean"]
+        assert report["transactions"] == 3
+        assert report["schemes"] == {"dbi": 1, "milc": 1, "3lwc": 1}
+        assert report["busy_cycles"] == 4 + 5 + 8
+
+    def test_violating_dump_flagged(self, tmp_path):
+        bad = [
+            BusTransaction(10, 14, 0, False, 0, 0, 0, "dbi", 1),
+            BusTransaction(12, 16, 2, False, 0, 0, 0, "dbi", 2),
+        ]
+        path = tmp_path / "bad.jsonl"
+        dump_transactions_jsonl(path, bad)
+        report = audit_dump(path, DDR4_3200)
+        assert not report["clean"]
+        assert report["violations"]
+
+    def test_real_simulation_dump_is_clean(self, tmp_path):
+        records = [[
+            TraceRecord(core=0, gap=10, address=i * 4096, is_write=False,
+                        line_id=i)
+            for i in range(40)
+        ]]
+        trace = MemoryTrace(
+            name="t", records_by_core=records,
+            line_data=np.zeros((40, 64), dtype=np.uint8),
+        )
+        result = simulate(trace, NIAGARA_SERVER)
+        path = tmp_path / "sim.csv"
+        dump_transactions_csv(
+            path, result.controllers[0].channel.transactions
+        )
+        assert audit_dump(path, result.controllers[0].timing)["clean"]
+
+
+class TestCharts:
+    def test_bar_chart_renders_values(self):
+        text = bar_chart(["a", "bb"], [1.0, 0.5], title="T", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.000" in lines[1] and "0.500" in lines[2]
+        # Full-scale bar fills the width.
+        assert "█" * 10 in lines[1]
+
+    def test_bar_chart_reference_marker(self):
+        text = bar_chart(["x"], [0.5], width=10, reference=1.0)
+        assert "·" in text
+
+    def test_bar_chart_validates(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_grouped_bars(self):
+        text = grouped_bars(
+            ["G1", "G2"], {"mil": [0.5, 0.6], "dbi": [1.0, 1.0]}
+        )
+        assert "G1" in text and "mil" in text and "0.600" in text
+
+    def test_zero_values_no_crash(self):
+        text = bar_chart(["z"], [0.0])
+        assert "0.000" in text

@@ -1,0 +1,88 @@
+"""Unit tests for the bit-manipulation helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding.bitops import (
+    bits_to_bytes,
+    bits_to_ints,
+    byte_popcount_table,
+    bytes_to_bits,
+    format_bits,
+    ints_to_bits,
+    parse_bitstring,
+    popcount_bits,
+    zeros_in_bits,
+)
+
+
+class TestBytesBits:
+    def test_msb_first(self):
+        bits = bytes_to_bits(np.array([0b10000001], dtype=np.uint8))
+        assert bits.tolist() == [1, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_round_trip_random(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, size=(7, 13), dtype=np.uint8)
+        assert (bits_to_bytes(bytes_to_bits(data)) == data).all()
+
+    def test_bits_to_bytes_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.zeros(7, dtype=np.uint8))
+
+    def test_shape_expansion(self):
+        data = np.zeros((3, 4, 2), dtype=np.uint8)
+        assert bytes_to_bits(data).shape == (3, 4, 16)
+
+
+class TestCounts:
+    def test_popcount_and_zeros_complement(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, size=(5, 17), dtype=np.uint8)
+        assert (popcount_bits(bits) + zeros_in_bits(bits) == 17).all()
+
+    def test_popcount_table_matches_bin(self):
+        table = byte_popcount_table()
+        for v in (0, 1, 0x0F, 0xF0, 0xFF, 0xAA):
+            assert table[v] == bin(v).count("1")
+
+    def test_popcount_table_is_copy(self):
+        t = byte_popcount_table()
+        t[0] = 99
+        assert byte_popcount_table()[0] == 0
+
+
+class TestIntConversion:
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_round_trip(self, value):
+        bits = ints_to_bits(np.array([value]), 16)
+        assert bits_to_ints(bits)[0] == value
+
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            ints_to_bits(np.array([256]), 8)
+
+    def test_msb_first_layout(self):
+        assert ints_to_bits(np.array([4]), 3).tolist() == [[1, 0, 0]]
+
+    def test_width_bounds(self):
+        with pytest.raises(ValueError):
+            ints_to_bits(np.array([0]), 0)
+        with pytest.raises(ValueError):
+            ints_to_bits(np.array([0]), 64)
+
+
+class TestStrings:
+    def test_parse_and_format(self):
+        bits = parse_bitstring("1011 0001")
+        assert bits.tolist() == [1, 0, 1, 1, 0, 0, 0, 1]
+        assert format_bits(bits) == "10110001"
+        assert format_bits(bits, group=4) == "1011 0001"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_bitstring("10x1")
+        with pytest.raises(ValueError):
+            parse_bitstring("")

@@ -1,0 +1,115 @@
+"""Tests for bus-invert coding and transition signaling (LPDDR3 stack)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coding import BusInvertCode, TransitionSignaling
+from repro.coding.bitops import bytes_to_bits
+
+BI = BusInvertCode()
+
+
+class TestBusInvert:
+    def test_few_transitions_passthrough(self):
+        prev = np.zeros(9, dtype=np.uint8)
+        data = bytes_to_bits(np.array([0x01], dtype=np.uint8)).reshape(8)
+        code, trans = BI.encode_step(data, prev)
+        assert code[8] == 0  # not inverted
+        assert trans == 1
+
+    def test_many_transitions_inverted(self):
+        prev = np.zeros(9, dtype=np.uint8)
+        data = bytes_to_bits(np.array([0xFF], dtype=np.uint8)).reshape(8)
+        code, trans = BI.encode_step(data, prev)
+        # Sending 0xFF over all-low wires would flip 8; inverting flips
+        # only the BI wire.
+        assert code[8] == 1
+        assert trans == 1
+
+    @settings(max_examples=100)
+    @given(
+        arrays(np.uint8, (8,), elements=st.integers(0, 1)),
+        arrays(np.uint8, (9,), elements=st.integers(0, 1)),
+    )
+    def test_round_trip_and_bound(self, data, prev):
+        code, trans = BI.encode_step(data, prev)
+        assert (BI.decode_step(code) == data).all()
+        # BI bounds flips to at most ceil(9/2).
+        assert trans <= 5
+        assert trans == int((code != prev).sum())
+
+    def test_sequence_round_trip(self):
+        rng = np.random.default_rng(12)
+        data = rng.integers(0, 256, size=50, dtype=np.uint8)
+        codes, trans = BI.encode_sequence(data)
+        decoded = BI.decode_sequence(codes)
+        expect = bytes_to_bits(data).reshape(50, 8)
+        assert (decoded == expect).all()
+        assert trans.max() <= 5
+
+    def test_sequence_transitions_consistent(self):
+        data = np.array([0xFF, 0x00, 0xFF, 0x00], dtype=np.uint8)
+        codes, trans = BI.encode_sequence(data)
+        wire = np.zeros(9, dtype=np.uint8)
+        for beat, count in zip(codes, trans):
+            assert int((beat != wire).sum()) == count
+            wire = beat
+
+
+class TestTransitionSignaling:
+    def test_flip_per_zero_polarity(self):
+        # Default polarity: a logical 0 flips the wire, a 1 holds it.
+        ts = TransitionSignaling(lanes=4, flip_on=0)
+        levels = ts.encode(np.array([[0, 1, 0, 1]], dtype=np.uint8))
+        assert levels[0].tolist() == [1, 0, 1, 0]
+
+    def test_flip_per_one_polarity(self):
+        ts = TransitionSignaling(lanes=4, flip_on=1)
+        levels = ts.encode(np.array([[0, 1, 0, 1]], dtype=np.uint8))
+        assert levels[0].tolist() == [0, 1, 0, 1]
+
+    @settings(max_examples=100)
+    @given(arrays(np.uint8, (6, 8), elements=st.integers(0, 1)))
+    def test_round_trip(self, beats):
+        ts = TransitionSignaling(lanes=8)
+        levels = ts.encode(beats)
+        decoded = ts.decode(levels)
+        assert (decoded == beats).all()
+
+    @settings(max_examples=100)
+    @given(arrays(np.uint8, (5, 8), elements=st.integers(0, 1)))
+    def test_flip_count_equals_zero_count(self, beats):
+        # The property Section 2.1.2 relies on: wire flips == logical 0s.
+        ts = TransitionSignaling(lanes=8)
+        prev = ts.wire_state
+        levels = ts.encode(beats)
+        flips = int((levels[0] != prev).sum()) + int(
+            (np.diff(levels.astype(np.int8), axis=0) != 0).sum()
+        )
+        zeros = int(beats.size - beats.sum())
+        assert flips == zeros
+
+    def test_state_persists_across_calls(self):
+        ts = TransitionSignaling(lanes=2)
+        first = ts.encode(np.array([[0, 0]], dtype=np.uint8))
+        second = ts.encode(np.array([[0, 0]], dtype=np.uint8))
+        assert first[0].tolist() == [1, 1]
+        assert second[0].tolist() == [0, 0]
+
+    def test_reset_and_validation(self):
+        ts = TransitionSignaling(lanes=3)
+        ts.encode(np.zeros((2, 3), dtype=np.uint8))
+        ts.reset()
+        assert ts.wire_state.tolist() == [0, 0, 0]
+        with pytest.raises(ValueError):
+            ts.reset(np.zeros(4, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            TransitionSignaling(lanes=3, flip_on=2)
+
+    def test_count_flips_matches_zero_count(self):
+        ts = TransitionSignaling(lanes=8)
+        bits = np.array([1, 1, 0, 0, 1, 0, 1, 1], dtype=np.uint8)
+        assert ts.count_flips(bits) == 3

@@ -1,0 +1,81 @@
+"""Tests for the CAFO comparison scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coding import CAFOCode
+from repro.coding.bitops import zeros_in_bits
+
+blocks64 = arrays(np.uint8, (64,), elements=st.integers(min_value=0, max_value=1))
+
+
+class TestRoundTrip:
+    @settings(max_examples=150)
+    @given(blocks64, st.sampled_from([1, 2, 4, None]))
+    def test_round_trip(self, block, iterations):
+        code = CAFOCode(iterations=iterations)
+        decoded = code.decode(code.encode(block[None, :]))
+        assert (decoded[0] == block).all()
+
+    def test_round_trip_batch(self):
+        rng = np.random.default_rng(10)
+        blocks = rng.integers(0, 2, size=(300, 64), dtype=np.uint8)
+        for iters in (2, 4, None):
+            code = CAFOCode(iterations=iters)
+            assert (code.decode(code.encode(blocks)) == blocks).all()
+
+
+class TestObjective:
+    @settings(max_examples=100)
+    @given(blocks64)
+    def test_count_matches_encode(self, block):
+        for iters in (2, 4):
+            code = CAFOCode(iterations=iters)
+            assert (
+                code.count_zeros(block[None, :])[0]
+                == zeros_in_bits(code.encode(block[None, :]))[0]
+            )
+
+    @settings(max_examples=100)
+    @given(blocks64)
+    def test_more_iterations_never_hurt(self, block):
+        # Each greedy half-pass only applies strictly improving flips,
+        # so CAFO4 <= CAFO2 <= no-coding in transmitted zeros.
+        b = block[None, :]
+        z2 = CAFOCode(iterations=2).count_zeros(b)[0]
+        z4 = CAFOCode(iterations=4).count_zeros(b)[0]
+        zfull = CAFOCode(iterations=None).count_zeros(b)[0]
+        raw = 64 - int(block.sum())
+        assert z4 <= z2 <= raw + 16  # flags all-ones when untouched
+        assert zfull <= z4
+
+    def test_converged_variant_is_fixed_point(self):
+        # Running the convergent solver twice changes nothing.
+        rng = np.random.default_rng(11)
+        blocks = rng.integers(0, 2, size=(50, 64), dtype=np.uint8)
+        code = CAFOCode(iterations=None)
+        first = code.count_zeros(blocks)
+        again = code.count_zeros(blocks)
+        assert (first == again).all()
+
+    def test_all_zero_block(self):
+        # Rows all flip; flags cost 8 zeros — the DBI-equivalent floor.
+        block = np.zeros((1, 64), dtype=np.uint8)
+        assert CAFOCode(iterations=2).count_zeros(block)[0] == 8
+
+
+class TestConfiguration:
+    def test_latency_charging(self):
+        assert CAFOCode(iterations=2).extra_latency_cycles == 2
+        assert CAFOCode(iterations=4).extra_latency_cycles == 4
+
+    def test_names(self):
+        assert CAFOCode(iterations=2).name == "cafo2"
+        assert CAFOCode(iterations=None).name == "cafo"
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            CAFOCode(iterations=0)

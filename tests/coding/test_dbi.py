@@ -1,0 +1,83 @@
+"""Tests for the DDR4 data bus inversion baseline code."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding import DBICode, dbi_zero_table
+from repro.coding.bitops import bytes_to_bits, zeros_in_bits
+
+CODE = DBICode()
+
+
+def byte_bits(value: int) -> np.ndarray:
+    return bytes_to_bits(np.array([value], dtype=np.uint8))
+
+
+class TestEncode:
+    def test_sparse_byte_passes_through(self):
+        # 0xF7 has one zero: transmitted as-is, DBI bit high.
+        code = CODE.encode(byte_bits(0xF7))
+        assert code[..., 8] == 1
+        assert (code[..., :8] == byte_bits(0xF7)).all()
+
+    def test_dense_zero_byte_inverted(self):
+        # 0x00 has eight zeros: inverted to 0xFF, DBI bit low.
+        code = CODE.encode(byte_bits(0x00))
+        assert code[..., 8] == 0
+        assert code[..., :8].sum() == 8
+
+    def test_exactly_four_zeros_not_inverted(self):
+        # The standard inverts strictly when zeros > 4.
+        code = CODE.encode(byte_bits(0x0F))
+        assert code[..., 8] == 1
+
+    def test_five_zeros_inverted(self):
+        code = CODE.encode(byte_bits(0x07))
+        assert code[..., 8] == 0
+
+
+class TestInvariants:
+    @given(st.integers(min_value=0, max_value=255))
+    def test_round_trip(self, value):
+        bits = byte_bits(value)
+        assert (CODE.decode(CODE.encode(bits)) == bits).all()
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_zero_bound(self, value):
+        # DBI guarantees at most four zeros per 9-bit group.
+        code = CODE.encode(byte_bits(value))
+        assert zeros_in_bits(code) <= 4
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_count_matches_encode(self, value):
+        bits = byte_bits(value)
+        assert CODE.count_zeros(bits) == zeros_in_bits(CODE.encode(bits))
+
+    def test_batch_round_trip(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=(64, 8), dtype=np.uint8)
+        assert (CODE.decode(CODE.encode(bits)) == bits).all()
+
+
+class TestTableAndFastPaths:
+    def test_zero_table_spot_values(self):
+        table = dbi_zero_table()
+        assert table[0xFF] == 0  # no zeros, passthrough
+        assert table[0x00] == 1  # inverted to 0xFF + low DBI bit
+        assert table[0x0F] == 4  # four zeros, passthrough
+        assert table[0x07] == 4  # five zeros -> invert: 3 + 1
+
+    def test_count_zeros_bytes_matches_bits(self):
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 256, size=(20, 64), dtype=np.uint8)
+        via_bytes = CODE.count_zeros_bytes(data)
+        via_bits = CODE.count_zeros(bytes_to_bits(data))
+        assert (via_bytes == via_bits).all()
+
+    def test_encode_bytes_shape(self):
+        data = np.zeros((5, 4), dtype=np.uint8)
+        assert CODE.encode_bytes(data).shape == (5, 4, 9)
+
+    def test_expansion(self):
+        assert CODE.expansion == 9 / 8

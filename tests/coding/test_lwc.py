@@ -1,0 +1,104 @@
+"""Tests for the improved (8, 17) 3-limited-weight code."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coding import ThreeLWC, lwc_zero_table
+from repro.coding.bitops import bytes_to_bits, zeros_in_bits
+from repro.coding.lwc import MAX_ZEROS_PER_CODEWORD
+
+CODE = ThreeLWC()
+
+
+def byte_bits(value: int) -> np.ndarray:
+    return bytes_to_bits(np.array([value], dtype=np.uint8))
+
+
+class TestInvariants:
+    def test_round_trip_exhaustive(self):
+        # All 256 bytes at once: the code must be a bijection.
+        values = np.arange(256, dtype=np.uint8)
+        bits = bytes_to_bits(values[:, None]).reshape(256, 8)
+        decoded = CODE.decode(CODE.encode(bits))
+        assert (decoded == bits).all()
+
+    def test_codewords_unique(self):
+        values = np.arange(256, dtype=np.uint8)
+        bits = bytes_to_bits(values[:, None]).reshape(256, 8)
+        codes = CODE.encode(bits)
+        packed = {tuple(c) for c in codes.tolist()}
+        assert len(packed) == 256
+
+    def test_weight_bound_exhaustive(self):
+        # The defining property: at most three zeros per 17-bit codeword.
+        values = np.arange(256, dtype=np.uint8)
+        bits = bytes_to_bits(values[:, None]).reshape(256, 8)
+        codes = CODE.encode(bits)
+        assert zeros_in_bits(codes).max() <= MAX_ZEROS_PER_CODEWORD
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_count_matches_encode(self, value):
+        bits = byte_bits(value)
+        assert CODE.count_zeros(bits) == zeros_in_bits(CODE.encode(bits))
+
+
+class TestModeTable:
+    """Spot checks against Table 1 of the paper (pre-complement view)."""
+
+    def precomplement(self, value: int) -> np.ndarray:
+        return 1 - CODE.encode(byte_bits(value)).ravel()
+
+    def test_zero_byte_all_zero_code_mode_00(self):
+        word = self.precomplement(0x00)
+        assert word.sum() == 0  # code all 0s, mode 00
+
+    def test_equal_nonzero_nibbles_mode_01(self):
+        word = self.precomplement(0x33)  # l == r == 3
+        assert word[:15].sum() == 1
+        assert (word[15], word[16]) == (0, 1)  # mode 01
+
+    def test_left_only_mode_00(self):
+        word = self.precomplement(0x50)  # l=5, r=0
+        assert word[:15].sum() == 1
+        assert (word[15], word[16]) == (0, 0)
+
+    def test_right_only_mode_10(self):
+        word = self.precomplement(0x05)  # l=0, r=5
+        assert word[:15].sum() == 1
+        assert (word[15], word[16]) == (1, 0)
+
+    def test_left_greater_mode_10(self):
+        word = self.precomplement(0x72)  # l=7 > r=2
+        assert word[:15].sum() == 2
+        assert (word[15], word[16]) == (1, 0)
+
+    def test_left_smaller_mode_00(self):
+        word = self.precomplement(0x27)  # l=2 < r=7
+        assert word[:15].sum() == 2
+        assert (word[15], word[16]) == (0, 0)
+
+
+class TestZeroTable:
+    def test_table_matches_encoder_exhaustively(self):
+        table = lwc_zero_table()
+        values = np.arange(256, dtype=np.uint8)
+        bits = bytes_to_bits(values[:, None]).reshape(256, 8)
+        encoded_zeros = zeros_in_bits(CODE.encode(bits))
+        assert (table == encoded_zeros).all()
+
+    def test_zero_byte_costs_nothing(self):
+        # 0x00 maps to the all-ones transmitted word: free on POD.
+        assert lwc_zero_table()[0x00] == 0
+
+    def test_average_below_dbi(self):
+        # Random data: 3-LWC averages ~2.34 zeros/byte vs DBI's ~3.27.
+        mean = lwc_zero_table().astype(float).mean()
+        assert 2.2 < mean < 2.5
+
+    def test_count_zeros_bytes_matches(self):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 256, size=(16, 64), dtype=np.uint8)
+        assert (
+            CODE.count_zeros_bytes(data) == CODE.count_zeros(bytes_to_bits(data))
+        ).all()

@@ -1,0 +1,112 @@
+"""Tests for the generic k-LWC family and the perfect (11, 23) 3-LWC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coding.bitops import zeros_in_bits
+from repro.coding.lwc_family import (
+    GOLAY_POLY,
+    KLimitedWeightCode,
+    PerfectThreeLWC,
+    golay_syndrome,
+    lwc_capacity_bits,
+)
+
+
+class TestCapacity:
+    def test_perfect_case(self):
+        # C(23,0..3) sums to exactly 2^11: the Golay perfection.
+        assert lwc_capacity_bits(23, 3) == 11
+
+    def test_one_hot_is_1lwc(self):
+        # n wires + the all-zero word carry log2(n+1) bits at weight 1.
+        assert lwc_capacity_bits(15, 1) == 4
+
+    def test_bus_invert_shape(self):
+        # 9 wires at weight <= 4 hold 8 data bits (BI's budget).
+        assert lwc_capacity_bits(9, 4) >= 8
+
+
+class TestKLWC:
+    def test_weight_bound_exhaustive(self):
+        code = KLimitedWeightCode(8, 17, 3)
+        values = np.arange(256, dtype=np.uint8)
+        bits = np.unpackbits(values[:, None], axis=1)
+        encoded = code.encode(bits)
+        assert zeros_in_bits(encoded).max() <= 3
+
+    def test_round_trip_exhaustive(self):
+        code = KLimitedWeightCode(8, 17, 3)
+        values = np.arange(256, dtype=np.uint8)
+        bits = np.unpackbits(values[:, None], axis=1)
+        assert (code.decode(code.encode(bits)) == bits).all()
+
+    def test_zero_maps_to_all_ones(self):
+        code = KLimitedWeightCode(4, 9, 2)
+        encoded = code.encode(np.zeros((1, 4), dtype=np.uint8))
+        assert encoded.sum() == 9
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            KLimitedWeightCode(8, 9, 1)  # 9 wires, weight 1: 3 bits only
+
+    def test_non_codeword_rejected(self):
+        code = KLimitedWeightCode(4, 9, 2)
+        with pytest.raises(ValueError):
+            code.decode(np.zeros((1, 9), dtype=np.uint8))  # weight 9
+
+    @settings(max_examples=50)
+    @given(arrays(np.uint8, (6,), elements=st.integers(0, 1)))
+    def test_one_hot_family(self, bits):
+        code = KLimitedWeightCode(6, 63, 1)
+        encoded = code.encode(bits[None, :])
+        assert zeros_in_bits(encoded)[0] <= 1
+        assert (code.decode(encoded)[0] == bits).all()
+
+
+class TestGolay:
+    def test_syndrome_of_codeword_is_zero(self):
+        # g(x) itself is a codeword.
+        assert golay_syndrome(np.array([GOLAY_POLY]))[0] == 0
+        # ... and so is x * g(x).
+        assert golay_syndrome(np.array([GOLAY_POLY << 1]))[0] == 0
+
+    def test_syndrome_of_low_degree_is_identity(self):
+        # Degree < 11 polynomials are their own residue.
+        assert golay_syndrome(np.array([0b101]))[0] == 0b101
+
+    def test_coset_leaders_cover_all_syndromes(self):
+        # Constructing the code asserts this; do it explicitly too.
+        PerfectThreeLWC()  # would raise if the cover were imperfect
+
+
+class TestPerfectThreeLWC:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return PerfectThreeLWC()
+
+    def test_round_trip_exhaustive(self, code):
+        values = np.arange(2048, dtype=np.int64)
+        bits = ((values[:, None] >> np.arange(10, -1, -1)) & 1).astype(
+            np.uint8
+        )
+        assert (code.decode(code.encode(bits)) == bits).all()
+
+    def test_weight_bound_exhaustive(self, code):
+        values = np.arange(2048, dtype=np.int64)
+        bits = ((values[:, None] >> np.arange(10, -1, -1)) & 1).astype(
+            np.uint8
+        )
+        assert zeros_in_bits(code.encode(bits)).max() <= 3
+
+    def test_denser_than_stans_3lwc(self, code):
+        # 11/23 data density beats the simple 3-LWC's 8/17 with the
+        # same worst-case zeros: the reason the construction exists.
+        assert code.data_bits / code.code_bits > 8 / 17
+
+    def test_zero_datum_is_free(self, code):
+        encoded = code.encode(np.zeros((1, 11), dtype=np.uint8))
+        assert zeros_in_bits(encoded)[0] == 0

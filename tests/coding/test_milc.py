@@ -1,0 +1,107 @@
+"""Tests for MiLC, the paper's (64, 80) block code."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.coding import DBICode, MiLCCode
+from repro.coding.bitops import bytes_to_bits, zeros_in_bits
+
+CODE = MiLCCode()
+
+blocks64 = arrays(np.uint8, (64,), elements=st.integers(min_value=0, max_value=1))
+
+
+class TestRoundTrip:
+    @settings(max_examples=200)
+    @given(blocks64)
+    def test_round_trip(self, block):
+        decoded = CODE.decode(CODE.encode(block[None, :]))
+        assert (decoded[0] == block).all()
+
+    def test_round_trip_batch(self):
+        rng = np.random.default_rng(6)
+        blocks = rng.integers(0, 2, size=(500, 64), dtype=np.uint8)
+        assert (CODE.decode(CODE.encode(blocks)) == blocks).all()
+
+    def test_structured_blocks(self):
+        # Repeated rows, alternating rows, single-bit rows: the patterns
+        # each candidate targets.
+        patterns = []
+        row = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        patterns.append(np.tile(row, 8))
+        patterns.append(np.tile(np.array([0, 1] * 4, dtype=np.uint8), 8))
+        eye = np.zeros((8, 8), dtype=np.uint8)
+        np.fill_diagonal(eye, 1)
+        patterns.append(eye.reshape(64))
+        blocks = np.stack(patterns)
+        assert (CODE.decode(CODE.encode(blocks)) == blocks).all()
+
+
+class TestZeroBehaviour:
+    @settings(max_examples=200)
+    @given(blocks64)
+    def test_count_matches_encode(self, block):
+        count = CODE.count_zeros(block[None, :])[0]
+        assert count == zeros_in_bits(CODE.encode(block[None, :]))[0]
+
+    def test_all_zero_block_is_free(self):
+        # Every row picks inv-xor / inverted, the xor column collapses
+        # under xorbi: a zero block costs almost nothing on the bus.
+        block = np.zeros((1, 64), dtype=np.uint8)
+        assert CODE.count_zeros(block)[0] <= 2
+
+    def test_all_one_block_is_free(self):
+        block = np.ones((1, 64), dtype=np.uint8)
+        assert CODE.count_zeros(block)[0] <= 2
+
+    def test_repeated_row_block_is_cheap(self):
+        # Spatial correlation is MiLC's selling point: identical rows
+        # become all-ones under inv-xor.
+        row = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        block = np.tile(row, 8)[None, :]
+        # Row 0 cannot use xor; everything else is free modulo mode bits.
+        assert CODE.count_zeros(block)[0] <= 6
+
+    @settings(max_examples=100)
+    @given(blocks64)
+    def test_never_worse_than_trivial_encoding(self, block):
+        # The original candidate with mode (0,0) is always available:
+        # zeros(data) + 2 per row, plus at worst 1 zero for xorbi.
+        trivial = (64 - int(block.sum())) + 16 + 1
+        assert CODE.count_zeros(block[None, :])[0] <= trivial
+
+    def test_beats_dbi_on_correlated_data(self):
+        # Lines whose rows repeat *within* each 8-byte MiLC block should
+        # be far cheaper under MiLC (inv-xor candidates) than under DBI.
+        rng = np.random.default_rng(7)
+        vals = rng.integers(0, 256, size=(100, 8), dtype=np.uint8)
+        lines = np.repeat(vals, 8, axis=1)  # byte v repeated 8x per block
+        milc = CODE.count_zeros_bytes(lines)
+        dbi = DBICode().count_zeros_bytes(lines)
+        assert milc.mean() < 0.5 * dbi.mean()
+
+
+class TestLayout:
+    def test_code_shape(self):
+        assert CODE.encode(np.zeros((3, 64), dtype=np.uint8)).shape == (3, 80)
+
+    def test_row0_never_xors(self):
+        # Row 0 has no predecessor: its body must be the original or
+        # inverted first row, regardless of data.
+        rng = np.random.default_rng(8)
+        blocks = rng.integers(0, 2, size=(50, 64), dtype=np.uint8)
+        codes = CODE.encode(blocks)
+        body0 = codes[:, :8]
+        inv0 = codes[:, 64]
+        expect = np.where(inv0[:, None] == 1, 1 - blocks[:, :8], blocks[:, :8])
+        assert (body0 == expect).all()
+
+    def test_count_zeros_bytes_matches(self):
+        rng = np.random.default_rng(9)
+        lines = rng.integers(0, 256, size=(30, 64), dtype=np.uint8)
+        bits = bytes_to_bits(lines).reshape(30, 8, 64)
+        assert (
+            CODE.count_zeros_bytes(lines) == CODE.count_zeros(bits).sum(axis=1)
+        ).all()

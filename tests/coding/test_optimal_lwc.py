@@ -1,0 +1,115 @@
+"""Tests for the frequency-optimal static LWCs (Figure 7 study)."""
+
+import numpy as np
+import pytest
+from math import comb
+
+from repro.coding import (
+    DBICode,
+    OptimalStaticLWC,
+    byte_frequencies,
+    codeword_zero_levels,
+)
+from repro.coding.bitops import bytes_to_bits
+
+
+class TestZeroLevels:
+    def test_level_structure(self):
+        levels = codeword_zero_levels(9)
+        # 1 codeword with zero zeros, then C(9,1)=9 with one, C(9,2)=36
+        # with two, and the rest (210 of C(9,3)=84... capped at 256).
+        assert levels[0] == 0
+        assert (levels[1:10] == 1).all()
+        assert (levels[10:46] == 2).all()
+        assert (levels[46:130] == 3).all()
+        assert (levels[130:256] == 4).all()
+
+    def test_wide_code_is_nearly_free(self):
+        # A 17-bit codeword space has 1 + 17 + 136 = 154 words of weight
+        # >= 15, so most bytes get <= 2 zeros.
+        levels = codeword_zero_levels(17)
+        assert levels.max() <= 3
+        assert levels.mean() < 2.5
+
+    def test_rejects_too_narrow(self):
+        with pytest.raises(ValueError):
+            codeword_zero_levels(7)
+
+    def test_capacity_math(self):
+        for n in (9, 11, 13):
+            levels = codeword_zero_levels(n)
+            for z in range(int(levels.max())):
+                assert (levels == z).sum() == min(comb(n, z), 256)
+
+
+class TestFrequencies:
+    def test_uniform_on_uniform_corpus(self):
+        data = np.arange(256, dtype=np.uint8)
+        freqs = byte_frequencies(data)
+        assert np.allclose(freqs, 1 / 256)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            byte_frequencies(np.array([], dtype=np.uint8))
+
+
+class TestOptimalCode:
+    def test_most_frequent_byte_gets_fewest_zeros(self):
+        freqs = np.full(256, 1e-6)
+        freqs[0x42] = 1.0
+        freqs /= freqs.sum()
+        code = OptimalStaticLWC(9, freqs)
+        bits = bytes_to_bits(np.array([[0x42]], dtype=np.uint8))
+        assert code.count_zeros(bits)[0] == 0
+
+    def test_round_trip_exhaustive(self):
+        rng = np.random.default_rng(13)
+        freqs = rng.random(256)
+        freqs /= freqs.sum()
+        code = OptimalStaticLWC(10, freqs)
+        values = np.arange(256, dtype=np.uint8)
+        bits = bytes_to_bits(values[:, None]).reshape(256, 8)
+        assert (code.decode(code.encode(bits)) == bits).all()
+
+    def test_count_matches_encode(self):
+        code = OptimalStaticLWC(9)
+        values = np.arange(256, dtype=np.uint8)
+        bits = bytes_to_bits(values[:, None]).reshape(256, 8)
+        encoded = code.encode(bits)
+        zeros = encoded.shape[-1] - encoded.sum(axis=-1)
+        assert (code.count_zeros(bits) == zeros).all()
+
+    def test_wider_codes_monotonically_better(self):
+        # More codeword bits -> at least as few expected zeros.  This is
+        # the shape of Figure 7's sweep.
+        rng = np.random.default_rng(14)
+        data = rng.integers(0, 256, size=4096, dtype=np.uint8)
+        freqs = byte_frequencies(data)
+        expected = [
+            OptimalStaticLWC(n, freqs).expected_zeros_per_byte()
+            for n in range(9, 18)
+        ]
+        assert all(a >= b for a, b in zip(expected, expected[1:]))
+
+    def test_equal_overhead_beats_dbi_on_skewed_data(self):
+        # With the same (8, 9) overhead as DBI, the optimal static code
+        # should transmit fewer zeros on skewed data — the Figure 7 claim.
+        rng = np.random.default_rng(15)
+        data = rng.choice(
+            np.array([0x00, 0xFF, 0x01, 0x80], dtype=np.uint8),
+            p=[0.6, 0.2, 0.1, 0.1],
+            size=8192,
+        ).astype(np.uint8)
+        code = OptimalStaticLWC(9, byte_frequencies(data))
+        opt = code.count_zeros_bytes(data[None, :])[0]
+        dbi = DBICode().count_zeros_bytes(data[None, :])[0]
+        assert opt < dbi
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OptimalStaticLWC(8)
+        with pytest.raises(ValueError):
+            OptimalStaticLWC(9, np.ones(10))
+        with pytest.raises(ValueError):
+            code = OptimalStaticLWC(9)
+            code.decode(np.zeros((1, 9), dtype=np.uint8))  # not a codeword

@@ -1,0 +1,112 @@
+"""Tests for transaction queues and the write-drain policy."""
+
+import pytest
+
+from repro.controller import (
+    MemoryRequest,
+    QueueFullError,
+    TransactionQueue,
+    WriteDrainPolicy,
+)
+
+
+def req(addr, write=False, arrival=0):
+    r = MemoryRequest(address=addr, is_write=write)
+    r.arrival = arrival
+    return r
+
+
+class TestTransactionQueue:
+    def test_push_and_len(self):
+        q = TransactionQueue(4)
+        q.push(req(0))
+        q.push(req(64))
+        assert len(q) == 2
+        assert q.occupancy == 0.5
+
+    def test_overflow_raises(self):
+        q = TransactionQueue(1)
+        q.push(req(0))
+        with pytest.raises(QueueFullError):
+            q.push(req(64))
+
+    def test_coalescing_write(self):
+        q = TransactionQueue(2)
+        first = req(128, write=True)
+        first.line_id = 1
+        q.push(first, coalesce=True)
+        second = req(128, write=True)
+        second.line_id = 9
+        took_slot = q.push(second, coalesce=True)
+        assert not took_slot
+        assert len(q) == 1
+        assert first.line_id == 9  # payload updated in place
+
+    def test_find_by_address(self):
+        q = TransactionQueue(4)
+        r = req(256)
+        q.push(r)
+        assert q.find(256) is r
+        assert q.find(512) is None
+
+    def test_remove_clears_lookup(self):
+        q = TransactionQueue(4)
+        r = req(256)
+        q.push(r)
+        q.remove(r)
+        assert q.find(256) is None
+        assert len(q) == 0
+
+    def test_oldest_first_is_push_order(self):
+        # Simulation time is monotonic, so push order == arrival order;
+        # oldest_first documents (and relies on) that invariant.
+        q = TransactionQueue(4)
+        first = req(0, arrival=5)
+        second = req(64, arrival=10)
+        q.push(first)
+        q.push(second)
+        assert q.oldest_first()[0] is first
+        assert q.oldest_first()[1] is second
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TransactionQueue(0)
+
+
+class TestWriteDrain:
+    def test_enters_drain_at_high_watermark(self):
+        policy = WriteDrainPolicy(60, 50, 64)
+        assert not policy.update(59, 5)
+        assert policy.update(60, 5)
+        assert policy.draining
+
+    def test_exits_drain_at_low_watermark(self):
+        policy = WriteDrainPolicy(60, 50, 64)
+        policy.update(60, 5)
+        assert policy.update(51, 5)  # still draining
+        assert not policy.update(50, 5)
+        assert not policy.draining
+
+    def test_hysteresis_between_watermarks(self):
+        policy = WriteDrainPolicy(60, 50, 64)
+        assert not policy.update(55, 5)  # below high, never entered
+        policy.update(60, 5)
+        assert policy.update(55, 5)  # above low, stays draining
+
+    def test_opportunistic_drain_when_no_reads(self):
+        policy = WriteDrainPolicy(60, 50, 64)
+        assert policy.update(3, 0)  # writes pending, no reads
+        assert not policy.draining  # not a sticky drain episode
+
+    def test_episode_counting(self):
+        policy = WriteDrainPolicy(60, 50, 64)
+        policy.update(60, 1)
+        policy.update(49, 1)
+        policy.update(61, 1)
+        assert policy.drain_entries == 2
+
+    def test_watermark_validation(self):
+        with pytest.raises(ValueError):
+            WriteDrainPolicy(50, 60, 64)
+        with pytest.raises(ValueError):
+            WriteDrainPolicy(70, 50, 64)

@@ -1,0 +1,139 @@
+"""Property-based tests: the controller engine under random traffic.
+
+Hypothesis drives randomized request streams (addresses, read/write mix,
+arrival spacing, coding policy) through a full controller and asserts the
+global invariants no schedule may violate:
+
+* the data bus never carries overlapping bursts and never skips a
+  mandatory turnaround bubble (checked by the independent auditor);
+* every accepted request is eventually serviced exactly once;
+* reads are never reordered unfairly past the FR-FCFS bound (a request
+  cannot wait forever while same-queue peers stream past it);
+* under the closed-page policy, banks are left closed after lone hits.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.controller import AlwaysScheme, ChannelController, MemoryRequest
+from repro.dram import DDR4_3200, DDR4_GEOMETRY, AddressMapper, BusAuditor
+
+MAPPER = AddressMapper(DDR4_GEOMETRY, channels=2)
+CAP_LINES = MAPPER.capacity_bytes // 64
+
+
+def drive(mc, arrivals, max_cycles=400_000):
+    """Feed (cycle, request) arrivals; run to empty; return completions."""
+    done = []
+    idx = 0
+    now = 0
+    while idx < len(arrivals) or mc.has_pending:
+        while idx < len(arrivals) and arrivals[idx][0] <= now:
+            cycle, req = arrivals[idx]
+            if mc.can_accept(req.is_write):
+                mc.enqueue(req, now)
+                idx += 1
+            else:
+                break
+        mc.step(now)
+        done.extend(mc.drain_completions())
+        bounds = [t for t in (
+            mc.next_event(now),
+            arrivals[idx][0] if idx < len(arrivals) else None,
+        ) if t is not None]
+        if not bounds:
+            if idx < len(arrivals):
+                now += 1
+                continue
+            break
+        now = max(now + 1, min(bounds))
+        assert now < max_cycles, "scheduler made no progress"
+    done.extend(mc.drain_completions())
+    return done
+
+
+request_strategy = st.tuples(
+    st.integers(min_value=0, max_value=1 << 15),  # line number
+    st.booleans(),  # is_write
+    st.integers(min_value=0, max_value=30),  # inter-arrival gap
+)
+
+
+@st.composite
+def traffic(draw):
+    items = draw(st.lists(request_strategy, min_size=1, max_size=60))
+    arrivals = []
+    now = 0
+    for line, is_write, gap in items:
+        now += gap
+        from dataclasses import replace
+
+        mapped = replace(MAPPER.map((line % CAP_LINES) * 64), channel=0)
+        req = MemoryRequest(
+            address=MAPPER.reverse(mapped), is_write=is_write
+        )
+        req.mapped = mapped
+        arrivals.append((now, req))
+    return arrivals
+
+
+COMMON = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSchedulerInvariants:
+    @settings(**COMMON)
+    @given(traffic(), st.sampled_from(["dbi", "milc", "3lwc"]))
+    def test_bus_protocol_and_completion(self, arrivals, scheme):
+        mc = ChannelController(
+            DDR4_3200, DDR4_GEOMETRY, policy=AlwaysScheme(scheme)
+        )
+        done = drive(mc, arrivals)
+        # Coalesced writes collapse; everything else completes once.
+        expected = len(arrivals) - mc.coalesced_writes
+        assert len(done) == expected
+        assert all(r.completed for r in done)
+        assert BusAuditor(mc.timing).check(mc.channel.transactions) == []
+
+    @settings(**COMMON)
+    @given(traffic())
+    def test_reads_complete_in_bounded_order(self, arrivals):
+        mc = ChannelController(DDR4_3200, DDR4_GEOMETRY)
+        done = drive(mc, arrivals)
+        reads = [r for r in done if not r.is_write and r.scheme != "forwarded"]
+        # FR-FCFS fairness: a read never finishes after more than
+        # queue-capacity younger reads (row hits may pass it, but the
+        # queue bounds how many).
+        finish_order = sorted(reads, key=lambda r: r.finish_cycle)
+        for pos, req in enumerate(finish_order):
+            younger_before = sum(
+                1 for other in finish_order[:pos]
+                if other.serial > req.serial
+            )
+            assert younger_before <= mc.read_queue.capacity
+
+    @settings(**COMMON)
+    @given(traffic())
+    def test_closed_page_leaves_lone_banks_closed(self, arrivals):
+        mc = ChannelController(
+            DDR4_3200, DDR4_GEOMETRY, page_policy="closed"
+        )
+        drive(mc, arrivals)
+        # After the queues drain, closed-page leaves every bank closed.
+        for rank in range(DDR4_GEOMETRY.ranks):
+            assert mc.channel.all_banks_closed(rank)
+
+    @settings(**COMMON)
+    @given(traffic())
+    def test_latency_accounting_consistent(self, arrivals):
+        mc = ChannelController(DDR4_3200, DDR4_GEOMETRY)
+        done = drive(mc, arrivals)
+        for req in done:
+            assert req.finish_cycle >= req.arrival
+            if req.scheme != "forwarded":
+                assert req.issue_cycle >= req.arrival
+                assert req.finish_cycle > req.issue_cycle

@@ -1,0 +1,50 @@
+"""Tests for the MiL framework configuration."""
+
+import pytest
+
+from repro.core import MiLConfig
+
+
+class TestDefaults:
+    def test_paper_design_point(self):
+        cfg = MiLConfig()
+        assert cfg.base_scheme == "milc"
+        assert cfg.long_scheme == "3lwc"
+        assert cfg.write_optimization
+        # Faithful Figure 11 logic by default: no uncoded fallback tier.
+        assert cfg.short_lookahead is None
+
+    def test_natural_lookahead_is_long_occupancy(self):
+        # Section 7.5.2: X defaults to the 3-LWC bus occupancy (8).
+        assert MiLConfig().effective_lookahead == 8
+
+    def test_explicit_lookahead_wins(self):
+        assert MiLConfig(lookahead=14).effective_lookahead == 14
+        assert MiLConfig(lookahead=0).effective_lookahead == 0
+
+    def test_extra_cl_is_max_of_schemes(self):
+        assert MiLConfig().extra_cl == 1
+
+
+class TestValidation:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(KeyError):
+            MiLConfig(base_scheme="huffman")
+        with pytest.raises(KeyError):
+            MiLConfig(long_scheme="huffman")
+        with pytest.raises(KeyError):
+            MiLConfig(fallback_scheme="huffman")
+
+    def test_long_must_not_be_shorter_than_base(self):
+        with pytest.raises(ValueError):
+            MiLConfig(base_scheme="3lwc", long_scheme="milc")
+
+    def test_negative_lookaheads_rejected(self):
+        with pytest.raises(ValueError):
+            MiLConfig(lookahead=-1)
+        with pytest.raises(ValueError):
+            MiLConfig(short_lookahead=-1)
+
+    def test_same_scheme_both_tiers_allowed(self):
+        cfg = MiLConfig(base_scheme="milc", long_scheme="milc")
+        assert cfg.effective_lookahead == 5

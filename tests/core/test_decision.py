@@ -1,0 +1,182 @@
+"""Tests for the MiL decision logic (policies)."""
+
+import numpy as np
+import pytest
+
+from repro.controller import ChannelController, MemoryRequest
+from repro.core import MiLCOnlyPolicy, MiLConfig, MiLPolicy
+from repro.dram import DDR4_3200, DDR4_GEOMETRY, AddressMapper, CommandType
+
+MAPPER = AddressMapper(DDR4_GEOMETRY, channels=2)
+
+
+def request(line, write=False, prefetch=False, line_id=0):
+    from dataclasses import replace
+
+    m = replace(MAPPER.map(line * 64), channel=0)
+    r = MemoryRequest(address=MAPPER.reverse(m), is_write=write,
+                      line_id=line_id, is_prefetch=prefetch)
+    r.mapped = m
+    return r
+
+
+def controller_with_open_row(requests, now=100):
+    """Controller whose queue holds ``requests``, rows opened."""
+    mc = ChannelController(DDR4_3200, DDR4_GEOMETRY, refresh_enabled=False)
+    opened = set()
+    t = 0
+    for req in requests:
+        m = req.mapped
+        key = (m.rank, m.bank_group, m.bank)
+        if key not in opened:
+            t = mc.channel.earliest_issue(
+                CommandType.ACTIVATE, m.rank, m.bank_group, m.bank, t
+            )
+            mc.channel.issue(CommandType.ACTIVATE, m.rank, m.bank_group,
+                             m.bank, t, row=m.row)
+            opened.add(key)
+        mc.enqueue(req, now)
+    return mc
+
+
+class TestMiLCOnly:
+    def test_always_base_scheme(self):
+        policy = MiLCOnlyPolicy()
+        mc = controller_with_open_row([request(0)])
+        assert policy.choose(mc, request(1), 200) == "milc"
+        assert policy.extra_cl == 1
+
+    def test_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            MiLCOnlyPolicy("nope")
+
+
+class TestMiLDecision:
+    def test_empty_window_grants_long_code(self):
+        mc = controller_with_open_row([])
+        policy = MiLPolicy()
+        target = request(0)
+        assert policy.choose(mc, target, 500) == "3lwc"
+        assert policy.long_grants == 1
+
+    def test_ready_read_forces_base_scheme(self):
+        other = request(1)  # same row as line 0: ready once row is open
+        mc = controller_with_open_row([other])
+        policy = MiLPolicy()
+        assert policy.choose(mc, request(0), 500) == "milc"
+        assert policy.base_grants == 1
+
+    def test_prefetch_does_not_veto_long_code(self):
+        other = request(1, prefetch=True)
+        mc = controller_with_open_row([other])
+        policy = MiLPolicy()
+        assert policy.choose(mc, request(0), 500) == "3lwc"
+
+    def test_prefetch_counts_when_configured(self):
+        other = request(1, prefetch=True)
+        mc = controller_with_open_row([other])
+        policy = MiLPolicy(MiLConfig(count_prefetches=True))
+        assert policy.choose(mc, request(0), 500) == "milc"
+
+    def test_closed_row_request_not_ready(self):
+        # A request to a closed bank cannot issue within X=8 (needs
+        # ACT + tRCD = 20+), so it must not veto the long code.
+        far = request(1 << 14)  # different bank, row never opened
+        mc = ChannelController(DDR4_3200, DDR4_GEOMETRY,
+                               refresh_enabled=False)
+        mc.enqueue(far, 100)
+        policy = MiLPolicy()
+        assert policy.choose(mc, request(0), 500) == "3lwc"
+
+    def test_lookahead_window_width_matters(self):
+        # A read whose column timer expires 10 cycles out is invisible
+        # to X=8 but visible to X=14.
+        other = request(1)
+        mc = controller_with_open_row([other])
+        m = other.mapped
+        # Push the bank's next-read time 10 cycles past "now".
+        now = mc.channel.banks[m.rank][m.bank_group][m.bank].next_rd - 10
+        now = max(now, 0)
+        narrow = MiLPolicy(MiLConfig(lookahead=2))
+        wide = MiLPolicy(MiLConfig(lookahead=30))
+        assert narrow.choose(mc, request(0), now) == "3lwc"
+        assert wide.choose(mc, request(0), now) == "milc"
+
+
+class TestWriteOptimization:
+    def zeros_tables(self, milc, lwc):
+        return {
+            "milc": np.array([milc], dtype=np.int64),
+            "3lwc": np.array([lwc], dtype=np.int64),
+        }
+
+    def test_write_ships_sparser_code(self):
+        mc = controller_with_open_row([])
+        policy = MiLPolicy(
+            MiLConfig(), zeros_by_scheme=self.zeros_tables(milc=10, lwc=50)
+        )
+        w = request(0, write=True, line_id=0)
+        assert policy.choose(mc, w, 500) == "milc"
+        assert policy.write_optimized == 1
+
+    def test_write_keeps_long_code_when_sparser(self):
+        mc = controller_with_open_row([])
+        policy = MiLPolicy(
+            MiLConfig(), zeros_by_scheme=self.zeros_tables(milc=50, lwc=10)
+        )
+        w = request(0, write=True, line_id=0)
+        assert policy.choose(mc, w, 500) == "3lwc"
+        assert policy.write_optimized == 0
+
+    def test_reads_never_inspect_data(self):
+        # Section 4.6: the controller cannot see read data at schedule
+        # time, so reads always take the granted scheme.
+        mc = controller_with_open_row([])
+        policy = MiLPolicy(
+            MiLConfig(), zeros_by_scheme=self.zeros_tables(milc=0, lwc=999)
+        )
+        assert policy.choose(mc, request(0, line_id=0), 500) == "3lwc"
+
+    def test_optimization_disabled_by_config(self):
+        mc = controller_with_open_row([])
+        policy = MiLPolicy(
+            MiLConfig(write_optimization=False),
+            zeros_by_scheme=self.zeros_tables(milc=10, lwc=50),
+        )
+        assert policy.choose(mc, request(0, write=True), 500) == "3lwc"
+
+
+class TestFallbackTier:
+    def test_saturation_ships_uncoded(self):
+        # Many same-row reads ready now: the extended config falls all
+        # the way back to uncoded DBI bursts.
+        others = [request(i, line_id=i) for i in range(1, 6)]
+        mc = controller_with_open_row(others)
+        policy = MiLPolicy(MiLConfig(short_lookahead=4,
+                                     fallback_threshold=3))
+        assert policy.choose(mc, request(0), 500) == "dbi"
+        assert policy.fallback_grants == 1
+
+    def test_light_pressure_keeps_base_code(self):
+        others = [request(1, line_id=1)]
+        mc = controller_with_open_row(others)
+        policy = MiLPolicy(MiLConfig(short_lookahead=4,
+                                     fallback_threshold=3))
+        assert policy.choose(mc, request(0), 500) == "milc"
+
+    def test_deep_read_queue_ships_uncoded(self):
+        others = [request(i * (1 << 10), line_id=i) for i in range(1, 25)]
+        mc = ChannelController(DDR4_3200, DDR4_GEOMETRY,
+                               refresh_enabled=False)
+        for r in others:
+            mc.enqueue(r, 100)
+        policy = MiLPolicy(MiLConfig(short_lookahead=4,
+                                     fallback_queue_depth=20))
+        assert policy.choose(mc, request(0), 500) == "dbi"
+
+    def test_default_config_never_falls_back(self):
+        others = [request(i, line_id=i) for i in range(1, 8)]
+        mc = controller_with_open_row(others)
+        policy = MiLPolicy()  # paper-faithful: milc/3lwc only
+        assert policy.choose(mc, request(0), 500) == "milc"
+        assert policy.fallback_grants == 0

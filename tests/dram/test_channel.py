@@ -1,0 +1,218 @@
+"""Tests for the DRAM channel constraint engine."""
+
+import pytest
+
+from repro.dram import (
+    DDR4_3200,
+    DDR4_GEOMETRY,
+    LPDDR3_1600,
+    BusAuditor,
+    CommandType,
+    DRAMChannel,
+)
+
+ACT = CommandType.ACTIVATE
+PRE = CommandType.PRECHARGE
+RD = CommandType.READ
+WR = CommandType.WRITE
+REF = CommandType.REFRESH
+
+
+def fresh_channel():
+    return DRAMChannel(DDR4_3200, DDR4_GEOMETRY)
+
+
+def open_bank(ch, rank=0, group=0, bank=0, row=7, at=0):
+    ch.issue(ACT, rank, group, bank, at, row=row)
+    return at
+
+
+class TestRowPath:
+    def test_activate_then_read_waits_rcd(self):
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        assert ch.earliest_issue(RD, 0, 0, 0, 0) == DDR4_3200.RCD
+
+    def test_activate_then_precharge_waits_ras(self):
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        assert ch.earliest_issue(PRE, 0, 0, 0, 0) == DDR4_3200.RAS
+
+    def test_act_to_act_same_bank_waits_rc(self):
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        ch.issue(PRE, 0, 0, 0, DDR4_3200.RAS)
+        earliest = ch.earliest_issue(ACT, 0, 0, 0, 0)
+        assert earliest >= DDR4_3200.RC
+        assert earliest >= DDR4_3200.RAS + DDR4_3200.RP
+
+    def test_rrd_same_and_cross_group(self):
+        ch = fresh_channel()
+        open_bank(ch, group=0, bank=0, at=0)
+        same = ch.earliest_issue(ACT, 0, 0, 1, 0)
+        cross = ch.earliest_issue(ACT, 0, 1, 0, 0)
+        assert same == DDR4_3200.RRD_L
+        assert cross == DDR4_3200.RRD_S
+        assert same > cross  # the DDR4 bank-group effect
+
+    def test_faw_limits_fifth_activate(self):
+        ch = fresh_channel()
+        t = 0
+        banks = [(0, 0), (0, 1), (0, 2), (0, 3)]
+        for g, b in banks:
+            t = ch.earliest_issue(ACT, 0, g, b, t)
+            ch.issue(ACT, 0, g, b, t, row=1)
+        first_act = ch.ranks[0].act_history[0]
+        fifth = ch.earliest_issue(ACT, 0, 1, 0, t)
+        assert fifth >= first_act + DDR4_3200.FAW
+
+    def test_activate_requires_closed_bank(self):
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        with pytest.raises(ValueError):
+            ch.issue(ACT, 0, 0, 0, 1000, row=3)
+
+    def test_precharge_requires_open_bank(self):
+        ch = fresh_channel()
+        with pytest.raises(ValueError):
+            ch.issue(PRE, 0, 0, 0, 100)
+
+
+class TestColumnPath:
+    def test_read_needs_open_row(self):
+        ch = fresh_channel()
+        with pytest.raises(ValueError):
+            ch.issue(RD, 0, 0, 0, 100)
+
+    def test_read_occupies_bus_after_cl(self):
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        end = ch.issue(RD, 0, 0, 0, DDR4_3200.RCD, bus_cycles=4)
+        assert end == DDR4_3200.RCD + DDR4_3200.CL + 4
+        assert ch.bus_free_at == end
+
+    def test_ccd_long_vs_short(self):
+        ch = fresh_channel()
+        open_bank(ch, group=0, bank=0, at=0)
+        open_bank(ch, group=1, bank=0, at=DDR4_3200.RRD_S)
+        t = max(DDR4_3200.RCD, DDR4_3200.RRD_S + DDR4_3200.RCD)
+        ch.issue(RD, 0, 0, 0, t)
+        same_group = ch.earliest_issue(RD, 0, 0, 0, t)
+        cross_group = ch.earliest_issue(RD, 0, 1, 0, t)
+        assert same_group == t + DDR4_3200.CCD_L
+        assert cross_group == t + DDR4_3200.CCD_S
+
+    def test_extended_burst_stretches_ccd(self):
+        # A BL16 (8-cycle) burst pushes the next column command of the
+        # same rank to at least 8 cycles — the cost MiL must reason about.
+        ch = fresh_channel()
+        open_bank(ch, group=0, bank=0, at=0)
+        open_bank(ch, group=1, bank=0, at=DDR4_3200.RRD_S)
+        t = DDR4_3200.RRD_S + DDR4_3200.RCD
+        ch.issue(RD, 0, 0, 0, t, bus_cycles=8)
+        cross = ch.earliest_issue(RD, 0, 1, 0, t)
+        assert cross == t + 8  # max(CCD_S=4, burst=8)
+
+    def test_write_to_read_turnaround(self):
+        ch = fresh_channel()
+        open_bank(ch, group=0, bank=0, at=0)
+        open_bank(ch, group=1, bank=0, at=DDR4_3200.RRD_S)
+        t = DDR4_3200.RRD_S + DDR4_3200.RCD
+        data_end = ch.issue(WR, 0, 0, 0, t, bus_cycles=4)
+        same_group = ch.earliest_issue(RD, 0, 0, 0, t)
+        cross_group = ch.earliest_issue(RD, 0, 1, 0, t)
+        assert same_group >= data_end + DDR4_3200.WTR_L
+        assert cross_group >= data_end + DDR4_3200.WTR_S
+        assert same_group > cross_group
+
+    def test_write_recovery_blocks_precharge(self):
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        data_end = ch.issue(WR, 0, 0, 0, DDR4_3200.RCD)
+        assert ch.earliest_issue(PRE, 0, 0, 0, 0) >= data_end + DDR4_3200.WR
+
+    def test_read_to_precharge_rtp(self):
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        t = DDR4_3200.RCD
+        ch.issue(RD, 0, 0, 0, t)
+        assert ch.earliest_issue(PRE, 0, 0, 0, t) >= t + DDR4_3200.RTP
+
+    def test_rank_switch_needs_rtrs_bubble(self):
+        ch = fresh_channel()
+        open_bank(ch, rank=0, at=0)
+        open_bank(ch, rank=1, at=0)
+        t = DDR4_3200.RCD
+        end0 = ch.issue(RD, 0, 0, 0, t)
+        earliest = ch.earliest_issue(RD, 1, 0, 0, t)
+        # Data of the rank-1 read must start >= end0 + tRTRS.
+        assert earliest + DDR4_3200.CL >= end0 + DDR4_3200.RTRS
+
+    def test_timing_violation_raises(self):
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        with pytest.raises(ValueError):
+            ch.issue(RD, 0, 0, 0, DDR4_3200.RCD - 1)
+
+
+class TestRefreshPath:
+    def test_refresh_requires_closed_banks(self):
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        with pytest.raises(ValueError):
+            ch.earliest_issue(REF, 0, 0, 0, 100)
+
+    def test_refresh_blocks_rank_for_rfc(self):
+        ch = fresh_channel()
+        ch.issue(REF, 0, 0, 0, 10)
+        for g in range(DDR4_GEOMETRY.bank_groups):
+            for b in range(DDR4_GEOMETRY.banks_per_group):
+                assert ch.earliest_issue(ACT, 0, g, b, 10) >= 10 + DDR4_3200.RFC
+
+    def test_refresh_leaves_other_rank_alone(self):
+        ch = fresh_channel()
+        ch.issue(REF, 0, 0, 0, 10)
+        assert ch.earliest_issue(ACT, 1, 0, 0, 10) == 10
+
+
+class TestAuditor:
+    def test_clean_log_passes(self):
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        t = DDR4_3200.RCD
+        for _ in range(5):
+            t = ch.earliest_issue(RD, 0, 0, 0, t)
+            ch.issue(RD, 0, 0, 0, t)
+        assert BusAuditor(DDR4_3200).check(ch.transactions) == []
+
+    def test_overlap_detected(self):
+        from repro.dram.channel import BusTransaction
+
+        log = [
+            BusTransaction(10, 14, 0, False, 0, 0, 0, "dbi", 1),
+            BusTransaction(12, 16, 2, False, 0, 0, 0, "dbi", 2),
+        ]
+        problems = BusAuditor(DDR4_3200).check(log)
+        assert any("overlap" in p for p in problems)
+
+    def test_missing_bubble_detected(self):
+        from repro.dram.channel import BusTransaction
+
+        log = [
+            BusTransaction(10, 14, 0, False, 0, 0, 0, "dbi", 1),
+            BusTransaction(15, 19, 2, False, 1, 0, 0, "dbi", 2),
+        ]
+        problems = BusAuditor(DDR4_3200).check(log)
+        assert any("turnaround" in p for p in problems)
+
+
+class TestLPDDR3Channel:
+    def test_basic_read_cycle(self):
+        from repro.dram import LPDDR3_GEOMETRY
+
+        ch = DRAMChannel(LPDDR3_1600, LPDDR3_GEOMETRY)
+        ch.issue(ACT, 0, 0, 0, 0, row=3)
+        t = LPDDR3_1600.RCD
+        end = ch.issue(RD, 0, 0, 0, t)
+        assert end == t + LPDDR3_1600.CL + 4
+        assert ch.read_count == 1

@@ -1,0 +1,98 @@
+"""Corner-case tests for the DRAM channel constraint engine."""
+
+import pytest
+
+from repro.dram import (
+    DDR3_1600,
+    DDR4_3200,
+    DDR4_GEOMETRY,
+    CommandType,
+    DRAMChannel,
+)
+
+ACT, PRE, RD, WR = (
+    CommandType.ACTIVATE, CommandType.PRECHARGE,
+    CommandType.READ, CommandType.WRITE,
+)
+
+
+class TestFAWWindow:
+    def open_four(self, ch, start=0):
+        t = start
+        for bank in range(4):
+            t = ch.earliest_issue(ACT, 0, 0, bank, t)
+            ch.issue(ACT, 0, 0, bank, t, row=1)
+        return t
+
+    def test_window_slides(self):
+        ch = DRAMChannel(DDR4_3200, DDR4_GEOMETRY)
+        t_last = self.open_four(ch)
+        first = ch.ranks[0].act_history[0]
+        fifth_at = ch.earliest_issue(ACT, 0, 1, 0, t_last)
+        assert fifth_at >= first + DDR4_3200.FAW
+        # After the window passes, the next ACT is RRD-limited only.
+        ch.issue(ACT, 0, 1, 0, fifth_at, row=1)
+        sixth_at = ch.earliest_issue(ACT, 0, 1, 1, fifth_at)
+        second = ch.ranks[0].act_history[1]
+        assert sixth_at >= second + DDR4_3200.FAW or (
+            sixth_at >= fifth_at + DDR4_3200.RRD_S
+        )
+
+    def test_faw_is_per_rank(self):
+        ch = DRAMChannel(DDR4_3200, DDR4_GEOMETRY)
+        t_last = self.open_four(ch)
+        # The *other* rank is unconstrained by this rank's window.
+        assert ch.earliest_issue(ACT, 1, 0, 0, t_last) == t_last
+
+
+class TestWriteToWrite:
+    def test_back_to_back_writes_ccd_limited(self):
+        ch = DRAMChannel(DDR4_3200, DDR4_GEOMETRY)
+        ch.issue(ACT, 0, 0, 0, 0, row=1)
+        ch.issue(ACT, 0, 1, 0, DDR4_3200.RRD_S, row=1)
+        t = DDR4_3200.RRD_S + DDR4_3200.RCD
+        ch.issue(WR, 0, 0, 0, t)
+        # Write-to-write has no WTR penalty: only CCD spacing.
+        cross = ch.earliest_issue(WR, 0, 1, 0, t)
+        assert cross == t + DDR4_3200.CCD_S
+
+    def test_wtr_does_not_block_same_direction(self):
+        ch = DRAMChannel(DDR4_3200, DDR4_GEOMETRY)
+        ch.issue(ACT, 0, 0, 0, 0, row=1)
+        t = DDR4_3200.RCD
+        end = ch.issue(WR, 0, 0, 0, t)
+        nxt_wr = ch.earliest_issue(WR, 0, 0, 0, t)
+        nxt_rd = ch.earliest_issue(RD, 0, 0, 0, t)
+        assert nxt_wr < nxt_rd  # WTR penalises only the turnaround
+        assert nxt_rd >= end + DDR4_3200.WTR_L
+
+
+class TestDDR3Generation:
+    def test_no_bank_group_distinction(self):
+        assert DDR3_1600.CCD_S == DDR3_1600.CCD_L
+        assert DDR3_1600.RRD_S == DDR3_1600.RRD_L
+
+    def test_ddr4_added_constraints(self):
+        # Section 3.1: DDR4's bank groups made same-group spacing worse
+        # than DDR3's flat spacing at the same clock-relative scale.
+        assert DDR4_3200.CCD_L > DDR4_3200.CCD_S
+        assert DDR4_3200.WTR_L > DDR4_3200.WTR_S
+
+
+class TestBurstLengthInteraction:
+    @pytest.mark.parametrize("bus_cycles", [4, 5, 6, 7, 8])
+    def test_spacing_tracks_burst(self, bus_cycles):
+        ch = DRAMChannel(DDR4_3200, DDR4_GEOMETRY)
+        ch.issue(ACT, 0, 0, 0, 0, row=1)
+        ch.issue(ACT, 0, 1, 0, DDR4_3200.RRD_S, row=1)
+        t = DDR4_3200.RRD_S + DDR4_3200.RCD
+        ch.issue(RD, 0, 0, 0, t, bus_cycles=bus_cycles)
+        cross = ch.earliest_issue(RD, 0, 1, 0, t)
+        assert cross == t + max(DDR4_3200.CCD_S, bus_cycles)
+
+    def test_beat_counters(self):
+        ch = DRAMChannel(DDR4_3200, DDR4_GEOMETRY)
+        ch.issue(ACT, 0, 0, 0, 0, row=1)
+        t = DDR4_3200.RCD
+        ch.issue(RD, 0, 0, 0, t, bus_cycles=8)
+        assert ch.read_beats == 16  # DDR: two beats per cycle

@@ -1,0 +1,54 @@
+"""Tests for the per-rank row-open occupancy accounting."""
+
+from repro.dram import DDR4_3200, DDR4_GEOMETRY, CommandType, DRAMChannel
+
+ACT, PRE, RD = (
+    CommandType.ACTIVATE, CommandType.PRECHARGE, CommandType.READ,
+)
+
+
+def channel():
+    return DRAMChannel(DDR4_3200, DDR4_GEOMETRY)
+
+
+class TestOpenCycles:
+    def test_never_opened(self):
+        ch = channel()
+        assert ch.rank_open_cycles(0, 1000) == 0
+
+    def test_open_interval_counts_live(self):
+        ch = channel()
+        ch.issue(ACT, 0, 0, 0, 100, row=1)
+        assert ch.rank_open_cycles(0, 160) == 60
+
+    def test_closed_interval_frozen(self):
+        ch = channel()
+        ch.issue(ACT, 0, 0, 0, 0, row=1)
+        ch.issue(PRE, 0, 0, 0, DDR4_3200.RAS)
+        assert ch.rank_open_cycles(0, 10_000) == DDR4_3200.RAS
+
+    def test_overlapping_banks_count_once(self):
+        # Two banks open with overlapping lifetimes: the rank is "open"
+        # for the union, not the sum.
+        ch = channel()
+        ch.issue(ACT, 0, 0, 0, 0, row=1)
+        ch.issue(ACT, 0, 1, 0, DDR4_3200.RRD_S, row=1)
+        ch.issue(PRE, 0, 0, 0, DDR4_3200.RAS)
+        t2 = DDR4_3200.RRD_S + DDR4_3200.RAS
+        ch.issue(PRE, 0, 1, 0, t2)
+        assert ch.rank_open_cycles(0, 10_000) == t2
+
+    def test_auto_precharge_closes_rank(self):
+        ch = channel()
+        ch.issue(ACT, 0, 0, 0, 0, row=1)
+        t = max(DDR4_3200.RCD, DDR4_3200.RAS - DDR4_3200.RTP)
+        ch.issue(RD, 0, 0, 0, t, auto_precharge=True)
+        assert ch.ranks[0].open_banks == 0
+        assert ch.rank_open_cycles(0, 10_000) == t
+
+    def test_ranks_independent(self):
+        ch = channel()
+        ch.issue(ACT, 0, 0, 0, 0, row=1)
+        ch.issue(ACT, 1, 0, 0, 50, row=1)
+        assert ch.rank_open_cycles(0, 100) == 100
+        assert ch.rank_open_cycles(1, 100) == 50

@@ -1,0 +1,60 @@
+"""Tests for the refresh scheduler."""
+
+import pytest
+
+from repro.dram import DDR4_3200, RefreshScheduler
+from repro.dram.refresh import MAX_POSTPONED
+
+
+class TestAccrual:
+    def test_no_debt_before_first_interval(self):
+        rs = RefreshScheduler(DDR4_3200, ranks=2)
+        rs.accrue(DDR4_3200.REFI - 1)
+        assert rs.debt(0) == 0
+        assert rs.debt(1) == 0
+
+    def test_debt_accrues_per_interval(self):
+        rs = RefreshScheduler(DDR4_3200, ranks=2)
+        rs.accrue(DDR4_3200.REFI * 3)
+        assert rs.debt(0) == 3
+        assert rs.debt(1) == 3
+
+    def test_accrue_is_idempotent(self):
+        rs = RefreshScheduler(DDR4_3200, ranks=1)
+        rs.accrue(DDR4_3200.REFI)
+        rs.accrue(DDR4_3200.REFI)
+        assert rs.debt(0) == 1
+
+
+class TestUrgency:
+    def test_urgent_after_postponement_budget(self):
+        rs = RefreshScheduler(DDR4_3200, ranks=1)
+        rs.accrue(DDR4_3200.REFI * (MAX_POSTPONED - 1))
+        assert not rs.urgent(0)
+        rs.accrue(DDR4_3200.REFI * MAX_POSTPONED)
+        assert rs.urgent(0)
+
+    def test_paying_reduces_debt(self):
+        rs = RefreshScheduler(DDR4_3200, ranks=1)
+        rs.accrue(DDR4_3200.REFI * 2)
+        rs.paid(0)
+        assert rs.debt(0) == 1
+
+    def test_pay_without_debt_rejected(self):
+        rs = RefreshScheduler(DDR4_3200, ranks=1)
+        with pytest.raises(ValueError):
+            rs.paid(0)
+
+
+class TestOrdering:
+    def test_pending_ranks_most_indebted_first(self):
+        rs = RefreshScheduler(DDR4_3200, ranks=2)
+        rs.accrue(DDR4_3200.REFI * 2)
+        rs.paid(0)
+        assert rs.pending_ranks() == [1, 0]
+
+    def test_next_event_is_earliest_due(self):
+        rs = RefreshScheduler(DDR4_3200, ranks=2)
+        assert rs.next_event() == DDR4_3200.REFI
+        rs.accrue(DDR4_3200.REFI)
+        assert rs.next_event() == 2 * DDR4_3200.REFI

@@ -1,0 +1,68 @@
+"""Tests for the Table 2 timing parameter sets."""
+
+import pytest
+
+from repro.dram import DDR4_3200, LPDDR3_1600, TimingParams
+
+
+class TestTable2Values:
+    def test_ddr4_row(self):
+        t = DDR4_3200
+        assert (t.CL, t.WL, t.CCD_S, t.CCD_L) == (20, 16, 4, 8)
+        assert (t.RC, t.RTP, t.RP, t.RCD, t.RAS) == (72, 12, 20, 20, 52)
+        assert (t.WR, t.RTRS, t.WTR_S, t.WTR_L) == (4, 2, 4, 12)
+        assert (t.RRD_S, t.RRD_L, t.FAW) == (9, 11, 48)
+        assert (t.REFI, t.RFC) == (12480, 416)
+
+    def test_lpddr3_row(self):
+        t = LPDDR3_1600
+        assert (t.CL, t.WL, t.CCD_S, t.CCD_L) == (12, 6, 4, 4)
+        assert (t.RC, t.RTP, t.RP, t.RCD, t.RAS) == (51, 6, 16, 15, 34)
+        assert (t.WR, t.RTRS, t.WTR_S, t.WTR_L) == (6, 1, 6, 6)
+        assert (t.RRD_S, t.RRD_L, t.FAW) == (8, 8, 40)
+        assert (t.REFI, t.RFC) == (3120, 104)
+
+    def test_lpddr3_has_no_bank_group_distinction(self):
+        t = LPDDR3_1600
+        assert t.CCD_S == t.CCD_L
+        assert t.WTR_S == t.WTR_L
+        assert t.RRD_S == t.RRD_L
+
+    def test_clock_frequencies(self):
+        # DDR4-3200: 1.6 GHz clock (0.625 ns); LPDDR3-1600: 0.8 GHz.
+        assert DDR4_3200.clock_ghz == pytest.approx(1.6)
+        assert LPDDR3_1600.clock_ghz == pytest.approx(0.8)
+        assert DDR4_3200.cycle_ns == pytest.approx(0.625)
+
+
+class TestExtraCL:
+    def test_mil_codec_latency_folds_into_column_path(self):
+        t = DDR4_3200.with_extra_cl(1)
+        assert t.CL == 21
+        assert t.WL == 17
+        assert t.RCD == DDR4_3200.RCD  # row path untouched
+
+    def test_zero_extra_returns_same_object(self):
+        assert DDR4_3200.with_extra_cl(0) is DDR4_3200
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DDR4_3200.with_extra_cl(-1)
+
+
+class TestValidation:
+    def test_rejects_negative_parameter(self):
+        with pytest.raises(ValueError):
+            TimingParams(
+                name="bad", CL=-1, WL=1, CCD_S=1, CCD_L=1, RC=1, RTP=1,
+                RP=1, RCD=1, RAS=1, WR=1, RTRS=1, WTR_S=1, WTR_L=1,
+                RRD_S=1, RRD_L=1, FAW=1, REFI=1, RFC=1, clock_ghz=1.0,
+            )
+
+    def test_rejects_ccd_inversion(self):
+        with pytest.raises(ValueError):
+            TimingParams(
+                name="bad", CL=1, WL=1, CCD_S=8, CCD_L=4, RC=1, RTP=1,
+                RP=1, RCD=1, RAS=1, WR=1, RTRS=1, WTR_S=1, WTR_L=1,
+                RRD_S=1, RRD_L=1, FAW=1, REFI=1, RFC=1, clock_ghz=1.0,
+            )

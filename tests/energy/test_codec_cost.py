@@ -1,0 +1,81 @@
+"""Tests for the Table 4 codec synthesis model."""
+
+import pytest
+
+from repro.dram.timing import DDR4_3200
+from repro.energy import (
+    CODEC_DESIGNS,
+    LIB_22NM,
+    PAPER_TABLE4,
+    CodecDesign,
+    synthesize,
+    table4,
+)
+
+
+class TestStructure:
+    def test_all_four_blocks_modelled(self):
+        costs = table4()
+        assert set(costs) == {"milc-enc", "milc-dec", "3lwc-enc", "3lwc-dec"}
+
+    def test_milc_encoder_dominates_area(self):
+        costs = table4()
+        enc = costs["milc-enc"].area_um2
+        for name, cost in costs.items():
+            if name != "milc-enc":
+                assert enc > 3 * cost.area_um2
+
+    def test_decoder_chain_slower_than_encoder(self):
+        # The MiLC decoder's serial row-XOR chain makes it the latency
+        # outlier despite being tiny (Table 4: 0.39 ns vs 0.35 ns).
+        costs = table4()
+        assert costs["milc-dec"].latency_ns > costs["milc-enc"].latency_ns
+
+    def test_lwc_codec_is_fast(self):
+        costs = table4()
+        assert costs["3lwc-enc"].latency_ns < 0.15
+        assert costs["3lwc-dec"].latency_ns < 0.15
+
+    def test_all_latencies_fit_one_dram_cycle(self):
+        # The property MiL's +1 tCL accounting depends on.
+        for cost in table4().values():
+            assert cost.latency_ns < DDR4_3200.cycle_ns
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("block", sorted(PAPER_TABLE4))
+    def test_area_within_forty_percent_of_paper(self, block):
+        cost = table4()[block]
+        paper_area = PAPER_TABLE4[block][0]
+        assert 0.6 * paper_area < cost.area_um2 < 1.4 * paper_area
+
+    @pytest.mark.parametrize("block", sorted(PAPER_TABLE4))
+    def test_latency_within_forty_percent_of_paper(self, block):
+        cost = table4()[block]
+        paper_latency = PAPER_TABLE4[block][2]
+        assert 0.6 * paper_latency < cost.latency_ns < 1.4 * paper_latency
+
+    def test_power_scales_with_clock(self):
+        design = CODEC_DESIGNS["milc-enc"]
+        slow = synthesize(design, LIB_22NM, clock_ghz=0.8)
+        fast = synthesize(design, LIB_22NM, clock_ghz=1.6)
+        assert fast.power_mw == pytest.approx(2 * slow.power_mw)
+
+    def test_area_independent_of_clock(self):
+        design = CODEC_DESIGNS["3lwc-dec"]
+        assert (
+            synthesize(design, clock_ghz=0.8).area_um2
+            == synthesize(design, clock_ghz=3.2).area_um2
+        )
+
+
+class TestValidation:
+    def test_negative_gates_rejected(self):
+        with pytest.raises(ValueError):
+            CodecDesign("bad", combinational_ge=-1, flipflops=0,
+                        logic_depth=1.0)
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(ValueError):
+            CodecDesign("bad", combinational_ge=10, flipflops=0,
+                        logic_depth=0.0)

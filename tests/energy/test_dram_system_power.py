@@ -1,0 +1,135 @@
+"""Tests for the DRAM and system energy models."""
+
+import numpy as np
+import pytest
+
+from repro.coding import precompute_line_zeros
+from repro.energy import (
+    DDR4_ENERGY,
+    SERVER_SYSTEM_ENERGY,
+    DramEnergyModel,
+    SystemEnergyModel,
+)
+from repro.energy.dram_power import DramEnergyBreakdown
+from repro.system import NIAGARA_SERVER, simulate
+from repro.workloads import MemoryTrace, TraceRecord
+
+
+def small_trace(n=40, gap=30):
+    rng = np.random.default_rng(23)
+    records = [[
+        TraceRecord(core=0, gap=gap, address=int(a) * 64, is_write=False,
+                    line_id=i)
+        for i, a in enumerate(rng.integers(0, 1 << 18, size=n))
+    ]]
+    data = rng.integers(0, 256, size=(n, 64), dtype=np.uint8)
+    return MemoryTrace(name="unit", records_by_core=records, line_data=data)
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    trace = small_trace()
+    result = simulate(trace, NIAGARA_SERVER)
+    zeros = precompute_line_zeros(trace.line_data, ("dbi",))
+    return trace, result, zeros
+
+
+class TestDramModel:
+    def test_breakdown_sums_to_total(self, run_result):
+        _, result, zeros = run_result
+        breakdown = DramEnergyModel(DDR4_ENERGY).evaluate(result, zeros)
+        assert breakdown.total == pytest.approx(
+            sum(breakdown.as_dict().values())
+        )
+
+    def test_all_components_positive(self, run_result):
+        _, result, zeros = run_result
+        breakdown = DramEnergyModel(DDR4_ENERGY).evaluate(result, zeros)
+        for name, value in breakdown.as_dict().items():
+            if name == "refresh":
+                # Short runs may finish inside the first tREFI window.
+                assert value >= 0
+            else:
+                assert value > 0, name
+
+    def test_shares_sum_to_one(self, run_result):
+        _, result, zeros = run_result
+        breakdown = DramEnergyModel(DDR4_ENERGY).evaluate(result, zeros)
+        total_share = sum(
+            breakdown.share(c) for c in breakdown.as_dict()
+        )
+        assert total_share == pytest.approx(1.0)
+
+    def test_activate_energy_scales_with_activates(self, run_result):
+        _, result, zeros = run_result
+        breakdown = DramEnergyModel(DDR4_ENERGY).evaluate(result, zeros)
+        acts = sum(mc.channel.activate_count for mc in result.controllers)
+        assert breakdown.activate == pytest.approx(
+            acts * DDR4_ENERGY.energy_activate_precharge
+        )
+
+    def test_background_scales_with_time(self):
+        # Same work spread over more time must burn more background.
+        fast = simulate(small_trace(gap=10), NIAGARA_SERVER)
+        slow = simulate(small_trace(gap=400), NIAGARA_SERVER)
+        zeros_f = precompute_line_zeros(
+            small_trace(gap=10).line_data, ("dbi",)
+        )
+        model = DramEnergyModel(DDR4_ENERGY)
+        assert (
+            model.evaluate(slow, zeros_f).background
+            > model.evaluate(fast, zeros_f).background
+        )
+
+
+class TestSystemModel:
+    def test_totals_nest(self, run_result):
+        trace, result, zeros = run_result
+        dram = DramEnergyModel(DDR4_ENERGY).evaluate(result, zeros)
+        system = SystemEnergyModel(
+            SERVER_SYSTEM_ENERGY, NIAGARA_SERVER
+        ).evaluate(result, trace, dram)
+        assert system.total == pytest.approx(
+            system.cores + system.uncore + dram.total
+        )
+        assert 0 < system.dram_share < 1
+
+    def test_core_energy_positive_even_when_idle(self, run_result):
+        trace, result, zeros = run_result
+        dram = DramEnergyModel(DDR4_ENERGY).evaluate(result, zeros)
+        system = SystemEnergyModel(
+            SERVER_SYSTEM_ENERGY, NIAGARA_SERVER
+        ).evaluate(result, trace, dram)
+        # 8 cores burn at least stall power for the whole run.
+        floor = (
+            NIAGARA_SERVER.cores
+            * SERVER_SYSTEM_ENERGY.core_stall_w
+            * result.seconds
+        )
+        assert system.cores >= floor * 0.99
+
+    def test_active_cycles_from_gaps(self, run_result):
+        trace, result, _ = run_result
+        model = SystemEnergyModel(SERVER_SYSTEM_ENERGY, NIAGARA_SERVER)
+        active = model.core_active_cycles(trace)
+        assert active[0] == sum(r.gap for r in trace.records_by_core[0])
+
+
+class TestConstantsValidation:
+    def test_dram_params_reject_negative(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(DDR4_ENERGY, energy_per_zero_bit=-1.0)
+
+    def test_system_params_reject_inverted_powers(self):
+        from repro.energy import SystemEnergyParams
+
+        with pytest.raises(ValueError):
+            SystemEnergyParams("x", core_active_w=0.1, core_stall_w=0.2,
+                               uncore_w=0.1)
+
+    def test_breakdown_dataclass(self):
+        b = DramEnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert b.total == 15.0
+        assert b.share("io") == pytest.approx(1 / 3)

@@ -1,0 +1,83 @@
+"""Tests for the IO energy model."""
+
+import numpy as np
+import pytest
+
+from repro.dram.channel import BusTransaction
+from repro.energy import BUS_PINS, DDR4_ENERGY, LPDDR3_ENERGY, IOEnergyModel
+
+
+def tx(request_id, scheme="dbi", cycles=4, write=False):
+    return BusTransaction(
+        start=0, end=cycles, issue_cycle=0, is_write=write, rank=0,
+        bank_group=0, bank=0, scheme=scheme, request_id=request_id,
+    )
+
+
+class TestTransactionEnergy:
+    def test_zeros_cost_energy(self):
+        model = IOEnergyModel(DDR4_ENERGY)
+        free = model.transaction_energy(zeros=0, beats=8)
+        costly = model.transaction_energy(zeros=100, beats=8)
+        assert costly - free == pytest.approx(
+            100 * DDR4_ENERGY.energy_per_zero_bit
+        )
+
+    def test_beats_cost_energy(self):
+        model = IOEnergyModel(DDR4_ENERGY)
+        short = model.transaction_energy(zeros=0, beats=8)
+        long = model.transaction_energy(zeros=0, beats=16)
+        assert long == pytest.approx(2 * short)
+
+    def test_negative_rejected(self):
+        model = IOEnergyModel(DDR4_ENERGY)
+        with pytest.raises(ValueError):
+            model.transaction_energy(zeros=-1, beats=8)
+
+
+class TestEvaluate:
+    def test_sums_over_log(self):
+        model = IOEnergyModel(DDR4_ENERGY)
+        zeros = {"dbi": np.array([10, 20, 30], dtype=np.int64)}
+        log = [tx(0), tx(1), tx(2)]
+        result = model.evaluate(log, zeros)
+        assert result.zeros == 60
+        assert result.beats == 3 * 8
+        assert result.transactions == 3
+        expect = (
+            60 * DDR4_ENERGY.energy_per_zero_bit
+            + 24 * BUS_PINS * DDR4_ENERGY.energy_per_beat
+        )
+        assert result.energy_j == pytest.approx(expect)
+
+    def test_mixed_schemes_use_their_tables(self):
+        model = IOEnergyModel(DDR4_ENERGY)
+        zeros = {
+            "dbi": np.array([100], dtype=np.int64),
+            "milc": np.array([40], dtype=np.int64),
+        }
+        log = [tx(0, "dbi", cycles=4), tx(0, "milc", cycles=5)]
+        result = model.evaluate(log, zeros)
+        assert result.zeros == 140
+
+    def test_unknown_scheme_raises(self):
+        model = IOEnergyModel(DDR4_ENERGY)
+        with pytest.raises(KeyError):
+            model.evaluate([tx(0, "mystery")], {"dbi": np.array([1])})
+
+    def test_empty_log(self):
+        model = IOEnergyModel(LPDDR3_ENERGY)
+        result = model.evaluate([], {})
+        assert result.energy_j == 0.0
+        assert result.zeros_per_transaction == 0.0
+
+    def test_fewer_zeros_means_less_energy(self):
+        # The monotonicity MiL relies on.
+        model = IOEnergyModel(DDR4_ENERGY)
+        dense = model.evaluate(
+            [tx(0)], {"dbi": np.array([200], dtype=np.int64)}
+        )
+        sparse = model.evaluate(
+            [tx(0, "milc", cycles=5)], {"milc": np.array([80])}
+        )
+        assert sparse.energy_j < dense.energy_j

@@ -1,0 +1,71 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("GUPS", "ddr4-server", "lpddr3-mobile", "mil",
+                         "fig16", "table4"):
+            assert expected in out
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "MM", "--scale", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "MM on ddr4-server" in out
+        assert "zeros on bus" in out
+
+    def test_run_with_baseline_comparison(self, capsys):
+        assert main([
+            "run", "mm", "--scale", "600", "--policy", "milc", "--baseline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vs DBI: zeros" in out
+
+    def test_unknown_system_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "MM", "--system", "pdp11"])
+
+    def test_unknown_policy_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "MM", "--policy", "huffman"])
+
+
+class TestExperiment:
+    def test_analytic_experiment(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "milc-enc" in out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestTrace:
+    def test_trace_dump_and_audit(self, tmp_path, capsys):
+        out = tmp_path / "bus.csv"
+        assert main([
+            "trace", "MM", str(out), "--scale", "600", "--policy", "milc",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "audit: clean" in text
+        assert (tmp_path / "bus.ch0.csv").exists()
+        assert (tmp_path / "bus.ch1.csv").exists()
+
+    def test_trace_jsonl_format(self, tmp_path, capsys):
+        out = tmp_path / "bus.jsonl"
+        assert main(["trace", "MM", str(out), "--scale", "600"]) == 0
+        assert (tmp_path / "bus.ch0.jsonl").exists()

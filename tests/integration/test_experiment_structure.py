@@ -1,0 +1,70 @@
+"""Structural checks on the big campaign experiments (tiny scale).
+
+These verify row/column shapes and internal consistency of the
+Figure 16-22 experiment modules without asserting magnitudes (the
+magnitude assertions live in the benchmark harness at full scale).
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.workloads import BENCHMARK_ORDER
+
+TINY = 500
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestCampaignShapes:
+    def test_fig16_covers_both_systems(self):
+        result = ALL_EXPERIMENTS["fig16"](accesses_per_core=TINY)
+        systems = {row[0] for row in result.rows}
+        assert systems == {"ddr4-server", "lpddr3-mobile"}
+        assert len(result.rows) == 2 * len(BENCHMARK_ORDER)
+        for row in result.rows:
+            for ratio in row[2:]:
+                assert 0.5 < ratio < 3.0
+
+    def test_fig18_totals_are_sums(self):
+        result = ALL_EXPERIMENTS["fig18"](accesses_per_core=TINY)
+        for row in result.rows:
+            categories = row[3:-1]
+            total = row[-1]
+            assert total == pytest.approx(sum(categories), rel=1e-6)
+
+    def test_fig18_dbi_rows_normalized_to_one(self):
+        result = ALL_EXPERIMENTS["fig18"](accesses_per_core=TINY)
+        for row in result.rows:
+            if row[2] == "dbi":
+                assert row[-1] == pytest.approx(1.0)
+
+    def test_fig19_rows_positive(self):
+        result = ALL_EXPERIMENTS["fig19"](accesses_per_core=TINY)
+        for row in result.rows:
+            for ratio in row[2:]:
+                assert ratio > 0
+
+    def test_fig21_covers_lookaheads(self):
+        from repro.experiments.fig21_lookahead import LOOKAHEADS
+
+        result = ALL_EXPERIMENTS["fig21"](accesses_per_core=TINY)
+        assert len(result.headers) == 1 + len(LOOKAHEADS)
+        for x in LOOKAHEADS:
+            assert f"geomean_X{x}" in result.observations
+
+    def test_validation_covers_suite(self):
+        result = ALL_EXPERIMENTS["validation"](accesses_per_core=TINY)
+        assert [row[0] for row in result.rows] == list(BENCHMARK_ORDER)
+        for row in result.rows:
+            read, write, prefetch = row[5], row[6], row[7]
+            assert read + write + prefetch == pytest.approx(1.0, abs=1e-6)
+
+    def test_ext_x4_savings_exceed_x8(self):
+        result = ALL_EXPERIMENTS["ext_x4"](accesses_per_core=TINY)
+        # Against the uncoded x4 baseline MiL must save at least as much
+        # as against the DBI x8 baseline, for every benchmark.
+        for row in result.rows:
+            assert row[1] <= row[2] + 1e-9

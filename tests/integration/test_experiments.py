@@ -1,0 +1,95 @@
+"""Smoke tests for every experiment module (tiny scale).
+
+The benchmark harness runs the experiments at full scale; here each one
+is exercised end-to-end at a reduced scale so a broken experiment fails
+fast in the unit suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.base import ExperimentResult
+
+TINY = 600  # accesses per core
+
+
+@pytest.fixture(autouse=True)
+def no_disk_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestAnalyticExperiments:
+    def test_fig01_io_share_near_paper(self):
+        result = ALL_EXPERIMENTS["fig01"]()
+        io = result.observations["ddr4_io_share"]
+        assert 0.30 < io < 0.55  # paper: ~42%
+
+    def test_table4_structure(self):
+        result = ALL_EXPERIMENTS["table4"]()
+        assert len(result.rows) == 4
+        assert result.observations["max_latency_vs_cycle"] < 1.0
+
+    def test_fig07_static_codes_beat_dbi(self):
+        result = ALL_EXPERIMENTS["fig07"](accesses_per_core=TINY)
+        assert result.observations["mean_(8,9)_vs_dbi"] < 1.0
+        # Wider codes never worse: compare (8,9) and (8,17) columns.
+        w9 = result.column("(8,9)")
+        w17 = result.column("(8,17)")
+        assert all(b <= a + 1e-9 for a, b in zip(w9, w17))
+
+
+class TestSimulationExperiments:
+    def test_fig02_shape(self):
+        result = ALL_EXPERIMENTS["fig02"](accesses_per_core=TINY)
+        for row in result.rows:
+            _, exec_t, io, _sys = row[0], row[1], row[2], row[3]
+            assert exec_t >= 1.0  # always-on 3-LWC never speeds up
+            assert io < 1.0  # ... but always cuts IO energy
+
+    def test_fig04_bucket_fractions(self):
+        result = ALL_EXPERIMENTS["fig04"](accesses_per_core=TINY)
+        for row in result.rows:
+            assert sum(row[1:]) == pytest.approx(1.0)
+
+    def test_fig05_fractions(self):
+        result = ALL_EXPERIMENTS["fig05"](accesses_per_core=TINY)
+        for row in result.rows:
+            assert sum(row[1:]) == pytest.approx(1.0)
+
+    def test_fig06_slack_never_exceeds_gaps(self):
+        gaps = ALL_EXPERIMENTS["fig04"](accesses_per_core=TINY)
+        slack = ALL_EXPERIMENTS["fig06"](accesses_per_core=TINY)
+        # Slack-0 fraction >= gap-0 fraction (turnaround only shrinks).
+        for grow, srow in zip(gaps.rows, slack.rows):
+            assert srow[1] >= grow[1] - 1e-9
+
+    def test_fig17_mil_below_one(self):
+        result = ALL_EXPERIMENTS["fig17"](accesses_per_core=TINY)
+        mil = result.column("mil")
+        assert np.mean(mil) < 0.85
+
+    def test_fig20_monotone_slowdown(self):
+        result = ALL_EXPERIMENTS["fig20"](accesses_per_core=TINY)
+        means = [result.observations[f"mean_BL{bl}"] for bl in (10, 12, 14, 16)]
+        assert means[-1] >= means[0]
+
+    def test_fig22_shares_sum(self):
+        result = ALL_EXPERIMENTS["fig22"](accesses_per_core=TINY)
+        for row in result.rows:
+            assert row[1] + row[2] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestResultContainer:
+    def test_format_and_accessors(self):
+        r = ExperimentResult(
+            experiment="x", title="T", headers=["a", "b"],
+            rows=[["r1", 1.0], ["r2", 2.0]], paper_claim="c",
+            observations={"k": 1.234},
+        )
+        text = r.format()
+        assert "T" in text and "paper: c" in text and "1.234" in text
+        assert r.column("b") == [1.0, 2.0]
+        assert r.row_for("r2") == ["r2", 2.0]
+        with pytest.raises(KeyError):
+            r.row_for("r3")

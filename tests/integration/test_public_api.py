@@ -1,0 +1,56 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+
+class TestLazyExports:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_lazy_attributes_resolve(self):
+        import repro
+
+        assert callable(repro.run)
+        assert repro.NIAGARA_SERVER.name == "ddr4-server"
+        assert len(repro.BENCHMARK_ORDER) == 11
+        assert "fig16" in repro.ALL_EXPERIMENTS
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_dir_lists_lazy_names(self):
+        import repro
+
+        listing = dir(repro)
+        for name in ("run", "MiLConfig", "SNAPDRAGON_MOBILE"):
+            assert name in listing
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize("module", [
+        "repro.coding", "repro.dram", "repro.controller", "repro.core",
+        "repro.system", "repro.energy", "repro.workloads",
+        "repro.analysis", "repro.experiments", "repro.cli",
+    ])
+    def test_importable(self, module):
+        import importlib
+
+        assert importlib.import_module(module) is not None
+
+    def test_all_exports_resolve(self):
+        # Every name in each subpackage's __all__ must actually exist.
+        import importlib
+
+        for module_name in (
+            "repro.coding", "repro.dram", "repro.controller",
+            "repro.core", "repro.system", "repro.energy",
+            "repro.workloads", "repro.analysis",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"

@@ -1,0 +1,89 @@
+"""Integration: the synthetic suite reproduces Figure 5's character.
+
+The whole reproduction argument rests on the workload suite spanning
+the paper's intensity spectrum in the right order; this test pins that
+property so a workload-generator change cannot silently break it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import run
+from repro.system import NIAGARA_SERVER
+from repro.workloads import BENCHMARK_ORDER, MEMORY_INTENSIVE
+
+SCALE = 2500
+
+
+@pytest.fixture(scope="module")
+def baseline_runs():
+    return {
+        bench: run(bench, NIAGARA_SERVER, "dbi", accesses_per_core=SCALE)
+        for bench in BENCHMARK_ORDER
+    }
+
+
+class TestUtilizationSpectrum:
+    def test_light_benchmarks_are_light(self, baseline_runs):
+        for bench in ("MM", "STRMATCH"):
+            assert baseline_runs[bench].bus_utilization < 0.25
+
+    def test_intensive_benchmarks_are_intensive(self, baseline_runs):
+        for bench in ("SWIM", "OCEAN", "CG", "GUPS"):
+            assert baseline_runs[bench].bus_utilization > 0.30
+
+    def test_extremes_ordered(self, baseline_runs):
+        # The first and last of the paper's ordering must bracket the
+        # suite (exact middle ordering is allowed to wobble).
+        utils = [baseline_runs[b].bus_utilization for b in BENCHMARK_ORDER]
+        assert baseline_runs["MM"].bus_utilization == pytest.approx(
+            min(utils), abs=0.05
+        )
+        assert baseline_runs["GUPS"].bus_utilization >= max(utils) - 0.1
+
+    def test_overall_spearman_with_paper_order(self, baseline_runs):
+        # Rank correlation between our utilisations and the paper's
+        # low-to-high presentation order.
+        utils = np.array(
+            [baseline_runs[b].bus_utilization for b in BENCHMARK_ORDER]
+        )
+        ranks = np.argsort(np.argsort(utils))
+        expected = np.arange(len(BENCHMARK_ORDER))
+        rho = np.corrcoef(ranks, expected)[0, 1]
+        assert rho > 0.7
+
+
+class TestPendingCharacter:
+    def test_intensive_mostly_pending(self, baseline_runs):
+        # Figure 5: the intensive benchmarks have requests pending a
+        # majority of the time.
+        for bench in ("CG", "GUPS", "SCALPARC"):
+            pending = baseline_runs[bench].pending
+            assert pending["no_pending"] < 0.5
+
+    def test_light_mostly_idle(self, baseline_runs):
+        for bench in ("MM", "STRMATCH"):
+            pending = baseline_runs[bench].pending
+            assert pending["no_pending"] > 0.5
+
+    def test_timing_constraints_visible(self, baseline_runs):
+        # For at least the random-access intensive benchmarks, idle-
+        # while-pending must be a large slice: the paper's Section 3.1.
+        for bench in ("CG", "GUPS"):
+            pending = baseline_runs[bench].pending
+            assert pending["idle_pending"] > 0.3
+
+
+class TestDataCharacter:
+    def test_compressibility_ordering(self, baseline_runs):
+        # Figure 17: MM and GUPS compress far better than the FP codes.
+        mil = {
+            bench: run(bench, NIAGARA_SERVER, "mil", accesses_per_core=SCALE)
+            for bench in ("MM", "SWIM", "GUPS")
+        }
+        ratio = {
+            b: mil[b].total_zeros / max(1, baseline_runs[b].total_zeros)
+            for b in mil
+        }
+        assert ratio["MM"] < ratio["SWIM"]
+        assert ratio["GUPS"] < ratio["SWIM"]

@@ -1,0 +1,86 @@
+"""Tests for the Table 2 machine configurations."""
+
+import dataclasses
+
+import pytest
+
+from repro.system import NIAGARA_SERVER, SNAPDRAGON_MOBILE, SYSTEMS
+
+
+class TestTable2Server:
+    def test_core_complex(self):
+        cfg = NIAGARA_SERVER
+        assert cfg.cores == 8
+        assert cfg.threads_per_core == 4
+        assert cfg.cpu_ghz == pytest.approx(3.2)
+        assert not cfg.out_of_order
+
+    def test_cache_sizes(self):
+        cfg = NIAGARA_SERVER
+        assert cfg.l1_bytes == 32 * 1024 and cfg.l1_ways == 4
+        assert cfg.l2_bytes == 4 * 1024 * 1024 and cfg.l2_ways == 8
+
+    def test_memory_system(self):
+        cfg = NIAGARA_SERVER
+        assert cfg.timing.name == "DDR4-3200"
+        assert cfg.channels == 2
+        assert cfg.geometry.ranks == 2
+        assert cfg.geometry.banks == 8
+        assert cfg.geometry.row_bytes == 8192
+
+    def test_controller_queues(self):
+        cfg = NIAGARA_SERVER
+        assert (cfg.read_queue, cfg.write_queue) == (64, 64)
+        assert (cfg.drain_high, cfg.drain_low) == (60, 50)
+
+
+class TestTable2Mobile:
+    def test_core_complex(self):
+        cfg = SNAPDRAGON_MOBILE
+        assert cfg.cores == 8
+        assert cfg.threads_per_core == 1
+        assert cfg.cpu_ghz == pytest.approx(1.6)
+        assert cfg.out_of_order
+
+    def test_memory_system(self):
+        cfg = SNAPDRAGON_MOBILE
+        assert cfg.timing.name == "LPDDR3-1600"
+        assert cfg.geometry.row_bytes == 4096
+        assert cfg.l2_bytes == 2 * 1024 * 1024
+
+    def test_prefetcher_weaker_than_server(self):
+        assert (
+            SNAPDRAGON_MOBILE.prefetcher.degree
+            < NIAGARA_SERVER.prefetcher.degree
+        )
+        assert (
+            SNAPDRAGON_MOBILE.prefetcher.distance
+            < NIAGARA_SERVER.prefetcher.distance
+        )
+
+
+class TestDesignSpaceKnobs:
+    def test_defaults_are_paper_point(self):
+        for cfg in SYSTEMS.values():
+            assert cfg.address_interleave == "page"
+            assert cfg.page_policy == "open"
+
+    def test_variants_constructible(self):
+        variant = dataclasses.replace(
+            NIAGARA_SERVER, address_interleave="line", page_policy="closed"
+        )
+        assert variant.address_interleave == "line"
+
+    def test_registry(self):
+        assert set(SYSTEMS) == {"ddr4-server", "lpddr3-mobile"}
+        assert SYSTEMS["ddr4-server"] is NIAGARA_SERVER
+
+
+class TestClockConversion:
+    def test_ceiling_semantics(self):
+        assert NIAGARA_SERVER.cpu_to_dram_cycles(1) == 1
+        assert NIAGARA_SERVER.cpu_to_dram_cycles(2) == 1
+        assert NIAGARA_SERVER.cpu_to_dram_cycles(2.5) == 2
+
+    def test_never_negative(self):
+        assert NIAGARA_SERVER.cpu_to_dram_cycles(-5) == 0

@@ -1,0 +1,128 @@
+"""Tests for the MESI coherence directory."""
+
+import pytest
+
+from repro.system import MESIDirectory, MESIState
+
+LINE = 0x1000
+
+
+class TestReadPath:
+    def test_first_reader_gets_exclusive(self):
+        d = MESIDirectory(4)
+        d.read(0, LINE)
+        assert d.state(0, LINE) is MESIState.EXCLUSIVE
+
+    def test_second_reader_shares(self):
+        d = MESIDirectory(4)
+        d.read(0, LINE)
+        outcome = d.read(1, LINE)
+        assert d.state(0, LINE) is MESIState.SHARED
+        assert d.state(1, LINE) is MESIState.SHARED
+        assert outcome.downgraded == [0]
+        assert not outcome.dirty_writeback
+
+    def test_read_after_modified_flushes(self):
+        d = MESIDirectory(4)
+        d.write(0, LINE)
+        outcome = d.read(1, LINE)
+        assert outcome.dirty_writeback
+        assert d.state(0, LINE) is MESIState.SHARED
+        assert d.dirty_transfers == 1
+
+    def test_read_hit_is_silent(self):
+        d = MESIDirectory(4)
+        d.read(0, LINE)
+        outcome = d.read(0, LINE)
+        assert not outcome.downgraded and not outcome.invalidated
+
+
+class TestWritePath:
+    def test_writer_gets_modified(self):
+        d = MESIDirectory(4)
+        d.write(0, LINE)
+        assert d.state(0, LINE) is MESIState.MODIFIED
+
+    def test_write_invalidates_sharers(self):
+        d = MESIDirectory(4)
+        d.read(0, LINE)
+        d.read(1, LINE)
+        outcome = d.write(2, LINE)
+        assert sorted(outcome.invalidated) == [0, 1]
+        assert d.state(0, LINE) is MESIState.INVALID
+        assert d.state(2, LINE) is MESIState.MODIFIED
+        assert d.invalidations == 2
+
+    def test_write_steals_modified_with_flush(self):
+        d = MESIDirectory(4)
+        d.write(0, LINE)
+        outcome = d.write(1, LINE)
+        assert outcome.dirty_writeback
+        assert outcome.invalidated == [0]
+
+    def test_upgrade_from_shared(self):
+        d = MESIDirectory(4)
+        d.read(0, LINE)
+        d.read(1, LINE)
+        d.write(0, LINE)
+        assert d.state(0, LINE) is MESIState.MODIFIED
+        assert d.state(1, LINE) is MESIState.INVALID
+
+
+class TestEviction:
+    def test_evict_reports_dirty(self):
+        d = MESIDirectory(2)
+        d.write(0, LINE)
+        assert d.evict(0, LINE) is True
+        assert d.state(0, LINE) is MESIState.INVALID
+
+    def test_evict_clean_copy(self):
+        d = MESIDirectory(2)
+        d.read(0, LINE)
+        assert d.evict(0, LINE) is False
+
+    def test_evict_absent_is_noop(self):
+        d = MESIDirectory(2)
+        assert d.evict(0, LINE) is False
+
+    def test_sole_sharer_left_behind_keeps_state(self):
+        # After the other sharer evicts, the remaining copy stays S
+        # (a silent S->E upgrade would need extra protocol support).
+        d = MESIDirectory(2)
+        d.read(0, LINE)
+        d.read(1, LINE)
+        d.evict(0, LINE)
+        assert d.state(1, LINE) is MESIState.SHARED
+        assert d.sharers(LINE) == [1]
+
+
+class TestInvariants:
+    def test_at_most_one_writable_copy(self):
+        import random
+
+        rng = random.Random(21)
+        d = MESIDirectory(4)
+        lines = [0x0, 0x40, 0x80]
+        for _ in range(500):
+            core = rng.randrange(4)
+            line = rng.choice(lines)
+            op = rng.random()
+            if op < 0.4:
+                d.read(core, line)
+            elif op < 0.8:
+                d.write(core, line)
+            else:
+                d.evict(core, line)
+            for probe in lines:
+                states = [d.state(c, probe) for c in range(4)]
+                writable = [
+                    s for s in states
+                    if s in (MESIState.MODIFIED, MESIState.EXCLUSIVE)
+                ]
+                valid = [s for s in states if s is not MESIState.INVALID]
+                if writable:
+                    assert len(valid) == 1, "M/E must be the sole copy"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MESIDirectory(0)

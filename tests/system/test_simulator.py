@@ -1,0 +1,145 @@
+"""Tests for the closed-loop timing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.controller import AlwaysScheme
+from repro.system import NIAGARA_SERVER, SNAPDRAGON_MOBILE, simulate
+from repro.workloads import MemoryTrace, TraceRecord
+
+
+def make_trace(records_by_core, name="t"):
+    n = sum(len(r) for r in records_by_core)
+    data = np.zeros((n, 64), dtype=np.uint8)
+    return MemoryTrace(name=name, records_by_core=records_by_core,
+                       line_data=data)
+
+
+def rec(core, gap, line, write=False, prefetch=False, dependent=False,
+        line_id=0):
+    return TraceRecord(core=core, gap=gap, address=line * 64,
+                       is_write=write, line_id=line_id,
+                       is_prefetch=prefetch, dependent=dependent)
+
+
+def seq_trace(core_count, per_core, gap=20, stride=64):
+    records = []
+    lid = 0
+    for c in range(core_count):
+        rs = []
+        for i in range(per_core):
+            rs.append(rec(c, gap, (c * 100_000) + i * stride, line_id=lid))
+            lid += 1
+        records.append(rs)
+    return make_trace(records)
+
+
+class TestCompletion:
+    def test_all_demand_reads_complete(self):
+        trace = seq_trace(4, 50)
+        result = simulate(trace, NIAGARA_SERVER)
+        assert result.demand_reads == 200
+
+    def test_single_read_latency_floor(self):
+        trace = make_trace([[rec(0, 0, 5)]])
+        result = simulate(trace, NIAGARA_SERVER)
+        t = NIAGARA_SERVER.timing
+        assert result.cycles == t.RCD + t.CL + 4
+
+    def test_writes_complete_in_background(self):
+        trace = make_trace([[rec(0, 0, i, write=True, line_id=i)
+                             for i in range(10)]])
+        result = simulate(trace, NIAGARA_SERVER)
+        writes = sum(mc.channel.write_count for mc in result.controllers)
+        forwarded = result.stats["coalesced_writes"]
+        assert writes + forwarded == 10
+
+    def test_empty_trace(self):
+        trace = make_trace([[]])
+        result = simulate(trace, NIAGARA_SERVER)
+        assert result.cycles == 0
+        assert result.demand_reads == 0
+
+
+class TestTimingSemantics:
+    def test_gaps_pace_the_core(self):
+        fast = simulate(seq_trace(1, 40, gap=5), NIAGARA_SERVER)
+        slow = simulate(seq_trace(1, 40, gap=100), NIAGARA_SERVER)
+        assert slow.cycles > 2 * fast.cycles
+
+    def test_dependent_chain_serializes(self):
+        free = make_trace([[rec(0, 0, i * 1000, line_id=i)
+                            for i in range(20)]])
+        chained_records = [rec(0, 0, i * 1000, dependent=(i > 0), line_id=i)
+                           for i in range(20)]
+        chained = make_trace([chained_records])
+        t_free = simulate(free, NIAGARA_SERVER).cycles
+        t_chained = simulate(chained, NIAGARA_SERVER).cycles
+        assert t_chained > 2 * t_free
+
+    def test_mlp_limits_overlap(self):
+        # More outstanding requests than MLP: time scales with batches.
+        trace = make_trace([[rec(0, 0, i * 997, line_id=i)
+                             for i in range(32)]])
+        result = simulate(trace, NIAGARA_SERVER)
+        # With MLP=4 and ~60-cycle latency, 32 misses need >= 8 waves.
+        assert result.cycles > 8 * 40
+
+    def test_longer_bursts_slow_saturated_bus(self):
+        trace = seq_trace(8, 60, gap=2)
+        base = simulate(trace, NIAGARA_SERVER,
+                        lambda: AlwaysScheme("dbi")).cycles
+        lwc = simulate(trace, NIAGARA_SERVER,
+                       lambda: AlwaysScheme("3lwc")).cycles
+        assert lwc > base * 1.2
+
+
+class TestAccounting:
+    def test_bus_utilization_bounded(self):
+        result = simulate(seq_trace(4, 80, gap=10), NIAGARA_SERVER)
+        assert 0.0 < result.bus_utilization <= 1.0
+
+    def test_pending_cycles_bounded(self):
+        result = simulate(seq_trace(2, 50), NIAGARA_SERVER)
+        for pending in result.pending_cycles:
+            assert 0 <= pending <= result.cycles
+
+    def test_scheme_counts_cover_all_bursts(self):
+        result = simulate(seq_trace(2, 50), NIAGARA_SERVER)
+        bursts = sum(
+            mc.channel.read_count + mc.channel.write_count
+            for mc in result.controllers
+        )
+        assert sum(result.scheme_counts.values()) == bursts
+
+    def test_prefetches_not_counted_as_demand(self):
+        records = [[rec(0, 10, i, prefetch=(i % 2 == 0), line_id=i)
+                    for i in range(20)]]
+        result = simulate(make_trace(records), NIAGARA_SERVER)
+        assert result.demand_reads == 10
+
+    def test_transactions_iterate_all_channels(self):
+        result = simulate(seq_trace(4, 50), NIAGARA_SERVER)
+        txs = list(result.transactions())
+        per_channel = sum(
+            len(mc.channel.transactions) for mc in result.controllers
+        )
+        assert len(txs) == per_channel
+
+    def test_seconds_property(self):
+        result = simulate(seq_trace(1, 10), NIAGARA_SERVER)
+        expect = result.cycles / (NIAGARA_SERVER.timing.clock_ghz * 1e9)
+        assert result.seconds == pytest.approx(expect)
+
+
+class TestMobileSystem:
+    def test_runs_on_lpddr3(self):
+        result = simulate(seq_trace(4, 40), SNAPDRAGON_MOBILE)
+        assert result.demand_reads == 160
+        assert result.system == SNAPDRAGON_MOBILE.name
+
+    def test_clock_ratio_conversion(self):
+        assert NIAGARA_SERVER.cpu_per_dram_clock == pytest.approx(2.0)
+        assert SNAPDRAGON_MOBILE.cpu_per_dram_clock == pytest.approx(2.0)
+        assert NIAGARA_SERVER.cpu_to_dram_cycles(3) == 2
+        assert NIAGARA_SERVER.cpu_to_dram_cycles(0) == 0

@@ -1,0 +1,129 @@
+"""Tests for the deterministic data-value models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import DataModel, WORD_CATEGORIES, splitmix64
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert (splitmix64(x) == splitmix64(x)).all()
+
+    def test_mixes_adjacent_inputs(self):
+        out = splitmix64(np.arange(1000, dtype=np.uint64))
+        assert len(np.unique(out)) == 1000
+        # Bits should be balanced across the outputs.
+        bits = np.unpackbits(out.view(np.uint8))
+        assert 0.45 < bits.mean() < 0.55
+
+
+class TestDeterminism:
+    def test_same_address_same_data(self):
+        dm = DataModel({"random": 0.5, "fp": 0.5}, seed=3)
+        addrs = np.array([0, 64, 4096, 64], dtype=np.int64)
+        lines = dm.lines_for(addrs)
+        assert (lines[1] == lines[3]).all()
+
+    def test_order_independent(self):
+        dm = DataModel({"int2": 0.5, "text": 0.5}, seed=4)
+        a = dm.lines_for(np.array([0, 64, 128]))
+        b = dm.lines_for(np.array([128, 0, 64]))
+        assert (a[0] == b[1]).all()
+        assert (a[2] == b[0]).all()
+
+    def test_different_seeds_differ(self):
+        addrs = np.arange(50, dtype=np.int64) * 64
+        a = DataModel({"random": 1.0}, seed=1).lines_for(addrs)
+        b = DataModel({"random": 1.0}, seed=2).lines_for(addrs)
+        assert not (a == b).all()
+
+    def test_offset_within_line_irrelevant(self):
+        dm = DataModel({"random": 1.0})
+        assert (dm.lines_for(np.array([128]))[0]
+                == dm.lines_for(np.array([128 + 17]))[0]).all()
+
+
+class TestCategories:
+    def make(self, category):
+        dm = DataModel({category: 1.0}, seed=5)
+        return dm.lines_for(np.arange(200, dtype=np.int64) * 64)
+
+    def test_zero_lines(self):
+        assert self.make("zero").sum() == 0
+
+    def test_int1_layout(self):
+        lines = self.make("int1").reshape(-1, 8, 8)
+        assert (lines[:, :, 1:] == 0).all()  # only the low byte nonzero
+
+    def test_int2_layout(self):
+        lines = self.make("int2").reshape(-1, 8, 8)
+        assert (lines[:, :, 2:] == 0).all()
+
+    def test_int4_layout(self):
+        lines = self.make("int4").reshape(-1, 8, 8)
+        assert (lines[:, :, 4:] == 0).all()
+        assert lines[:, :, :4].any()
+
+    def test_text_is_printable(self):
+        lines = self.make("text")
+        assert (lines >= 0x20).all() and (lines <= 0x7E).all()
+
+    def test_repeat_is_constant_per_line(self):
+        lines = self.make("repeat")
+        for line in lines[:20]:
+            assert len(np.unique(line)) == 1
+
+    def test_fp_exponent_shared_within_line(self):
+        lines = self.make("fp").reshape(-1, 8, 8)
+        # Byte 7 (sign/exponent) identical across the line's words.
+        assert (lines[:, :, 7] == lines[:, 0:1, 7]).all()
+        assert np.isin(lines[:, :, 7], (0x3F, 0x40)).all()
+
+    def test_fp_trailing_zeros_present(self):
+        dm = DataModel({"fp": 1.0}, fp_trailing_zero_prob=1.0)
+        lines = dm.lines_for(np.arange(50, dtype=np.int64) * 64)
+        assert (lines.reshape(-1, 8, 8)[:, :, :2] == 0).all()
+
+    def test_line_homogeneity(self):
+        # A mixed model still gives homogeneous single lines: an all-int1
+        # line never contains text bytes.
+        dm = DataModel({"int1": 0.5, "text": 0.5}, seed=6)
+        lines = dm.lines_for(np.arange(400, dtype=np.int64) * 64)
+        for line in lines:
+            words = line.reshape(8, 8)
+            is_int1 = (words[:, 1:] == 0).all()
+            is_text = ((words >= 0x20) & (words <= 0x7E)).all()
+            assert is_int1 or is_text
+
+
+class TestMixture:
+    def test_shares_approximate_weights(self):
+        dm = DataModel({"zero": 0.7, "random": 0.3}, seed=7)
+        lines = dm.lines_for(np.arange(4000, dtype=np.int64) * 64)
+        zero_share = (lines.sum(axis=1) == 0).mean()
+        assert 0.62 < zero_share < 0.78
+
+    def test_normalisation(self):
+        dm = DataModel({"zero": 2.0, "random": 2.0})
+        shares = dm.expected_category_shares()
+        assert shares["zero"] == pytest.approx(0.5)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataModel({"nonsense": 1.0})
+        with pytest.raises(ValueError):
+            DataModel({"zero": -1.0})
+        with pytest.raises(ValueError):
+            DataModel({})
+
+    @settings(max_examples=20)
+    @given(st.sampled_from(WORD_CATEGORIES))
+    def test_every_category_generates(self, category):
+        dm = DataModel({category: 1.0})
+        lines = dm.lines_for(np.array([64]))
+        assert lines.shape == (1, 64)

@@ -1,0 +1,116 @@
+"""Tests for the address-stream primitives."""
+
+import numpy as np
+
+from repro.workloads.generators import (
+    gather_stream,
+    interleave,
+    random_access,
+    sequential_stream,
+    strided_sweep,
+    tile_reuse,
+    update_pairs,
+)
+
+
+def rng():
+    return np.random.default_rng(22)
+
+
+class TestSequential:
+    def test_monotone_with_wrap(self):
+        addr, _ = sequential_stream(rng(), 100, base=1000,
+                                    span_bytes=512, start_offset=0)
+        assert addr[0] == 1000
+        deltas = np.diff(addr)
+        assert ((deltas == 8) | (deltas == 8 - 512)).all()
+
+    def test_stays_in_span(self):
+        addr, _ = sequential_stream(rng(), 500, base=4096, span_bytes=1024)
+        assert (addr >= 4096).all() and (addr < 4096 + 1024).all()
+
+    def test_write_fraction(self):
+        _, wr = sequential_stream(rng(), 4000, 0, 1 << 20,
+                                  write_fraction=0.25)
+        assert 0.2 < wr.mean() < 0.3
+
+    def test_empty(self):
+        addr, wr = sequential_stream(rng(), 0, 0, 1024)
+        assert len(addr) == 0 and len(wr) == 0
+
+
+class TestRandomAccess:
+    def test_alignment_and_span(self):
+        addr, _ = random_access(rng(), 1000, base=64, span_bytes=8192)
+        assert (addr % 8 == 0).all()
+        assert (addr >= 64).all() and (addr < 64 + 8192).all()
+
+    def test_spreads_widely(self):
+        addr, _ = random_access(rng(), 2000, 0, 1 << 24)
+        assert len(np.unique(addr // 4096)) > 100
+
+
+class TestStrided:
+    def test_constant_stride(self):
+        addr, _ = strided_sweep(rng(), 50, 0, 1 << 20, stride_bytes=256)
+        assert (np.diff(addr) == 256).all()
+
+    def test_small_stride_is_element_step(self):
+        addr, _ = strided_sweep(rng(), 10, 0, 1 << 20, stride_bytes=8)
+        assert (np.diff(addr) == 8).all()
+
+
+class TestGather:
+    def test_mixes_two_regions(self):
+        addr, _ = gather_stream(
+            rng(), 1000, seq_base=0, seq_span=1 << 20,
+            gather_base=1 << 30, gather_span=1 << 20, gather_ratio=0.5,
+        )
+        seq = (addr < (1 << 20)).sum()
+        gathered = (addr >= (1 << 30)).sum()
+        assert seq + gathered == 1000
+        assert 350 < gathered < 650
+
+
+class TestTileReuse:
+    def test_tile_locality(self):
+        addr, _ = tile_reuse(rng(), 2000, 0, 1 << 22,
+                             tile_bytes=4096, reuse_factor=4)
+        tiles = addr // 4096
+        # Consecutive accesses stay in one tile for long stretches.
+        changes = (np.diff(tiles) != 0).sum()
+        assert changes < 20
+
+    def test_exact_count(self):
+        addr, wr = tile_reuse(rng(), 777, 0, 1 << 22, 4096, 2)
+        assert len(addr) == len(wr) == 777
+
+
+class TestUpdatePairs:
+    def test_read_write_alternation(self):
+        addr, wr = update_pairs(rng(), 100, 0, 1 << 20)
+        assert (addr[0::2] == addr[1::2]).all()  # same slot
+        assert not wr[0::2].any()  # reads first
+        assert wr[1::2].all()  # then writes
+
+
+class TestInterleave:
+    def test_preserves_all_accesses(self):
+        a = (np.arange(10, dtype=np.int64), np.zeros(10, dtype=bool))
+        b = (np.arange(100, 105, dtype=np.int64), np.ones(5, dtype=bool))
+        addr, wr = interleave(rng(), [a, b], chunk=3)
+        assert len(addr) == 15
+        assert sorted(addr.tolist()) == sorted(
+            a[0].tolist() + b[0].tolist()
+        )
+        assert wr.sum() == 5
+
+    def test_round_robin_order(self):
+        a = (np.array([1, 2, 3, 4], dtype=np.int64), np.zeros(4, dtype=bool))
+        b = (np.array([10, 20], dtype=np.int64), np.zeros(2, dtype=bool))
+        addr, _ = interleave(rng(), [a, b], chunk=2)
+        assert addr.tolist() == [1, 2, 10, 20, 3, 4]
+
+    def test_empty_streams(self):
+        addr, wr = interleave(rng(), [])
+        assert len(addr) == 0
