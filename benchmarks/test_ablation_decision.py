@@ -15,7 +15,8 @@ zero reduction.
 import numpy as np
 
 from repro.analysis import format_table
-from repro.experiments.runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from repro.campaign import RunSpec
+from repro.experiments.runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 from repro.system import NIAGARA_SERVER
 
 BENCHES = ("MM", "SWIM", "CG", "GUPS")
@@ -23,14 +24,21 @@ POLICIES = ("milc", "mil", "mil-adaptive")
 
 
 def run_ablation(accesses_per_core=EXPERIMENT_ACCESSES_PER_CORE):
+    def spec(bench, policy):
+        return RunSpec(benchmark=bench, system=NIAGARA_SERVER.name,
+                       policy=policy, accesses_per_core=accesses_per_core)
+
+    runs = gather(
+        spec(bench, policy)
+        for bench in BENCHES
+        for policy in ("dbi",) + POLICIES
+    )
     rows = []
     for bench in BENCHES:
-        base = cached_run(bench, NIAGARA_SERVER, "dbi",
-                          accesses_per_core=accesses_per_core)
+        base = runs[spec(bench, "dbi")]
         row = [bench]
         for policy in POLICIES:
-            s = cached_run(bench, NIAGARA_SERVER, policy,
-                           accesses_per_core=accesses_per_core)
+            s = runs[spec(bench, policy)]
             row += [s.cycles / base.cycles,
                     s.total_zeros / max(1, base.total_zeros)]
         rows.append(row)

@@ -9,24 +9,34 @@ spread; the assertion bounds it.
 import numpy as np
 
 from repro.analysis import format_table
-from repro.experiments.runner import cached_run
+from repro.campaign import RunSpec
+from repro.experiments.runner import gather
 
 BENCHES = ("GUPS", "SWIM")
 SEEDS = (0, 1, 2)
 SCALE = 3000
 
 
+def _spec(bench, policy, seed):
+    return RunSpec(benchmark=bench, system="ddr4-server", policy=policy,
+                   accesses_per_core=SCALE, seed=seed)
+
+
 def run_stability():
+    runs = gather(
+        _spec(bench, policy, seed)
+        for bench in BENCHES
+        for policy in ("dbi", "mil")
+        for seed in SEEDS
+    )
     rows = []
     spreads = []
     for bench in BENCHES:
         zero_ratios = []
         time_ratios = []
         for seed in SEEDS:
-            base = cached_run(bench, "ddr4-server", "dbi",
-                              accesses_per_core=SCALE, seed=seed)
-            mil = cached_run(bench, "ddr4-server", "mil",
-                             accesses_per_core=SCALE, seed=seed)
+            base = runs[_spec(bench, "dbi", seed)]
+            mil = runs[_spec(bench, "mil", seed)]
             zero_ratios.append(mil.total_zeros / max(1, base.total_zeros))
             time_ratios.append(mil.cycles / base.cycles)
         rows.append([

@@ -27,18 +27,25 @@ Subpackages
     Synthetic versions of the 11-benchmark suite from Table 3.
 ``repro.analysis``
     Bus instrumentation and the Figures 4-6 metrics.
+``repro.campaign``
+    Run planning (``RunSpec``), content-addressed caching keyed on a
+    model-source fingerprint, and parallel campaign execution with
+    structured progress events.
 ``repro.experiments``
     One module per table/figure in the paper's evaluation.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 # Convenience re-exports, loaded lazily so `import repro` stays cheap
 # and numpy-free paths (e.g. `repro.__version__` lookups) don't pay for
 # the whole stack.
 _LAZY = {
     "run": ("repro.core.framework", "run"),
+    "run_spec": ("repro.core.framework", "run_spec"),
     "RunSummary": ("repro.core.framework", "RunSummary"),
+    "RunSpec": ("repro.campaign", "RunSpec"),
+    "CampaignRunner": ("repro.campaign", "CampaignRunner"),
     "MiLConfig": ("repro.core.config", "MiLConfig"),
     "NIAGARA_SERVER": ("repro.system.machine", "NIAGARA_SERVER"),
     "SNAPDRAGON_MOBILE": ("repro.system.machine", "SNAPDRAGON_MOBILE"),

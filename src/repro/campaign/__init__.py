@@ -1,0 +1,49 @@
+"""Parallel, content-addressed campaign engine for simulation runs.
+
+The experiment layer used to re-derive the same (benchmark x system x
+policy) sweep through ad-hoc serial loops, memoised by a hand-bumped
+``CACHE_VERSION``.  This subsystem replaces that plumbing with three
+pieces:
+
+``RunSpec``
+    A frozen, hashable description of exactly one simulation run —
+    benchmark, system (plus design-space overrides), policy, look-ahead,
+    scale, seed, and MiLConfig overrides.  Specs are the unit of
+    planning, execution, caching, and result lookup.
+``cache``
+    Content-addressed on-disk memoisation: the cache file name embeds a
+    hash of the spec *and* a fingerprint of the model source
+    (``repro.coding``/``dram``/``controller``/``energy``/``system``/
+    ``core``/``workloads``), so editing the model invalidates stale
+    summaries automatically.
+``CampaignRunner``
+    Fans independent specs out over a process pool (worker count from
+    ``--jobs`` / ``REPRO_JOBS``), retries on worker failure, and emits
+    structured progress events through a pluggable sink.
+
+Environment knobs: ``REPRO_JOBS`` (default worker count),
+``REPRO_CACHE_DIR`` (cache location), ``REPRO_NO_CACHE=1`` (bypass both
+the read and the write path).
+"""
+
+from .cache import cache_dir, cache_enabled, cache_path, load, store
+from .events import ProgressLine, RunEvent, null_sink
+from .fingerprint import model_fingerprint
+from .runner import CampaignRunner, default_jobs, run_cached
+from .spec import RunSpec
+
+__all__ = [
+    "CampaignRunner",
+    "ProgressLine",
+    "RunEvent",
+    "RunSpec",
+    "cache_dir",
+    "cache_enabled",
+    "cache_path",
+    "default_jobs",
+    "load",
+    "model_fingerprint",
+    "null_sink",
+    "run_cached",
+    "store",
+]

@@ -1,0 +1,125 @@
+"""Content-addressed on-disk cache of run summaries.
+
+Each cached file is named ``<slug>-<digest>.json`` where the digest
+hashes the spec's canonical encoding together with the model source
+fingerprint — no manual version bumps, no way for an edited model to
+silently serve stale numbers.  Files hold the summary plus a ``meta``
+block (timing metadata); the ``summary`` block is serialised with
+sorted keys, so a cold serial campaign and a cold parallel one produce
+byte-identical payloads modulo ``meta``.
+
+``REPRO_NO_CACHE=1`` disables both the read and the write path;
+``REPRO_CACHE_DIR`` relocates the cache.  Corrupt or truncated files
+are treated as misses (and removed) rather than crashes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..core.framework import RunSummary
+from .fingerprint import model_fingerprint
+from .spec import RunSpec
+
+__all__ = [
+    "cache_dir",
+    "cache_enabled",
+    "cache_key",
+    "cache_path",
+    "load",
+    "store",
+]
+
+CACHE_FORMAT = 1
+
+
+def cache_dir() -> Path:
+    """Directory holding cached run summaries (not created until write)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".cache" / "runs"
+
+
+def cache_enabled() -> bool:
+    return not os.environ.get("REPRO_NO_CACHE")
+
+
+def cache_key(spec: RunSpec, fingerprint: str | None = None) -> str:
+    """Stable content-addressed key: human slug + spec/model digest."""
+    import hashlib
+
+    fp = fingerprint if fingerprint is not None else model_fingerprint()
+    digest = hashlib.sha256(
+        (spec.canonical_json() + "\0" + fp).encode()
+    ).hexdigest()[:12]
+    return f"{spec.slug}-{digest}"
+
+
+def cache_path(spec: RunSpec, fingerprint: str | None = None) -> Path:
+    return cache_dir() / f"{cache_key(spec, fingerprint)}.json"
+
+
+def load(spec: RunSpec, fingerprint: str | None = None) -> RunSummary | None:
+    """Return the cached summary for ``spec``, or ``None`` on a miss.
+
+    A corrupt, truncated, or schema-incompatible file is removed and
+    reported as a miss so the run is simply recomputed.
+    """
+    if not cache_enabled():
+        return None
+    path = cache_path(spec, fingerprint)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError:
+        return None  # plain miss
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+        path.unlink(missing_ok=True)
+        return None
+    try:
+        summary = RunSummary.from_dict(payload["summary"])
+    except (KeyError, TypeError, AttributeError):
+        path.unlink(missing_ok=True)
+        return None
+    meta = payload.get("meta", {})
+    summary.stats = {
+        "wall_s": meta.get("wall_s"),
+        "cache_hit": True,
+    }
+    return summary
+
+
+def store(
+    spec: RunSpec,
+    summary: RunSummary,
+    wall_s: float | None = None,
+    fingerprint: str | None = None,
+) -> Path | None:
+    """Write ``summary`` for ``spec``; returns the path (None if disabled).
+
+    The directory is created at write time; the write is atomic
+    (temp file + rename) so concurrent campaigns and a killed run can
+    never leave a torn file behind.  Per-run timing lives in ``meta``,
+    outside the deterministic ``summary`` block.
+    """
+    if not cache_enabled():
+        return None
+    path = cache_path(spec, fingerprint)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    body = summary.to_dict()
+    body.pop("stats", None)  # timing metadata is not part of the result
+    payload = {
+        "format": CACHE_FORMAT,
+        "fingerprint": (
+            fingerprint if fingerprint is not None else model_fingerprint()
+        ),
+        "spec": spec.canonical(),
+        "meta": {"wall_s": wall_s},
+        "summary": body,
+    }
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
+    return path

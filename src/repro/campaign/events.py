@@ -1,0 +1,86 @@
+"""Structured per-run progress events and pluggable sinks.
+
+The runner narrates a campaign through :class:`RunEvent` records —
+``queued``, ``started``, ``cache-hit``, ``finished``, ``retried``,
+``failed`` — pushed into a sink callable.  Sinks range from
+:func:`null_sink` (the default) to :class:`ProgressLine` (the CLI's
+live one-line display) to a plain ``list.append`` in tests.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from .spec import RunSpec
+
+__all__ = ["EVENT_KINDS", "ProgressLine", "RunEvent", "null_sink"]
+
+EVENT_KINDS = (
+    "queued", "started", "cache-hit", "finished", "retried", "failed",
+)
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One orchestration event for one run of a campaign."""
+
+    kind: str
+    spec: RunSpec
+    key: str  # content-addressed cache key
+    total: int  # campaign size, for progress displays
+    wall_s: float | None = None  # set on finished
+    error: str | None = None  # set on retried/failed
+
+
+def null_sink(event: RunEvent) -> None:
+    """Discard events (the default sink)."""
+
+
+class ProgressLine:
+    """Live single-line campaign progress written to a stream.
+
+    Counts hits/runs/failures and shows the most recent event; call
+    :meth:`close` to terminate the line once the campaign ends.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.total = 0
+        self.done = 0
+        self.hits = 0
+        self.executed = 0
+        self.failed = 0
+        self._started = time.perf_counter()
+        self._open = False
+
+    def __call__(self, event: RunEvent) -> None:
+        self.total = max(self.total, event.total)
+        if event.kind == "cache-hit":
+            self.done += 1
+            self.hits += 1
+        elif event.kind == "finished":
+            self.done += 1
+            self.executed += 1
+        elif event.kind == "failed":
+            self.done += 1
+            self.failed += 1
+        if event.kind == "queued":
+            return
+        elapsed = time.perf_counter() - self._started
+        line = (
+            f"\rcampaign {self.done}/{self.total} "
+            f"[hits {self.hits}, runs {self.executed}, "
+            f"fails {self.failed}, {elapsed:.1f}s] {event.kind}: "
+            f"{event.spec.slug}"
+        )
+        self.stream.write(line[:110].ljust(110))
+        self.stream.flush()
+        self._open = True
+
+    def close(self) -> None:
+        if self._open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._open = False

@@ -1,0 +1,47 @@
+"""Content fingerprint of the simulation model's source code.
+
+The cache key of every run embeds this fingerprint, so editing any file
+that can change simulation results — the codecs, the DRAM model, the
+controller, the energy models, the system substrate, the decision
+logic, or the workload generators — invalidates stale cached summaries
+automatically.  The orchestration layers (``campaign``, ``experiments``,
+``analysis``, ``cli``) are deliberately excluded: refactoring how runs
+are *driven* must not throw away valid results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["MODEL_PACKAGES", "model_fingerprint"]
+
+# Subpackages of repro/ whose source participates in the fingerprint.
+MODEL_PACKAGES = (
+    "coding",
+    "controller",
+    "core",
+    "dram",
+    "energy",
+    "system",
+    "workloads",
+)
+
+
+@lru_cache(maxsize=1)
+def model_fingerprint() -> str:
+    """Hex digest over the model packages' Python source.
+
+    Pure content hash (paths + bytes, sorted), so it is identical
+    across processes and machines for identical source trees.
+    """
+    root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for package in MODEL_PACKAGES:
+        for path in sorted((root / package).rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    return digest.hexdigest()[:16]

@@ -1,0 +1,200 @@
+"""Campaign execution: cache check, process-pool fan-out, retries.
+
+:class:`CampaignRunner` takes any iterable of :class:`RunSpec`,
+deduplicates it, serves what it can from the content-addressed cache,
+and executes the misses — serially for ``jobs=1`` (the default under
+pytest, so unit suites stay deterministic and pool-free) or across a
+``ProcessPoolExecutor`` otherwise.  A run that dies in a worker (e.g.
+a crashed or OOM-killed process taking the whole pool down) is retried
+in the parent before the campaign gives up.
+
+Simulations are seeded and deterministic, so the same spec produces
+the same summary no matter which process executes it; the cache write
+is what makes serial and parallel campaigns byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from . import cache
+from .events import RunEvent, null_sink
+from .spec import RunSpec
+
+__all__ = ["CampaignRunner", "default_jobs", "run_cached"]
+
+# Failure-injection hook (see tests/campaign/test_runner.py and the
+# guard-rail philosophy of tests/integration/test_failure_injection.py):
+# when the variable names a nonexistent path, the next _execute call
+# creates it and raises, simulating a one-off worker crash.
+FAIL_ONCE_ENV = "REPRO_CAMPAIGN_FAIL_ONCE"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (serial under pytest).
+
+    Explicitly passing ``jobs=`` to :class:`CampaignRunner` overrides
+    this; only the *implicit* default downgrades to serial inside a
+    pytest process.
+    """
+    if "PYTEST_CURRENT_TEST" in os.environ:
+        return 1
+    raw = os.environ.get("REPRO_JOBS", "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _execute(spec: RunSpec) -> tuple[dict, float]:
+    """Run one spec fresh; returns (summary dict, wall seconds).
+
+    Top-level so a process pool can import it by name; the framework
+    import is deferred so importing ``repro.campaign`` stays cycle-free.
+    """
+    sentinel = os.environ.get(FAIL_ONCE_ENV)
+    if sentinel and not os.path.exists(sentinel):
+        try:  # "x" keeps the trip exactly-once across racing workers
+            with open(sentinel, "x") as fh:
+                fh.write("tripped")
+        except FileExistsError:
+            pass
+        else:
+            raise RuntimeError(f"injected worker failure for {spec.slug}")
+
+    from ..core.framework import run_spec
+
+    started = time.perf_counter()
+    summary = run_spec(spec)
+    return summary.to_dict(), time.perf_counter() - started
+
+
+def run_cached(spec: RunSpec, fingerprint: str | None = None):
+    """One-spec convenience: cache hit or execute-and-store."""
+    summary = cache.load(spec, fingerprint)
+    if summary is not None:
+        return summary
+    body, wall_s = _execute(spec)
+    return _finish(spec, body, wall_s, fingerprint)
+
+
+def _finish(spec, body, wall_s, fingerprint):
+    from ..core.framework import RunSummary
+
+    summary = RunSummary.from_dict(body)
+    cache.store(spec, summary, wall_s=wall_s, fingerprint=fingerprint)
+    summary.stats = {"wall_s": wall_s, "cache_hit": False}
+    return summary
+
+
+class CampaignRunner:
+    """Execute a set of RunSpecs with caching, fan-out, and events.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means :func:`default_jobs`.
+    sink:
+        Callable fed a :class:`RunEvent` per orchestration step.
+    retries:
+        How many times a spec whose worker died is re-attempted in the
+        parent process before the campaign raises.
+    fingerprint:
+        Model fingerprint override (tests); ``None`` uses the real one.
+    """
+
+    def __init__(self, jobs: int | None = None, sink=None,
+                 retries: int = 1, fingerprint: str | None = None) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.sink = sink or null_sink
+        self.retries = retries
+        self.fingerprint = fingerprint
+        self.counters = {
+            "specs": 0, "cache_hits": 0, "executed": 0,
+            "retries": 0, "failed": 0, "wall_s": 0.0,
+        }
+
+    def run(self, specs) -> dict[RunSpec, "object"]:
+        """Run every distinct spec; returns {spec: RunSummary}."""
+        ordered = list(dict.fromkeys(specs))
+        total = len(ordered)
+        self.counters["specs"] += total
+        results: dict[RunSpec, object] = {}
+        misses: list[RunSpec] = []
+        for spec in ordered:
+            self._emit("queued", spec, total)
+        for spec in ordered:
+            summary = cache.load(spec, self.fingerprint)
+            if summary is not None:
+                self.counters["cache_hits"] += 1
+                results[spec] = summary
+                self._emit("cache-hit", spec, total)
+            else:
+                misses.append(spec)
+        if misses:
+            if self.jobs > 1 and len(misses) > 1:
+                self._run_parallel(misses, results, total)
+            else:
+                self._run_serial(misses, results, total)
+        return results
+
+    # -- execution strategies ------------------------------------------
+
+    def _run_serial(self, misses, results, total) -> None:
+        for spec in misses:
+            self._emit("started", spec, total)
+            body, wall_s = self._attempt(spec, total, _execute)
+            results[spec] = self._record(spec, body, wall_s, total)
+
+    def _run_parallel(self, misses, results, total) -> None:
+        workers = min(self.jobs, len(misses))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for spec in misses:
+                self._emit("started", spec, total)
+                futures[pool.submit(_execute, spec)] = spec
+            for future in as_completed(futures):
+                spec = futures[future]
+                try:
+                    body, wall_s = future.result()
+                except Exception as exc:  # worker died: retry in-parent
+                    self._emit("retried", spec, total, error=repr(exc))
+                    self.counters["retries"] += 1
+                    body, wall_s = self._attempt(
+                        spec, total, _execute, budget=self.retries - 1
+                    )
+                results[spec] = self._record(spec, body, wall_s, total)
+
+    def _attempt(self, spec, total, execute, budget: int | None = None):
+        """Call ``execute`` with the retry budget; raise when exhausted."""
+        budget = self.retries if budget is None else budget
+        while True:
+            try:
+                return execute(spec)
+            except Exception as exc:
+                if budget <= 0:
+                    self.counters["failed"] += 1
+                    self._emit("failed", spec, total, error=repr(exc))
+                    raise
+                budget -= 1
+                self.counters["retries"] += 1
+                self._emit("retried", spec, total, error=repr(exc))
+
+    def _record(self, spec, body, wall_s, total):
+        summary = _finish(spec, body, wall_s, self.fingerprint)
+        self.counters["executed"] += 1
+        self.counters["wall_s"] += wall_s
+        self._emit("finished", spec, total, wall_s=wall_s)
+        return summary
+
+    def _emit(self, kind, spec, total, wall_s=None, error=None) -> None:
+        self.sink(RunEvent(
+            kind=kind,
+            spec=spec,
+            key=cache.cache_key(spec, self.fingerprint),
+            total=total,
+            wall_s=wall_s,
+            error=error,
+        ))

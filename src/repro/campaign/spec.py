@@ -1,0 +1,187 @@
+"""The frozen description of one simulation run.
+
+A :class:`RunSpec` is the single currency of the campaign engine: the
+experiment modules plan lists of specs, the runner executes them, the
+cache keys files on them, and results are looked up by spec equality.
+Specs are hashable and picklable, so they cross process-pool boundaries
+and serve as dict keys on both sides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+from ..system.machine import SYSTEMS, SystemConfig
+
+__all__ = ["RunSpec"]
+
+# Override values must survive a JSON round-trip unchanged so that
+# canonical() is a faithful, stable encoding of the spec.
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+Overrides = "tuple[tuple[str, object], ...]"
+
+
+def _freeze_overrides(value) -> tuple:
+    """Normalise a dict or iterable of pairs into a sorted tuple."""
+    if isinstance(value, dict):
+        pairs = value.items()
+    else:
+        pairs = tuple(value)
+    out = []
+    for key, val in pairs:
+        if not isinstance(key, str):
+            raise TypeError(f"override key {key!r} must be a string")
+        if not isinstance(val, _PRIMITIVES):
+            raise TypeError(
+                f"override {key}={val!r} is not JSON-primitive; "
+                "campaign specs must be content-addressable"
+            )
+        out.append((key, val))
+    out.sort()
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one (benchmark, system, policy) run.
+
+    ``system`` names a Table 2 base machine (a :data:`SYSTEMS` key);
+    ``system_overrides`` are ``dataclasses.replace`` fields applied on
+    top of it (how the design-space studies describe their variants).
+    ``mil_overrides`` are :class:`~repro.core.config.MiLConfig` fields
+    applied to the decision logic of ``mil``-family policies.
+    """
+
+    benchmark: str
+    system: str = "ddr4-server"
+    policy: str = "mil"
+    lookahead: int | None = None
+    accesses_per_core: int = 5000
+    seed: int = 0
+    system_overrides: tuple = field(default=())
+    mil_overrides: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmark", self.benchmark.upper())
+        object.__setattr__(
+            self, "system_overrides", _freeze_overrides(self.system_overrides)
+        )
+        object.__setattr__(
+            self, "mil_overrides", _freeze_overrides(self.mil_overrides)
+        )
+        if self.system not in SYSTEMS:
+            raise KeyError(
+                f"unknown system {self.system!r}; known: {sorted(SYSTEMS)}"
+            )
+        if self.accesses_per_core <= 0:
+            raise ValueError("accesses_per_core must be positive")
+        if self.lookahead is not None and self.lookahead < 0:
+            raise ValueError("lookahead must be non-negative")
+
+    @classmethod
+    def of(
+        cls,
+        benchmark: str,
+        config: SystemConfig | str,
+        policy: str,
+        lookahead: int | None = None,
+        accesses_per_core: int = 5000,
+        seed: int = 0,
+        mil_overrides: dict | tuple = (),
+    ) -> "RunSpec":
+        """Build a spec from the legacy ``cached_run`` argument shapes.
+
+        ``config`` may be a system name, a Table 2 config, or a
+        ``dataclasses.replace`` variant of one — the variant is
+        decomposed into its base system plus field overrides so the
+        spec stays a pure-data description.
+        """
+        if isinstance(config, str):
+            system, overrides = config, ()
+        else:
+            system, overrides = _decompose_system(config)
+        return cls(
+            benchmark=benchmark,
+            system=system,
+            policy=policy,
+            lookahead=lookahead,
+            accesses_per_core=accesses_per_core,
+            seed=seed,
+            system_overrides=overrides,
+            mil_overrides=mil_overrides,
+        )
+
+    def resolve_system(self) -> SystemConfig:
+        """Materialise the (possibly overridden) system configuration."""
+        config = SYSTEMS[self.system]
+        if self.system_overrides:
+            config = dataclasses.replace(
+                config, **dict(self.system_overrides)
+            )
+        return config
+
+    def canonical(self) -> dict:
+        """A JSON-safe dict that uniquely encodes this spec."""
+        return {
+            "benchmark": self.benchmark,
+            "system": self.system,
+            "policy": self.policy,
+            "lookahead": self.lookahead,
+            "accesses_per_core": self.accesses_per_core,
+            "seed": self.seed,
+            "system_overrides": [list(p) for p in self.system_overrides],
+            "mil_overrides": [list(p) for p in self.mil_overrides],
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True)
+
+    @property
+    def slug(self) -> str:
+        """Human-readable cache-file stem (not unique on its own)."""
+        look = "auto" if self.lookahead is None else str(self.lookahead)
+        parts = [
+            self.benchmark, self.system, self.policy,
+            f"x{look}", f"n{self.accesses_per_core}", f"s{self.seed}",
+        ]
+        if self.system_overrides or self.mil_overrides:
+            parts.append(f"o{len(self.system_overrides)}"
+                         f"m{len(self.mil_overrides)}")
+        return "-".join(parts)
+
+
+def _decompose_system(config: SystemConfig) -> tuple[str, tuple]:
+    """Split a SystemConfig into (base system name, field overrides).
+
+    Picks the registered system the config differs least from; every
+    differing field must be JSON-primitive (the design-space knobs are
+    all strings/numbers — swapping timing or geometry wholesale needs a
+    new :data:`SYSTEMS` entry instead).
+    """
+    if config.name in SYSTEMS and SYSTEMS[config.name] == config:
+        return config.name, ()
+    best: tuple[str, tuple] | None = None
+    for name, base in SYSTEMS.items():
+        diffs = []
+        ok = True
+        for f in dataclasses.fields(SystemConfig):
+            mine = getattr(config, f.name)
+            theirs = getattr(base, f.name)
+            if mine == theirs:
+                continue
+            if not isinstance(mine, _PRIMITIVES):
+                ok = False
+                break
+            diffs.append((f.name, mine))
+        if ok and (best is None or len(diffs) < len(best[1])):
+            best = (name, tuple(diffs))
+    if best is None:
+        raise ValueError(
+            f"system config {config.name!r} differs from every "
+            "registered system in non-primitive fields; register it in "
+            "repro.system.machine.SYSTEMS"
+        )
+    return best

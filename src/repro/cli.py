@@ -10,12 +10,20 @@ Commands
 ``experiment ID [--scale N]``
     Regenerate one of the paper's tables/figures (``fig16``, ``table4``,
     ...; see ``list``).
-``suite [--system S] [--policy P] [--scale N]``
+``campaign [ID ...] [--jobs N] [--scale N] [--no-report]``
+    Run every simulation an entire figure set needs as one
+    content-addressed campaign — cache hits are free, misses fan out
+    over a process pool — with a live progress line, then print the
+    figures.
+``suite [--system S] [--policy P] [--scale N] [--jobs N]``
     Run the whole 11-benchmark suite under one policy, normalized to
     the DBI baseline.
 ``trace BENCH OUT.csv [--system S] [--policy P] [--scale N]``
     Simulate one benchmark, dump the data-bus transaction log to CSV or
     JSON-lines, and re-audit the dump against the DDRx protocol rules.
+
+``--jobs`` (or the ``REPRO_JOBS`` environment variable) sets the
+process-pool width for campaign-backed commands; ``-j1`` stays serial.
 """
 
 from __future__ import annotations
@@ -23,8 +31,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import __version__
 from .analysis.report import format_table
-from .core.framework import POLICIES, run
+from .campaign import CampaignRunner, ProgressLine, RunSpec
+from .core.framework import POLICIES, run_spec
 from .system.machine import SYSTEMS
 from .workloads.benchmarks import BENCHMARK_ORDER, BENCHMARKS
 
@@ -38,6 +48,16 @@ def _system(name: str):
         return SYSTEMS[name]
     except KeyError:
         sys.exit(f"unknown system {name!r}; known: {sorted(SYSTEMS)}")
+
+
+def _spec(args, benchmark: str, policy: str) -> RunSpec:
+    _system(args.system)  # friendly exit on unknown names
+    return RunSpec(
+        benchmark=benchmark,
+        system=args.system,
+        policy=policy,
+        accesses_per_core=args.scale,
+    )
 
 
 def cmd_list(_args) -> int:
@@ -60,9 +80,7 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    config = _system(args.system)
-    summary = run(args.benchmark.upper(), config, args.policy,
-                  accesses_per_core=args.scale)
+    summary = run_spec(_spec(args, args.benchmark.upper(), args.policy))
     rows = [
         ["cycles", summary.cycles],
         ["seconds", f"{summary.seconds:.6f}"],
@@ -74,8 +92,7 @@ def cmd_run(args) -> int:
         ["system energy (uJ)", f"{summary.system_total_j * 1e6:.2f}"],
     ]
     if args.baseline and args.policy != "dbi":
-        base = run(args.benchmark.upper(), config, "dbi",
-                   accesses_per_core=args.scale)
+        base = run_spec(_spec(args, args.benchmark.upper(), "dbi"))
         rows += [
             ["vs DBI: time", f"{summary.cycles / base.cycles:.3f}"],
             ["vs DBI: zeros",
@@ -124,12 +141,60 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    from .experiments import ALL_EXPERIMENTS, EXPERIMENT_PLANS
+
+    ids = args.ids or list(ALL_EXPERIMENTS)
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        sys.exit(
+            f"unknown experiment(s) {', '.join(unknown)}; known: "
+            + ", ".join(ALL_EXPERIMENTS)
+        )
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["accesses_per_core"] = args.scale
+
+    specs: list[RunSpec] = []
+    for exp_id in ids:
+        planner = EXPERIMENT_PLANS.get(exp_id)
+        if planner is not None:
+            specs.extend(planner(**kwargs))
+
+    sink = ProgressLine()
+    runner = CampaignRunner(jobs=args.jobs, sink=sink)
+    runner.run(specs)
+    sink.close()
+    c = runner.counters
+    print(
+        f"campaign: {c['specs']} runs over {len(ids)} experiment(s) — "
+        f"{c['cache_hits']} cache hits, {c['executed']} executed "
+        f"({c['wall_s']:.1f}s simulated work, {runner.jobs} job(s), "
+        f"{c['retries']} retries)",
+        file=sys.stderr,
+    )
+
+    if not args.no_report:
+        for exp_id in ids:
+            print()
+            print(ALL_EXPERIMENTS[exp_id](**kwargs).format())
+    return 0
+
+
 def cmd_suite(args) -> int:
     config = _system(args.system)
+    specs = {
+        (bench, policy): _spec(args, bench, policy)
+        for bench in BENCHMARK_ORDER
+        for policy in ("dbi", args.policy)
+    }
+    sink = ProgressLine()
+    results = CampaignRunner(jobs=args.jobs, sink=sink).run(specs.values())
+    sink.close()
     rows = []
     for bench in BENCHMARK_ORDER:
-        base = run(bench, config, "dbi", accesses_per_core=args.scale)
-        s = run(bench, config, args.policy, accesses_per_core=args.scale)
+        base = results[specs[(bench, "dbi")]]
+        s = results[specs[(bench, args.policy)]]
         rows.append([
             bench,
             base.bus_utilization,
@@ -138,7 +203,6 @@ def cmd_suite(args) -> int:
             s.dram_total_j / base.dram_total_j if s.dram_energy else
             float("nan"),
         ])
-        print(f"  {bench} done", file=sys.stderr)
     print(format_table(
         ["benchmark", "base_util", "time", "zeros", "dram_energy"],
         rows,
@@ -198,6 +262,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro",
         description="MiL (More is Less) reproduction toolkit",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="show benchmarks/systems/policies")
@@ -216,10 +283,24 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--chart", action="store_true",
                        help="render a unicode bar chart of the result")
 
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a whole figure set as one parallel cached campaign",
+    )
+    p_camp.add_argument("ids", nargs="*", metavar="ID",
+                        help="experiment ids (default: all)")
+    p_camp.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or 1)")
+    p_camp.add_argument("--scale", type=int, default=None)
+    p_camp.add_argument("--no-report", action="store_true",
+                        help="only warm the cache; skip printing figures")
+
     p_suite = sub.add_parser("suite", help="run all 11 benchmarks")
     p_suite.add_argument("--system", default="ddr4-server")
     p_suite.add_argument("--policy", default="mil", choices=POLICIES)
     p_suite.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    p_suite.add_argument("--jobs", "-j", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS or 1)")
 
     p_trace = sub.add_parser(
         "trace", help="dump and audit a run's bus-transaction log"
@@ -235,6 +316,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "experiment": cmd_experiment,
+        "campaign": cmd_campaign,
         "suite": cmd_suite,
         "trace": cmd_trace,
     }[args.command]

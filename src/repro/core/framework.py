@@ -52,8 +52,9 @@ from ..workloads.benchmarks import DEFAULT_ACCESSES_PER_CORE, build_trace
 from .config import MiLConfig
 from .decision import MiLCOnlyPolicy, MiLPolicy
 
-__all__ = ["POLICIES", "RunSummary", "run", "make_policy_factory",
-           "energy_params_for", "system_energy_params_for"]
+__all__ = ["POLICIES", "RunSummary", "run", "run_spec",
+           "make_policy_factory", "energy_params_for",
+           "system_energy_params_for"]
 
 POLICIES = (
     "raw", "dbi", "milc", "mil", "mil-adaptive", "mil-lwc12", "cafo2",
@@ -91,24 +92,40 @@ def make_policy_factory(
     policy: str,
     zeros_by_scheme: dict[str, np.ndarray] | None = None,
     lookahead: int | None = None,
+    mil_overrides: dict | None = None,
 ):
-    """Build a per-channel policy factory for :func:`simulate`."""
+    """Build a per-channel policy factory for :func:`simulate`.
+
+    ``mil_overrides`` are extra :class:`MiLConfig` fields applied on
+    top of the policy's canonical configuration; only the ``mil``
+    family has a configuration, so overrides on other policies are an
+    error rather than a silent no-op.
+    """
+    def mil_config(**kwargs) -> MiLConfig:
+        if mil_overrides:
+            kwargs.update(mil_overrides)
+        return MiLConfig(**kwargs)
+
+    if mil_overrides and policy not in ("mil", "mil-lwc12", "mil-adaptive"):
+        raise ValueError(
+            f"policy {policy!r} has no MiLConfig to override"
+        )
     if policy == "dbi":
         return lambda: AlwaysScheme("dbi")
     if policy == "milc":
         return lambda: MiLCOnlyPolicy("milc")
     if policy == "mil":
-        config = MiLConfig(lookahead=lookahead)
+        config = mil_config(lookahead=lookahead)
         return lambda: MiLPolicy(config, zeros_by_scheme)
     if policy == "mil-lwc12":
         # Section 7.5.3's intermediate long code: (8,12) 3-LWC at BL12
         # captures shorter idle windows than the (8,17) code's BL16.
-        config = MiLConfig(lookahead=lookahead, long_scheme="lwc12")
+        config = mil_config(lookahead=lookahead, long_scheme="lwc12")
         return lambda: MiLPolicy(config, zeros_by_scheme)
     if policy == "mil-adaptive":
         # The Section 7.5.2 extension: a third, uncoded tier engaged
         # under bus saturation (see MiLConfig.short_lookahead).
-        config = MiLConfig(lookahead=lookahead, short_lookahead=12)
+        config = mil_config(lookahead=lookahead, short_lookahead=12)
         return lambda: MiLPolicy(config, zeros_by_scheme)
     if policy in ("raw", "cafo2", "cafo4", "3lwc", "bl12", "bl14"):
         return lambda: AlwaysScheme(policy)
@@ -138,6 +155,10 @@ class RunSummary:
     pending: dict = field(default_factory=dict)  # Figure 5 fractions
     write_optimized: int = 0
     trace_records: int = 0
+    # Orchestration metadata (per-run wall time, cache-hit flag, ...),
+    # filled by the campaign layer; never part of the cached payload,
+    # so it carries no simulation semantics.
+    stats: dict = field(default_factory=dict)
 
     @property
     def dram_total_j(self) -> float:
@@ -162,6 +183,7 @@ def run(
     lookahead: int | None = None,
     accesses_per_core: int = DEFAULT_ACCESSES_PER_CORE,
     seed: int = 0,
+    mil_overrides: dict | None = None,
 ) -> RunSummary:
     """Execute one benchmark under one policy and summarise it.
 
@@ -172,7 +194,9 @@ def run(
         benchmark, config, seed=seed, accesses_per_core=accesses_per_core
     )
     zeros_by_scheme = precompute_line_zeros(trace.line_data, _REAL_SCHEMES)
-    factory = make_policy_factory(policy, zeros_by_scheme, lookahead)
+    factory = make_policy_factory(
+        policy, zeros_by_scheme, lookahead, mil_overrides
+    )
 
     result = simulate(trace, config, factory)
 
@@ -257,4 +281,21 @@ def run(
         pending=merged.fractions(),
         write_optimized=write_optimized,
         trace_records=trace.total_records,
+    )
+
+
+def run_spec(spec) -> RunSummary:
+    """Execute one :class:`~repro.campaign.spec.RunSpec`.
+
+    Duck-typed on purpose: the campaign layer depends on this module,
+    so importing the spec class here would be circular.
+    """
+    return run(
+        spec.benchmark,
+        spec.resolve_system(),
+        spec.policy,
+        lookahead=spec.lookahead,
+        accesses_per_core=spec.accesses_per_core,
+        seed=spec.seed,
+        mil_overrides=dict(spec.mil_overrides) or None,
     )

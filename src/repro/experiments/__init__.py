@@ -5,6 +5,13 @@ an :class:`~repro.experiments.base.ExperimentResult`; running a module
 as a script prints the reproduced rows next to the paper's claim.
 ``ALL_EXPERIMENTS`` maps experiment ids to those callables so the
 benchmark harness and EXPERIMENTS.md generation can iterate them.
+
+Simulation-backed modules additionally expose
+``plan(accesses_per_core=...)`` returning the list of
+:class:`~repro.campaign.RunSpec` values the figure consumes;
+``EXPERIMENT_PLANS`` collects those so ``repro campaign`` can union an
+entire figure set into one parallel, cache-warming campaign before the
+tabulation step runs against pure cache hits.
 """
 
 from . import (
@@ -31,41 +38,55 @@ from . import (
 )
 from .base import ExperimentResult
 from .runner import (
-    CACHE_VERSION,
     EXPERIMENT_ACCESSES_PER_CORE,
     cache_dir,
     cached_run,
+    gather,
 )
 
-ALL_EXPERIMENTS = {
-    "fig01": fig01_power_breakdown.run_experiment,
-    "fig02": fig02_always_lwc.run_experiment,
-    "fig04": fig04_idle_gaps.run_experiment,
-    "fig05": fig05_pending.run_experiment,
-    "fig06": fig06_slack.run_experiment,
-    "fig07": fig07_optimal_lwc.run_experiment,
-    "table4": table4_codec_cost.run_experiment,
-    "fig16": fig16_performance.run_experiment,
-    "fig17": fig17_zeroes.run_experiment,
-    "fig18": fig18_energy_breakdown.run_experiment,
-    "fig19": fig19_system_energy.run_experiment,
-    "fig20": fig20_burst_length.run_experiment,
-    "fig21": fig21_lookahead.run_experiment,
-    "fig22": fig22_scheme_mix.run_experiment,
+_MODULES = {
+    "fig01": fig01_power_breakdown,
+    "fig02": fig02_always_lwc,
+    "fig04": fig04_idle_gaps,
+    "fig05": fig05_pending,
+    "fig06": fig06_slack,
+    "fig07": fig07_optimal_lwc,
+    "table4": table4_codec_cost,
+    "fig16": fig16_performance,
+    "fig17": fig17_zeroes,
+    "fig18": fig18_energy_breakdown,
+    "fig19": fig19_system_energy,
+    "fig20": fig20_burst_length,
+    "fig21": fig21_lookahead,
+    "fig22": fig22_scheme_mix,
     # Extension studies (paper Sections 4.1, 7.3, and 7.5.2 directions).
-    "ext_x4": ext_x4_width.run_experiment,
-    "ext_powerdown": ext_powerdown.run_experiment,
-    "ext_design_space": ext_design_space.run_experiment,
-    "ext_intermediate": ext_intermediate_code.run_experiment,
-    "validation": validation.run_experiment,
-    "ext_lpddr3": ext_lpddr3_sensitivity.run_experiment,
+    "ext_x4": ext_x4_width,
+    "ext_powerdown": ext_powerdown,
+    "ext_design_space": ext_design_space,
+    "ext_intermediate": ext_intermediate_code,
+    "validation": validation,
+    "ext_lpddr3": ext_lpddr3_sensitivity,
+}
+
+ALL_EXPERIMENTS = {
+    name: module.run_experiment for name, module in _MODULES.items()
+}
+
+# Experiment id -> plan(accesses_per_core=...) -> list[RunSpec], for the
+# modules whose figures are assembled from cached campaign runs (the
+# analytic and internals-inspecting ones have no plan).
+EXPERIMENT_PLANS = {
+    name: module.plan
+    for name, module in _MODULES.items()
+    if hasattr(module, "plan")
 }
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "EXPERIMENT_PLANS",
     "ExperimentResult",
-    "CACHE_VERSION",
     "EXPERIMENT_ACCESSES_PER_CORE",
     "cache_dir",
     "cached_run",
+    "gather",
 ]

@@ -20,13 +20,12 @@ performance/zero trade on one streaming and one random benchmark.
 
 from __future__ import annotations
 
-import dataclasses
-
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment", "DESIGN_POINTS"]
+__all__ = ["run_experiment", "plan", "DESIGN_POINTS"]
 
 DESIGN_POINTS = (
     ("page+open", "page", "open"),  # the paper's Table 2 point
@@ -37,22 +36,46 @@ DESIGN_POINTS = (
 BENCHES = ("SWIM", "GUPS")
 
 
+def _spec(label, interleave, page_policy, bench, policy, accesses_per_core):
+    # A design point is the Table 2 server plus field overrides — pure
+    # data, so the spec stays hashable and content-addressable.
+    return RunSpec(
+        benchmark=bench,
+        system=NIAGARA_SERVER.name,
+        policy=policy,
+        accesses_per_core=accesses_per_core,
+        system_overrides=(
+            ("name", f"{NIAGARA_SERVER.name}[{label}]"),
+            ("address_interleave", interleave),
+            ("page_policy", page_policy),
+        ),
+    )
+
+
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        _spec(label, interleave, page_policy, bench, policy,
+              accesses_per_core)
+        for label, interleave, page_policy in DESIGN_POINTS
+        for bench in BENCHES
+        for policy in ("dbi", "mil")
+    ]
+
+
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
     rows = []
     for label, interleave, page_policy in DESIGN_POINTS:
-        config = dataclasses.replace(
-            NIAGARA_SERVER,
-            name=f"{NIAGARA_SERVER.name}[{label}]",
-            address_interleave=interleave,
-            page_policy=page_policy,
-        )
         for bench in BENCHES:
-            base = cached_run(bench, config, "dbi",
-                              accesses_per_core=accesses_per_core)
-            mil = cached_run(bench, config, "mil",
-                             accesses_per_core=accesses_per_core)
+            base, mil = (
+                runs[_spec(label, interleave, page_policy, bench, policy,
+                           accesses_per_core)]
+                for policy in ("dbi", "mil")
+            )
             counts = mil.scheme_counts
             total = sum(counts.values()) or 1
             rows.append([

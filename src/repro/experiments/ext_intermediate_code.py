@@ -16,12 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER
 from ..workloads.benchmarks import MEMORY_INTENSIVE
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "plan"]
 
 
 def _long_share(summary) -> float:
@@ -33,19 +34,35 @@ def _long_share(summary) -> float:
     ) / total
 
 
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        RunSpec(benchmark=bench, system=NIAGARA_SERVER.name, policy=policy,
+                accesses_per_core=accesses_per_core)
+        for bench in MEMORY_INTENSIVE
+        for policy in ("dbi", "mil", "mil-lwc12")
+    ]
+
+
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
+
+    def lookup(bench, policy):
+        return runs[RunSpec(benchmark=bench, system=NIAGARA_SERVER.name,
+                            policy=policy,
+                            accesses_per_core=accesses_per_core)]
+
     rows = []
     shares = {"mil": [], "mil-lwc12": []}
     times = {"mil": [], "mil-lwc12": []}
     for bench in MEMORY_INTENSIVE:
-        base = cached_run(bench, NIAGARA_SERVER, "dbi",
-                          accesses_per_core=accesses_per_core)
+        base = lookup(bench, "dbi")
         row = [bench]
         for policy in ("mil", "mil-lwc12"):
-            summary = cached_run(bench, NIAGARA_SERVER, policy,
-                                 accesses_per_core=accesses_per_core)
+            summary = lookup(bench, policy)
             time_ratio = summary.cycles / base.cycles
             zero_ratio = summary.total_zeros / max(1, base.total_zeros)
             share = _long_share(summary)

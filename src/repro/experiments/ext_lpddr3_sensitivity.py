@@ -12,20 +12,49 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..campaign import RunSpec
 from ..system.machine import SNAPDRAGON_MOBILE
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "plan"]
 
 BURST_POLICIES = (("milc", 10), ("bl12", 12), ("bl14", 14), ("3lwc", 16))
 LOOKAHEADS = (0, 4, 8, 14)
+
+_MOBILE = SNAPDRAGON_MOBILE.name
+
+
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    policies = ("dbi", "mil") + tuple(p for p, _ in BURST_POLICIES)
+    specs = [
+        RunSpec(benchmark=bench, system=_MOBILE, policy=policy,
+                accesses_per_core=accesses_per_core)
+        for bench in BENCHMARK_ORDER
+        for policy in policies
+    ]
+    specs += [
+        RunSpec(benchmark=bench, system=_MOBILE, policy="mil", lookahead=x,
+                accesses_per_core=accesses_per_core)
+        for bench in BENCHMARK_ORDER
+        for x in LOOKAHEADS
+    ]
+    return specs
 
 
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
+
+    def lookup(bench, policy, lookahead=None):
+        return runs[RunSpec(benchmark=bench, system=_MOBILE, policy=policy,
+                            lookahead=lookahead,
+                            accesses_per_core=accesses_per_core)]
+
     rows = []
 
     # (a) Figure 20 analogue: fixed burst length.
@@ -33,10 +62,8 @@ def run_experiment(
     for policy, bl in BURST_POLICIES:
         ratios = []
         for bench in BENCHMARK_ORDER:
-            base = cached_run(bench, SNAPDRAGON_MOBILE, "dbi",
-                              accesses_per_core=accesses_per_core)
-            summary = cached_run(bench, SNAPDRAGON_MOBILE, policy,
-                                 accesses_per_core=accesses_per_core)
+            base = lookup(bench, "dbi")
+            summary = lookup(bench, policy)
             ratios.append(summary.cycles / base.cycles)
         bl_means[bl] = float(np.mean(ratios))
         rows.append(["fixed-burst", f"BL{bl}", bl_means[bl]])
@@ -46,11 +73,8 @@ def run_experiment(
     for x in LOOKAHEADS:
         ratios = []
         for bench in BENCHMARK_ORDER:
-            base = cached_run(bench, SNAPDRAGON_MOBILE, "dbi",
-                              accesses_per_core=accesses_per_core)
-            summary = cached_run(bench, SNAPDRAGON_MOBILE, "mil",
-                                 lookahead=x,
-                                 accesses_per_core=accesses_per_core)
+            base = lookup(bench, "dbi")
+            summary = lookup(bench, "mil", lookahead=x)
             ratios.append(summary.cycles / base.cycles)
         x_means[x] = float(np.exp(np.mean(np.log(ratios))))
         rows.append(["look-ahead", f"X={x}", x_means[x]])
@@ -59,8 +83,7 @@ def run_experiment(
     utils = []
     shares = []
     for bench in BENCHMARK_ORDER:
-        summary = cached_run(bench, SNAPDRAGON_MOBILE, "mil",
-                             accesses_per_core=accesses_per_core)
+        summary = lookup(bench, "mil")
         counts = summary.scheme_counts
         total = sum(counts.values()) or 1
         share = counts.get("3lwc", 0) / total

@@ -16,27 +16,40 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "plan"]
+
+
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        RunSpec(benchmark=bench, system=NIAGARA_SERVER.name, policy=policy,
+                accesses_per_core=accesses_per_core)
+        for bench in BENCHMARK_ORDER
+        for policy in ("raw", "dbi", "mil")
+    ]
 
 
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
     rows = []
     x4_savings = []
     x8_savings = []
     for bench in BENCHMARK_ORDER:
-        raw = cached_run(bench, NIAGARA_SERVER, "raw",
-                         accesses_per_core=accesses_per_core)
-        dbi = cached_run(bench, NIAGARA_SERVER, "dbi",
-                         accesses_per_core=accesses_per_core)
-        mil = cached_run(bench, NIAGARA_SERVER, "mil",
-                         accesses_per_core=accesses_per_core)
+        raw, dbi, mil = (
+            runs[RunSpec(benchmark=bench, system=NIAGARA_SERVER.name,
+                         policy=policy,
+                         accesses_per_core=accesses_per_core)]
+            for policy in ("raw", "dbi", "mil")
+        )
         vs_x4 = mil.dram_energy["io"] / raw.dram_energy["io"]
         vs_x8 = mil.dram_energy["io"] / dbi.dram_energy["io"]
         rows.append([bench, vs_x4, vs_x8])

@@ -10,11 +10,12 @@ system win) validates the motivation.
 
 from __future__ import annotations
 
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment", "BENCHMARKS"]
+__all__ = ["run_experiment", "plan", "BENCHMARKS"]
 
 BENCHMARKS = ("CG", "GUPS")
 
@@ -25,15 +26,29 @@ PAPER = {
 }
 
 
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        RunSpec(benchmark=bench, system=NIAGARA_SERVER.name, policy=policy,
+                accesses_per_core=accesses_per_core)
+        for bench in BENCHMARKS
+        for policy in ("dbi", "3lwc")
+    ]
+
+
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
     rows = []
     for bench in BENCHMARKS:
-        base = cached_run(bench, NIAGARA_SERVER, "dbi",
-                          accesses_per_core=accesses_per_core)
-        lwc = cached_run(bench, NIAGARA_SERVER, "3lwc",
-                         accesses_per_core=accesses_per_core)
+        base, lwc = (
+            runs[RunSpec(benchmark=bench, system=NIAGARA_SERVER.name,
+                         policy=policy,
+                         accesses_per_core=accesses_per_core)]
+            for policy in ("dbi", "3lwc")
+        )
         rows.append(
             [
                 bench,

@@ -8,22 +8,35 @@ constraints.  Those idle-with-pending cycles are MiL's raw material.
 
 from __future__ import annotations
 
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER
 from ..workloads.benchmarks import BENCHMARK_ORDER, MEMORY_INTENSIVE
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "plan"]
+
+
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        RunSpec(benchmark=bench, system=NIAGARA_SERVER.name, policy="dbi",
+                accesses_per_core=accesses_per_core)
+        for bench in BENCHMARK_ORDER
+    ]
 
 
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
     rows = []
     intensive_idle_share = []
     for bench in BENCHMARK_ORDER:
-        summary = cached_run(bench, NIAGARA_SERVER, "dbi",
-                             accesses_per_core=accesses_per_core)
+        summary = runs[RunSpec(benchmark=bench, system=NIAGARA_SERVER.name,
+                               policy="dbi",
+                               accesses_per_core=accesses_per_core)]
         p = summary.pending
         rows.append(
             [bench, p["no_pending"], p["idle_pending"], p["utilized"]]

@@ -10,23 +10,36 @@ not all) cases the turnaround does not limit long sparse codes.
 from __future__ import annotations
 
 from ..analysis.metrics import GAP_BUCKETS, bucket_label
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "plan"]
+
+
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        RunSpec(benchmark=bench, system=NIAGARA_SERVER.name, policy="dbi",
+                accesses_per_core=accesses_per_core)
+        for bench in BENCHMARK_ORDER
+    ]
 
 
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
     labels = [bucket_label(b) for b in GAP_BUCKETS]
     rows = []
     exploitable = []
     for bench in BENCHMARK_ORDER:
-        summary = cached_run(bench, NIAGARA_SERVER, "dbi",
-                             accesses_per_core=accesses_per_core)
+        summary = runs[RunSpec(benchmark=bench, system=NIAGARA_SERVER.name,
+                               policy="dbi",
+                               accesses_per_core=accesses_per_core)]
         total = sum(summary.slack.values()) or 1
         fracs = [summary.slack.get(lbl, 0) / total for lbl in labels]
         rows.append([bench] + fracs)

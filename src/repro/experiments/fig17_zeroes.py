@@ -9,29 +9,46 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment", "SCHEMES"]
+__all__ = ["run_experiment", "plan", "SCHEMES"]
 
 SCHEMES = ("cafo2", "cafo4", "milc", "mil")
+
+
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        RunSpec(benchmark=bench, system=NIAGARA_SERVER.name, policy=policy,
+                accesses_per_core=accesses_per_core)
+        for bench in BENCHMARK_ORDER
+        for policy in ("dbi",) + SCHEMES
+    ]
 
 
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
+
+    def summary(bench, policy):
+        return runs[RunSpec(benchmark=bench, system=NIAGARA_SERVER.name,
+                            policy=policy,
+                            accesses_per_core=accesses_per_core)]
+
     rows = []
     per_scheme = {s: [] for s in SCHEMES}
     for bench in BENCHMARK_ORDER:
-        base = cached_run(bench, NIAGARA_SERVER, "dbi",
-                          accesses_per_core=accesses_per_core)
+        base = summary(bench, "dbi")
         row = [bench]
         for scheme in SCHEMES:
-            summary = cached_run(bench, NIAGARA_SERVER, scheme,
-                                 accesses_per_core=accesses_per_core)
-            ratio = summary.total_zeros / max(1, base.total_zeros)
+            ratio = (summary(bench, scheme).total_zeros
+                     / max(1, base.total_zeros))
             row.append(ratio)
             per_scheme[scheme].append(ratio)
         rows.append(row)

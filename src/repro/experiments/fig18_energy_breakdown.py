@@ -10,40 +10,55 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER, SNAPDRAGON_MOBILE
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment", "CATEGORIES"]
+__all__ = ["run_experiment", "plan", "CATEGORIES"]
 
 CATEGORIES = ("background", "activate", "read_write", "refresh", "io")
+
+SYSTEMS = (NIAGARA_SERVER.name, SNAPDRAGON_MOBILE.name)
+
+
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        RunSpec(benchmark=bench, system=system, policy=policy,
+                accesses_per_core=accesses_per_core)
+        for system in SYSTEMS
+        for bench in BENCHMARK_ORDER
+        for policy in ("dbi", "mil")
+    ]
 
 
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
     rows = []
-    savings: dict[str, list[float]] = {
-        NIAGARA_SERVER.name: [], SNAPDRAGON_MOBILE.name: [],
-    }
-    for config in (NIAGARA_SERVER, SNAPDRAGON_MOBILE):
+    savings: dict[str, list[float]] = {s: [] for s in SYSTEMS}
+    for system in SYSTEMS:
         for bench in BENCHMARK_ORDER:
-            base = cached_run(bench, config, "dbi",
-                              accesses_per_core=accesses_per_core)
-            mil = cached_run(bench, config, "mil",
-                             accesses_per_core=accesses_per_core)
+            base, mil = (
+                runs[RunSpec(benchmark=bench, system=system, policy=policy,
+                             accesses_per_core=accesses_per_core)]
+                for policy in ("dbi", "mil")
+            )
             base_total = base.dram_total_j or 1.0
             for policy, summary in (("dbi", base), ("mil", mil)):
                 rows.append(
-                    [config.name, bench, policy]
+                    [system, bench, policy]
                     + [
                         summary.dram_energy[c] / base_total
                         for c in CATEGORIES
                     ]
                     + [summary.dram_total_j / base_total]
                 )
-            savings[config.name].append(
+            savings[system].append(
                 1 - mil.dram_total_j / base_total
             )
 

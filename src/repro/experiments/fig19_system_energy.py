@@ -10,36 +10,55 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER, SNAPDRAGON_MOBILE
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment", "SCHEMES"]
+__all__ = ["run_experiment", "plan", "SCHEMES"]
 
 SCHEMES = ("cafo2", "cafo4", "milc", "mil")
+
+SYSTEMS = (NIAGARA_SERVER.name, SNAPDRAGON_MOBILE.name)
+
+
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        RunSpec(benchmark=bench, system=system, policy=policy,
+                accesses_per_core=accesses_per_core)
+        for system in SYSTEMS
+        for bench in BENCHMARK_ORDER
+        for policy in ("dbi",) + SCHEMES
+    ]
 
 
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
+
+    def summary(system, bench, policy):
+        return runs[RunSpec(benchmark=bench, system=system, policy=policy,
+                            accesses_per_core=accesses_per_core)]
+
     rows = []
     observations: dict[str, float] = {}
-    for config in (NIAGARA_SERVER, SNAPDRAGON_MOBILE):
+    for system in SYSTEMS:
         per_scheme = {s: [] for s in SCHEMES}
         for bench in BENCHMARK_ORDER:
-            base = cached_run(bench, config, "dbi",
-                              accesses_per_core=accesses_per_core)
-            row = [config.name, bench]
+            base = summary(system, bench, "dbi")
+            row = [system, bench]
             for scheme in SCHEMES:
-                summary = cached_run(bench, config, scheme,
-                                     accesses_per_core=accesses_per_core)
-                ratio = summary.system_total_j / base.system_total_j
+                ratio = (summary(system, bench, scheme).system_total_j
+                         / base.system_total_j)
                 row.append(ratio)
                 per_scheme[scheme].append(ratio)
             rows.append(row)
         for scheme, ratios in per_scheme.items():
-            observations[f"mean_savings_{config.name}_{scheme}"] = float(
+            observations[f"mean_savings_{system}_{scheme}"] = float(
                 1 - np.mean(ratios)
             )
 

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment", "BURST_POLICIES"]
+__all__ = ["run_experiment", "plan", "BURST_POLICIES"]
 
 # Policy name -> burst length it pins the bus to.
 BURST_POLICIES = (("milc", 10), ("bl12", 12), ("bl14", 14), ("3lwc", 16))
@@ -25,19 +26,34 @@ BURST_POLICIES = (("milc", 10), ("bl12", 12), ("bl14", 14), ("3lwc", 16))
 PAPER_MEAN_SLOWDOWN = {10: 1.03, 12: 1.06, 14: 1.065, 16: 1.093}
 
 
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        RunSpec(benchmark=bench, system=NIAGARA_SERVER.name, policy=policy,
+                accesses_per_core=accesses_per_core)
+        for bench in BENCHMARK_ORDER
+        for policy in ("dbi",) + tuple(p for p, _ in BURST_POLICIES)
+    ]
+
+
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
+
+    def summary(bench, policy):
+        return runs[RunSpec(benchmark=bench, system=NIAGARA_SERVER.name,
+                            policy=policy,
+                            accesses_per_core=accesses_per_core)]
+
     rows = []
     per_bl = {bl: [] for _, bl in BURST_POLICIES}
     for bench in BENCHMARK_ORDER:
-        base = cached_run(bench, NIAGARA_SERVER, "dbi",
-                          accesses_per_core=accesses_per_core)
+        base = summary(bench, "dbi")
         row = [bench]
         for policy, bl in BURST_POLICIES:
-            summary = cached_run(bench, NIAGARA_SERVER, policy,
-                                 accesses_per_core=accesses_per_core)
-            ratio = summary.cycles / base.cycles
+            ratio = summary(bench, policy).cycles / base.cycles
             row.append(ratio)
             per_bl[bl].append(ratio)
         rows.append(row)

@@ -12,29 +12,51 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment", "LOOKAHEADS"]
+__all__ = ["run_experiment", "plan", "LOOKAHEADS"]
 
 LOOKAHEADS = (0, 2, 4, 6, 8, 14, 20)
+
+
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    specs = [
+        RunSpec(benchmark=bench, system=NIAGARA_SERVER.name, policy="dbi",
+                accesses_per_core=accesses_per_core)
+        for bench in BENCHMARK_ORDER
+    ]
+    specs += [
+        RunSpec(benchmark=bench, system=NIAGARA_SERVER.name, policy="mil",
+                lookahead=x, accesses_per_core=accesses_per_core)
+        for bench in BENCHMARK_ORDER
+        for x in LOOKAHEADS
+    ]
+    return specs
 
 
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
     rows = []
     geomeans = {}
     ratios_by_x = {x: [] for x in LOOKAHEADS}
     for bench in BENCHMARK_ORDER:
-        base = cached_run(bench, NIAGARA_SERVER, "dbi",
-                          accesses_per_core=accesses_per_core)
+        base = runs[RunSpec(benchmark=bench, system=NIAGARA_SERVER.name,
+                            policy="dbi",
+                            accesses_per_core=accesses_per_core)]
         row = [bench]
         for x in LOOKAHEADS:
-            summary = cached_run(bench, NIAGARA_SERVER, "mil", lookahead=x,
-                                 accesses_per_core=accesses_per_core)
+            summary = runs[RunSpec(
+                benchmark=bench, system=NIAGARA_SERVER.name, policy="mil",
+                lookahead=x, accesses_per_core=accesses_per_core,
+            )]
             ratio = summary.cycles / base.cycles
             row.append(ratio)
             ratios_by_x[x].append(ratio)

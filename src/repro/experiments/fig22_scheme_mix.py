@@ -10,23 +10,36 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..campaign import RunSpec
 from ..system.machine import NIAGARA_SERVER
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
-from .runner import EXPERIMENT_ACCESSES_PER_CORE, cached_run
+from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
-__all__ = ["run_experiment"]
+__all__ = ["run_experiment", "plan"]
+
+
+def plan(
+    accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
+) -> list[RunSpec]:
+    return [
+        RunSpec(benchmark=bench, system=NIAGARA_SERVER.name, policy="mil",
+                accesses_per_core=accesses_per_core)
+        for bench in BENCHMARK_ORDER
+    ]
 
 
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
+    runs = gather(plan(accesses_per_core))
     rows = []
     utils = []
     lwc_shares = []
     for bench in BENCHMARK_ORDER:
-        summary = cached_run(bench, NIAGARA_SERVER, "mil",
-                             accesses_per_core=accesses_per_core)
+        summary = runs[RunSpec(benchmark=bench, system=NIAGARA_SERVER.name,
+                               policy="mil",
+                               accesses_per_core=accesses_per_core)]
         counts = summary.scheme_counts
         total = sum(counts.values()) or 1
         lwc = counts.get("3lwc", 0) / total

@@ -1,34 +1,31 @@
-"""Shared experiment infrastructure: cached runs and aggregation.
+"""Shared experiment infrastructure, built on :mod:`repro.campaign`.
 
 Figures 16-19 and 22 all consume the same 110 simulation runs
 (2 systems x 11 benchmarks x 5 policies), and the benchmark harness
-executes each figure in its own pytest process; an on-disk JSON cache
-keyed by the run parameters (plus a cache version, bumped whenever a
-model change invalidates old numbers) keeps the whole harness re-runnable
-in seconds once warm.
+executes each figure in its own pytest process.  Experiments describe
+their runs as :class:`~repro.campaign.RunSpec` values and hand them to
+:func:`gather`, which serves cache hits from the content-addressed
+on-disk store and fans misses out over a process pool
+(``REPRO_JOBS`` / ``--jobs`` workers; serial by default and under
+pytest).  Cache invalidation is automatic: the cache key embeds a
+fingerprint of the model source, so there is no version to bump.
 
-Set the environment variable ``REPRO_NO_CACHE=1`` to force fresh runs.
+Set ``REPRO_NO_CACHE=1`` to force fresh runs and skip cache writes.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from pathlib import Path
-
-from ..core.framework import RunSummary, run
-from ..system.machine import SYSTEMS, SystemConfig
+from ..campaign import CampaignRunner, RunSpec, cache_dir, run_cached
+from ..core.framework import RunSummary
+from ..system.machine import SystemConfig
 
 __all__ = [
-    "CACHE_VERSION",
     "EXPERIMENT_ACCESSES_PER_CORE",
     "cache_dir",
     "cached_run",
+    "gather",
     "normalized",
 ]
-
-# Bump when simulator/energy/workload changes invalidate cached results.
-CACHE_VERSION = 6
 
 # Scale used by every experiment unless overridden: large enough for
 # stable statistics, small enough to keep a cold full-campaign run in
@@ -36,27 +33,15 @@ CACHE_VERSION = 6
 EXPERIMENT_ACCESSES_PER_CORE = 5000
 
 
-def cache_dir() -> Path:
-    """Directory holding cached run summaries."""
-    root = os.environ.get("REPRO_CACHE_DIR")
-    if root:
-        return Path(root)
-    return Path(__file__).resolve().parents[3] / ".cache" / "runs"
+def gather(
+    specs, jobs: int | None = None, sink=None
+) -> dict[RunSpec, RunSummary]:
+    """Run every distinct spec (cached, possibly parallel) and map results.
 
-
-def _cache_key(
-    benchmark: str,
-    system: str,
-    policy: str,
-    lookahead: int | None,
-    accesses_per_core: int,
-    seed: int,
-) -> str:
-    look = "auto" if lookahead is None else str(lookahead)
-    return (
-        f"v{CACHE_VERSION}-{benchmark}-{system}-{policy}-x{look}"
-        f"-n{accesses_per_core}-s{seed}"
-    )
+    The canonical experiment shape: build the figure's specs up front,
+    ``gather`` them, then look summaries up by spec equality.
+    """
+    return CampaignRunner(jobs=jobs, sink=sink).run(specs)
 
 
 def cached_run(
@@ -67,27 +52,19 @@ def cached_run(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
     seed: int = 0,
 ) -> RunSummary:
-    """Like :func:`repro.core.run` but memoised on disk."""
-    if isinstance(config, str):
-        config = SYSTEMS[config]
-    key = _cache_key(
-        benchmark, config.name, policy, lookahead, accesses_per_core, seed
-    )
-    path = cache_dir() / f"{key}.json"
-    if not os.environ.get("REPRO_NO_CACHE") and path.exists():
-        try:
-            return RunSummary.from_dict(json.loads(path.read_text()))
-        except (json.JSONDecodeError, TypeError):
-            path.unlink()  # corrupt entry: recompute
-    summary = run(
+    """Like :func:`repro.core.run` but memoised on disk.
+
+    Single-run convenience over the campaign cache; sweeps should build
+    :class:`RunSpec` lists and :func:`gather` them instead, which also
+    buys process-pool fan-out.
+    """
+    spec = RunSpec.of(
         benchmark, config, policy,
         lookahead=lookahead,
         accesses_per_core=accesses_per_core,
         seed=seed,
     )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(summary.to_dict()))
-    return summary
+    return run_cached(spec)
 
 
 def normalized(value: float, baseline: float) -> float:

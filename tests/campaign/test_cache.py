@@ -1,0 +1,110 @@
+"""Content-addressed cache: round-trips, invalidation, corruption."""
+
+import json
+
+import pytest
+
+from repro.campaign import RunSpec, cache_path, load, model_fingerprint, store
+from repro.campaign.cache import cache_dir, cache_enabled
+from repro.core.framework import RunSummary
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runs"))
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+
+
+def _summary(spec: RunSpec) -> RunSummary:
+    return RunSummary(
+        benchmark=spec.benchmark,
+        system=spec.system,
+        policy=spec.policy,
+        lookahead=spec.lookahead,
+        cycles=1000,
+        seconds=1e-6,
+        bus_utilization=0.5,
+        mean_read_latency=40.0,
+        demand_reads=64,
+        total_zeros=123,
+        raw_zeros=456,
+        scheme_counts={"dbi": 64},
+    )
+
+
+def test_store_then_load_round_trip():
+    spec = RunSpec(benchmark="MM", accesses_per_core=100)
+    path = store(spec, _summary(spec), wall_s=1.25, fingerprint="aa")
+    assert path is not None and path.exists()
+    cached = load(spec, fingerprint="aa")
+    assert cached is not None
+    assert cached.total_zeros == 123
+    assert cached.stats == {"wall_s": 1.25, "cache_hit": True}
+    # stats is orchestration metadata and must never be persisted
+    assert "stats" not in json.loads(path.read_text())["summary"]
+
+
+def test_fingerprint_change_is_a_miss():
+    spec = RunSpec(benchmark="MM", accesses_per_core=100)
+    store(spec, _summary(spec), fingerprint="model-v1")
+    assert load(spec, fingerprint="model-v1") is not None
+    # an edited model source produces a new fingerprint -> new address
+    assert load(spec, fingerprint="model-v2") is None
+    assert cache_path(spec, "model-v1") != cache_path(spec, "model-v2")
+
+
+def test_model_fingerprint_is_stable_and_hex():
+    fp = model_fingerprint()
+    assert fp == model_fingerprint()
+    assert len(fp) == 16
+    int(fp, 16)  # must be a hex digest
+
+
+def test_corrupt_cache_file_is_removed_and_missed():
+    spec = RunSpec(benchmark="MM", accesses_per_core=100)
+    path = store(spec, _summary(spec), fingerprint="aa")
+    path.write_text('{"format": 1, "summ')  # truncated mid-write
+    assert load(spec, fingerprint="aa") is None
+    assert not path.exists()
+
+
+def test_schema_incompatible_cache_file_is_removed():
+    spec = RunSpec(benchmark="MM", accesses_per_core=100)
+    path = store(spec, _summary(spec), fingerprint="aa")
+    path.write_text(json.dumps({"format": 1, "summary": {"bogus": 1}}))
+    assert load(spec, fingerprint="aa") is None
+    assert not path.exists()
+
+
+def test_missing_file_is_a_plain_miss():
+    spec = RunSpec(benchmark="CG", accesses_per_core=100)
+    assert load(spec, fingerprint="aa") is None
+
+
+def test_cache_dir_created_at_write_time(tmp_path, monkeypatch):
+    nested = tmp_path / "deep" / "nested" / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(nested))
+    assert cache_dir() == nested
+    assert not nested.exists()  # reading never creates it
+    spec = RunSpec(benchmark="MM", accesses_per_core=100)
+    assert load(spec, fingerprint="aa") is None
+    assert not nested.exists()
+    store(spec, _summary(spec), fingerprint="aa")
+    assert nested.is_dir()
+
+
+def test_no_cache_env_bypasses_read_and_write(monkeypatch):
+    spec = RunSpec(benchmark="MM", accesses_per_core=100)
+    store(spec, _summary(spec), fingerprint="aa")  # seed while enabled
+
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert not cache_enabled()
+    # read path bypassed: the seeded entry is ignored
+    assert load(spec, fingerprint="aa") is None
+    # write path bypassed: nothing new lands on disk
+    other = RunSpec(benchmark="CG", accesses_per_core=100)
+    assert store(other, _summary(other), fingerprint="aa") is None
+    assert not cache_path(other, "aa").exists()
+
+    monkeypatch.delenv("REPRO_NO_CACHE")
+    assert load(spec, fingerprint="aa") is not None
