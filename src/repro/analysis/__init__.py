@@ -10,6 +10,7 @@ from .metrics import (
     slack_histogram,
 )
 from .report import format_normalized_series, format_table
+from .telemetry_view import render_metrics, summarize_decisions
 from .tracedump import (
     audit_dump,
     dump_transactions_csv,
@@ -34,4 +35,6 @@ __all__ = [
     "slack_histogram",
     "format_normalized_series",
     "format_table",
+    "render_metrics",
+    "summarize_decisions",
 ]

@@ -1,0 +1,98 @@
+"""Pretty-printing for saved telemetry metrics dumps.
+
+``repro telemetry PATH.metrics.jsonl`` renders through here.  The
+metric namespace is hierarchical (``controller.ch0.rdq.occupancy``);
+the renderer groups instruments by their first dotted component so the
+controller, DRAM, decision-logic, and campaign families each get their
+own table, and histograms additionally show mean/max and their bucket
+counts in compact form.
+"""
+
+from __future__ import annotations
+
+from .report import format_table
+
+__all__ = ["render_metrics", "summarize_decisions"]
+
+
+def _histogram_cells(body: dict) -> str:
+    bounds = body.get("bounds", [])
+    counts = body.get("counts", [])
+    cells = [
+        f"<={bound}:{count}"
+        for bound, count in zip(bounds, counts)
+        if count
+    ]
+    if len(counts) == len(bounds) + 1 and counts[-1]:
+        cells.append(f">{bounds[-1]}:{counts[-1]}")
+    return " ".join(cells) or "-"
+
+
+def _metric_row(name: str, body: dict) -> list:
+    kind = body.get("kind", "?")
+    if kind == "counter":
+        return [name, kind, str(body.get("value", 0)), "-"]
+    if kind == "gauge":
+        lo, hi = body.get("min"), body.get("max")
+        detail = f"min {lo} max {hi}" if body.get("updates") else "-"
+        return [name, kind, f"{body.get('value', 0):g}", detail]
+    if kind == "histogram":
+        mean = body.get("mean", 0.0)
+        peak = body.get("max")
+        head = f"n={body.get('count', 0)} mean={mean:.2f} max={peak}"
+        return [name, kind, head, _histogram_cells(body)]
+    return [name, kind, str(body), "-"]
+
+
+def summarize_decisions(metrics: dict) -> dict:
+    """Per-mode decision counts summed over channels.
+
+    Picks up every ``core.ch<N>.decision.<mode>`` counter; the values
+    sum to the run's total issued bursts (each column command reports
+    exactly one decision mode).
+    """
+    merged: dict[str, int] = {}
+    for name, body in metrics.items():
+        parts = name.split(".")
+        if (
+            len(parts) == 4
+            and parts[0] == "core"
+            and parts[2] == "decision"
+            and body.get("kind") == "counter"
+            and body.get("value")
+        ):
+            mode = parts[3]
+            merged[mode] = merged.get(mode, 0) + body["value"]
+    return merged
+
+
+def render_metrics(payload: dict) -> str:
+    """Render a loaded metrics dump (see ``load_metrics_jsonl``)."""
+    meta = payload.get("meta", {})
+    metrics = payload.get("metrics", {})
+    blocks: list[str] = []
+
+    head = [
+        ["session", meta.get("label", "?")],
+        ["time unit", meta.get("time_unit", "?")],
+        ["instruments", str(len(metrics))],
+        ["trace events", str(meta.get("trace_events", 0))],
+        ["trace dropped", str(meta.get("trace_dropped", 0))],
+    ]
+    decisions = summarize_decisions(metrics)
+    if decisions:
+        mix = ", ".join(f"{m}={n}" for m, n in sorted(decisions.items()))
+        head.append(["decision mix", f"{mix} (sum {sum(decisions.values())})"])
+    blocks.append(format_table(["field", "value"], head, title="telemetry"))
+
+    groups: dict[str, list[list]] = {}
+    for name in sorted(metrics):
+        family = name.split(".", 1)[0]
+        groups.setdefault(family, []).append(_metric_row(name, metrics[name]))
+    for family in sorted(groups):
+        blocks.append(format_table(
+            ["metric", "kind", "value", "detail"],
+            groups[family],
+            title=family,
+        ))
+    return "\n\n".join(blocks)

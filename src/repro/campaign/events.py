@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..telemetry.clock import monotonic_ts
 from .spec import RunSpec
 
 __all__ = ["EVENT_KINDS", "ProgressLine", "RunEvent", "null_sink"]
@@ -32,6 +33,9 @@ class RunEvent:
     total: int  # campaign size, for progress displays
     wall_s: float | None = None  # set on finished
     error: str | None = None  # set on retried/failed
+    # Monotonic timestamp on the clock telemetry shares, so campaign
+    # events and run-level traces merge onto one Perfetto timeline.
+    ts: float = field(default_factory=monotonic_ts)
 
 
 def null_sink(event: RunEvent) -> None:

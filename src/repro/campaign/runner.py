@@ -100,24 +100,45 @@ class CampaignRunner:
         Callable fed a :class:`RunEvent` per orchestration step.
     retries:
         How many times a spec whose worker died is re-attempted in the
-        parent process before the campaign raises.
+        parent process before the run counts as failed.
     fingerprint:
         Model fingerprint override (tests); ``None`` uses the real one.
+    strict:
+        ``True`` (the default, and the historical behaviour) re-raises
+        once a spec exhausts its retries.  ``False`` records the spec in
+        :attr:`failures` and keeps the campaign going, so callers can
+        report every failing key at the end instead of dying on the
+        first one; failed specs are simply absent from the result dict.
+    telemetry:
+        Optional :class:`~repro.telemetry.session.TelemetrySession`
+        (``time_unit="seconds"``); phases and per-run spans are recorded
+        through its campaign probe.
     """
 
     def __init__(self, jobs: int | None = None, sink=None,
-                 retries: int = 1, fingerprint: str | None = None) -> None:
+                 retries: int = 1, fingerprint: str | None = None,
+                 strict: bool = True, telemetry=None) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.sink = sink or null_sink
         self.retries = retries
         self.fingerprint = fingerprint
+        self.strict = strict
+        self.failures: list[tuple[RunSpec, str]] = []
+        # Probe resolved once here — wiring time, not per event.
+        self._probe = (
+            telemetry.campaign_probe() if telemetry is not None else None
+        )
         self.counters = {
             "specs": 0, "cache_hits": 0, "executed": 0,
             "retries": 0, "failed": 0, "wall_s": 0.0,
         }
 
     def run(self, specs) -> dict[RunSpec, "object"]:
-        """Run every distinct spec; returns {spec: RunSummary}."""
+        """Run every distinct spec; returns {spec: RunSummary}.
+
+        Failed specs (only possible with ``strict=False``) are left out
+        of the mapping and listed in :attr:`failures`.
+        """
         ordered = list(dict.fromkeys(specs))
         total = len(ordered)
         self.counters["specs"] += total
@@ -125,28 +146,36 @@ class CampaignRunner:
         misses: list[RunSpec] = []
         for spec in ordered:
             self._emit("queued", spec, total)
-        for spec in ordered:
-            summary = cache.load(spec, self.fingerprint)
-            if summary is not None:
-                self.counters["cache_hits"] += 1
-                results[spec] = summary
-                self._emit("cache-hit", spec, total)
-            else:
-                misses.append(spec)
+        with self._phase("scan"):
+            for spec in ordered:
+                summary = cache.load(spec, self.fingerprint)
+                if summary is not None:
+                    self.counters["cache_hits"] += 1
+                    results[spec] = summary
+                    self._emit("cache-hit", spec, total)
+                else:
+                    misses.append(spec)
         if misses:
-            if self.jobs > 1 and len(misses) > 1:
-                self._run_parallel(misses, results, total)
-            else:
-                self._run_serial(misses, results, total)
+            with self._phase("execute"):
+                if self.jobs > 1 and len(misses) > 1:
+                    self._run_parallel(misses, results, total)
+                else:
+                    self._run_serial(misses, results, total)
         return results
+
+    def _phase(self, name: str):
+        if self._probe is not None:
+            return self._probe.phase(name)
+        return _NULL_PHASE
 
     # -- execution strategies ------------------------------------------
 
     def _run_serial(self, misses, results, total) -> None:
         for spec in misses:
             self._emit("started", spec, total)
-            body, wall_s = self._attempt(spec, total, _execute)
-            results[spec] = self._record(spec, body, wall_s, total)
+            outcome = self._attempt(spec, total, _execute)
+            if outcome is not None:
+                results[spec] = self._record(spec, *outcome, total)
 
     def _run_parallel(self, misses, results, total) -> None:
         workers = min(self.jobs, len(misses))
@@ -158,17 +187,22 @@ class CampaignRunner:
             for future in as_completed(futures):
                 spec = futures[future]
                 try:
-                    body, wall_s = future.result()
+                    outcome = future.result()
                 except Exception as exc:  # worker died: retry in-parent
                     self._emit("retried", spec, total, error=repr(exc))
                     self.counters["retries"] += 1
-                    body, wall_s = self._attempt(
+                    outcome = self._attempt(
                         spec, total, _execute, budget=self.retries - 1
                     )
-                results[spec] = self._record(spec, body, wall_s, total)
+                if outcome is not None:
+                    results[spec] = self._record(spec, *outcome, total)
 
     def _attempt(self, spec, total, execute, budget: int | None = None):
-        """Call ``execute`` with the retry budget; raise when exhausted."""
+        """Call ``execute`` with the retry budget.
+
+        Exhausting the budget raises under ``strict`` and returns
+        ``None`` (after recording the failure) otherwise.
+        """
         budget = self.retries if budget is None else budget
         while True:
             try:
@@ -177,7 +211,10 @@ class CampaignRunner:
                 if budget <= 0:
                     self.counters["failed"] += 1
                     self._emit("failed", spec, total, error=repr(exc))
-                    raise
+                    if self.strict:
+                        raise
+                    self.failures.append((spec, repr(exc)))
+                    return None
                 budget -= 1
                 self.counters["retries"] += 1
                 self._emit("retried", spec, total, error=repr(exc))
@@ -190,11 +227,27 @@ class CampaignRunner:
         return summary
 
     def _emit(self, kind, spec, total, wall_s=None, error=None) -> None:
-        self.sink(RunEvent(
+        event = RunEvent(
             kind=kind,
             spec=spec,
             key=cache.cache_key(spec, self.fingerprint),
             total=total,
             wall_s=wall_s,
             error=error,
-        ))
+        )
+        if self._probe is not None:
+            self._probe.event(event)
+        self.sink(event)
+
+
+class _NullPhase:
+    """No-telemetry stand-in for :class:`PhaseTimer`."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_PHASE = _NullPhase()

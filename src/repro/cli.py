@@ -21,9 +21,19 @@ Commands
 ``trace BENCH OUT.csv [--system S] [--policy P] [--scale N]``
     Simulate one benchmark, dump the data-bus transaction log to CSV or
     JSON-lines, and re-audit the dump against the DDRx protocol rules.
+``telemetry PATH.metrics.jsonl``
+    Pretty-print a saved telemetry metrics dump.
 
 ``--jobs`` (or the ``REPRO_JOBS`` environment variable) sets the
 process-pool width for campaign-backed commands; ``-j1`` stays serial.
+
+``run`` and ``campaign`` accept ``--telemetry`` (record metrics and a
+cycle/wall-clock event trace; see ``docs/OBSERVABILITY.md``) and
+``--trace-out PATH`` (write ``PATH.trace.json`` in Chrome trace-event
+format — open it at https://ui.perfetto.dev — plus
+``PATH.metrics.jsonl`` for the ``telemetry`` verb; implies
+``--telemetry``; defaults to a stem under ``traces/`` when given no
+value).
 """
 
 from __future__ import annotations
@@ -60,6 +70,33 @@ def _spec(args, benchmark: str, policy: str) -> RunSpec:
     )
 
 
+def _telemetry_session(args, label: str, time_unit: str):
+    """Build a TelemetrySession when --telemetry/--trace-out ask for one."""
+    if not (args.telemetry or args.trace_out):
+        return None
+    from . import telemetry
+
+    telemetry.set_enabled(True)
+    return telemetry.TelemetrySession(label=label, time_unit=time_unit)
+
+
+def _write_telemetry(stem: str, session) -> None:
+    """Write ``<stem>.trace.json`` + ``<stem>.metrics.jsonl``."""
+    from .telemetry import write_chrome_trace, write_metrics_jsonl
+
+    for suffix in (".trace.json", ".metrics.jsonl", ".json", ".jsonl"):
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+            break
+    trace_path = write_chrome_trace(f"{stem}.trace.json", session)
+    metrics_path = write_metrics_jsonl(f"{stem}.metrics.jsonl", session)
+    print(
+        f"telemetry: wrote {trace_path} (Perfetto) and {metrics_path} "
+        "(repro telemetry)",
+        file=sys.stderr,
+    )
+
+
 def cmd_list(_args) -> int:
     print("Benchmarks (Table 3):")
     for name in BENCHMARK_ORDER:
@@ -80,7 +117,11 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    summary = run_spec(_spec(args, args.benchmark.upper(), args.policy))
+    bench = args.benchmark.upper()
+    session = _telemetry_session(
+        args, f"run-{bench}-{args.policy}", time_unit="cycles"
+    )
+    summary = run_spec(_spec(args, bench, args.policy), telemetry=session)
     rows = [
         ["cycles", summary.cycles],
         ["seconds", f"{summary.seconds:.6f}"],
@@ -91,6 +132,16 @@ def cmd_run(args) -> int:
         ["DRAM energy (uJ)", f"{summary.dram_total_j * 1e6:.2f}"],
         ["system energy (uJ)", f"{summary.system_total_j * 1e6:.2f}"],
     ]
+    if session is not None:
+        table = session.stats_table()
+        modes = table.get("decision_modes", {})
+        rows += [
+            ["telemetry: bursts", table["bursts"]],
+            ["telemetry: activates", table["act_count"]],
+            ["telemetry: drain transitions", table["drain_transitions"]],
+            ["telemetry: decision mix",
+             ", ".join(f"{m}={n}" for m, n in sorted(modes.items())) or "-"],
+        ]
     if args.baseline and args.policy != "dbi":
         base = run_spec(_spec(args, args.benchmark.upper(), "dbi"))
         rows += [
@@ -104,6 +155,8 @@ def cmd_run(args) -> int:
         ["metric", "value"], rows,
         title=f"{summary.benchmark} on {summary.system} [{args.policy}]",
     ))
+    if session is not None and args.trace_out:
+        _write_telemetry(args.trace_out, session)
     return 0
 
 
@@ -161,8 +214,11 @@ def cmd_campaign(args) -> int:
         if planner is not None:
             specs.extend(planner(**kwargs))
 
+    session = _telemetry_session(args, "campaign", time_unit="seconds")
     sink = ProgressLine()
-    runner = CampaignRunner(jobs=args.jobs, sink=sink)
+    runner = CampaignRunner(
+        jobs=args.jobs, sink=sink, strict=False, telemetry=session
+    )
     runner.run(specs)
     sink.close()
     c = runner.counters
@@ -170,9 +226,29 @@ def cmd_campaign(args) -> int:
         f"campaign: {c['specs']} runs over {len(ids)} experiment(s) — "
         f"{c['cache_hits']} cache hits, {c['executed']} executed "
         f"({c['wall_s']:.1f}s simulated work, {runner.jobs} job(s), "
-        f"{c['retries']} retries)",
+        f"{c['retries']} retries, {c['failed']} failed)",
         file=sys.stderr,
     )
+    if session is not None and args.trace_out:
+        _write_telemetry(args.trace_out, session)
+
+    if runner.failures:
+        # A progress line scrolls; the verdict must not.  Every failing
+        # spec is named by its content-addressed cache key so the run
+        # can be retried or investigated precisely.
+        print(
+            f"campaign FAILED: {len(runner.failures)} run(s) died after "
+            "retries:",
+            file=sys.stderr,
+        )
+        from .campaign import cache
+
+        for spec, error in runner.failures:
+            print(
+                f"  {cache.cache_key(spec, runner.fingerprint)}: {error}",
+                file=sys.stderr,
+            )
+        return 1
 
     if not args.no_report:
         for exp_id in ids:
@@ -257,6 +333,18 @@ def cmd_trace(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_telemetry(args) -> int:
+    from .analysis.telemetry_view import render_metrics
+    from .telemetry import load_metrics_jsonl
+
+    try:
+        payload = load_metrics_jsonl(args.path)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"cannot read metrics dump {args.path!r}: {exc}")
+    print(render_metrics(payload))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -269,6 +357,18 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list", help="show benchmarks/systems/policies")
 
+    def add_telemetry_flags(p, default_stem):
+        p.add_argument(
+            "--telemetry", action="store_true",
+            help="record metrics and an event trace for this command",
+        )
+        p.add_argument(
+            "--trace-out", nargs="?", const=default_stem, default=None,
+            metavar="PATH",
+            help="write PATH.trace.json (Perfetto) and PATH.metrics.jsonl; "
+                 f"implies --telemetry (default stem: {default_stem})",
+        )
+
     p_run = sub.add_parser("run", help="simulate one benchmark")
     p_run.add_argument("benchmark")
     p_run.add_argument("--system", default="ddr4-server")
@@ -276,6 +376,7 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--scale", type=int, default=DEFAULT_SCALE)
     p_run.add_argument("--baseline", action="store_true",
                        help="also run and compare against DBI")
+    add_telemetry_flags(p_run, "traces/run")
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
     p_exp.add_argument("id")
@@ -294,6 +395,7 @@ def main(argv: list[str] | None = None) -> int:
     p_camp.add_argument("--scale", type=int, default=None)
     p_camp.add_argument("--no-report", action="store_true",
                         help="only warm the cache; skip printing figures")
+    add_telemetry_flags(p_camp, "traces/campaign")
 
     p_suite = sub.add_parser("suite", help="run all 11 benchmarks")
     p_suite.add_argument("--system", default="ddr4-server")
@@ -311,6 +413,11 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--policy", default="mil", choices=POLICIES)
     p_trace.add_argument("--scale", type=int, default=DEFAULT_SCALE)
 
+    p_tele = sub.add_parser(
+        "telemetry", help="pretty-print a saved telemetry metrics dump"
+    )
+    p_tele.add_argument("path", help="a *.metrics.jsonl file")
+
     args = parser.parse_args(argv)
     handler = {
         "list": cmd_list,
@@ -319,6 +426,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": cmd_campaign,
         "suite": cmd_suite,
         "trace": cmd_trace,
+        "telemetry": cmd_telemetry,
     }[args.command]
     return handler(args)
 

@@ -35,6 +35,8 @@ __all__ = ["AlwaysScheme", "ChannelController"]
 class AlwaysScheme:
     """Fixed-scheme coding policy (baseline DBI, or Figure 20 sweeps)."""
 
+    probe = None  # telemetry slot; set by ChannelController.attach_probe
+
     def __init__(self, scheme: str = "dbi", extra_cl: int | None = None):
         if scheme not in BURST_FORMATS:
             raise KeyError(f"unknown scheme {scheme!r}")
@@ -44,6 +46,8 @@ class AlwaysScheme:
         )
 
     def choose(self, controller: "ChannelController", request, now: int) -> str:
+        if self.probe is not None:
+            self.probe.decision(now, "fixed", self.scheme)
         return self.scheme
 
     @property
@@ -85,6 +89,10 @@ class ChannelController:
         self.drain = WriteDrainPolicy(drain_high, drain_low, write_queue_size)
         self.draining_now = False
 
+        # Telemetry probe shared with the channel and the policy; None
+        # (the default) leaves the fast path uninstrumented.
+        self._probe = None
+
         self.completed: list[MemoryRequest] = []
         self.next_cmd_cycle = 0
         self.scheme_counts: dict[str, int] = {}
@@ -101,6 +109,22 @@ class ChannelController:
         # unless the state version changes (new request, command issued).
         self._wake_version = -1
         self._wake_time: int | None = None
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def attach_probe(self, probe) -> None:
+        """Wire one :class:`~repro.telemetry.probes.ChannelProbe` in.
+
+        Called once by the simulator when a telemetry session is active;
+        the same probe serves the controller's own sites, the DRAM
+        channel's command/bus sites, and the coding policy's decision
+        sites (policies without a ``probe`` slot simply never call it).
+        """
+        self._probe = probe
+        self.channel.probe = probe
+        if hasattr(self.policy, "probe"):
+            self.policy.probe = probe
 
     # ------------------------------------------------------------------
     # Front end
@@ -126,6 +150,8 @@ class ChannelController:
             raise ValueError("request must be address-mapped before enqueue")
         request.arrival = now
         self._state_version += 1
+        if self._probe is not None:
+            self._probe.enqueue(len(self.read_queue), len(self.write_queue))
         if request.is_write:
             took_slot = self.write_queue.push(request, coalesce=True)
             if not took_slot:
@@ -278,6 +304,8 @@ class ChannelController:
         if draining != self.draining_now:
             self.draining_now = draining
             self._state_version += 1
+            if self._probe is not None:
+                self._probe.drain_transition(now, draining)
         queue = self.write_queue if self.draining_now else self.read_queue
         return queue.oldest_first()
 

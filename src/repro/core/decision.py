@@ -33,6 +33,8 @@ __all__ = ["MiLPolicy", "MiLCOnlyPolicy"]
 class MiLCOnlyPolicy:
     """Encode every burst with the base MiLC code."""
 
+    probe = None  # telemetry slot; set by ChannelController.attach_probe
+
     def __init__(self, scheme: str = "milc"):
         if scheme not in BURST_FORMATS:
             raise KeyError(f"unknown scheme {scheme!r}")
@@ -40,6 +42,8 @@ class MiLCOnlyPolicy:
         self.extra_cl = BURST_FORMATS[scheme].extra_latency
 
     def choose(self, controller, request, now: int) -> str:
+        if self.probe is not None:
+            self.probe.decision(now, "fixed", self.scheme)
         return self.scheme
 
 
@@ -68,6 +72,7 @@ class MiLPolicy:
         self.config = config if config is not None else MiLConfig()
         self.zeros_by_scheme = zeros_by_scheme
         self.extra_cl = self.config.extra_cl
+        self.probe = None  # telemetry slot; observes, never steers
         self.long_grants = 0
         self.base_grants = 0
         self.fallback_grants = 0
@@ -85,6 +90,8 @@ class MiLPolicy:
             # writes are not counted — they lose nothing to one cycle.
             if len(controller.read_queue) >= cfg.fallback_queue_depth:
                 self.fallback_grants += 1
+                if self.probe is not None:
+                    self.probe.decision(now, "fallback", cfg.fallback_scheme)
                 return cfg.fallback_scheme
             imminent = controller.column_ready_within(
                 now, cfg.short_lookahead, exclude=request,
@@ -93,6 +100,8 @@ class MiLPolicy:
             )
             if imminent >= cfg.fallback_threshold:
                 self.fallback_grants += 1
+                if self.probe is not None:
+                    self.probe.decision(now, "fallback", cfg.fallback_scheme)
                 return cfg.fallback_scheme
 
         window = cfg.effective_lookahead
@@ -104,6 +113,8 @@ class MiLPolicy:
             # Another column command would be delayed by the long code:
             # Section 4.2 says fall back to the simpler scheme.
             self.base_grants += 1
+            if self.probe is not None:
+                self.probe.decision(now, "base", cfg.base_scheme, others_ready)
             return cfg.base_scheme
 
         self.long_grants += 1
@@ -121,5 +132,9 @@ class MiLPolicy:
             base_zeros = int(self.zeros_by_scheme[cfg.base_scheme][request.line_id])
             if base_zeros < long_zeros:
                 self.write_optimized += 1
+                if self.probe is not None:
+                    self.probe.write_optimized()
                 scheme = cfg.base_scheme
+        if self.probe is not None:
+            self.probe.decision(now, "long", scheme, others_ready)
         return scheme

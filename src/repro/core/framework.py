@@ -184,11 +184,18 @@ def run(
     accesses_per_core: int = DEFAULT_ACCESSES_PER_CORE,
     seed: int = 0,
     mil_overrides: dict | None = None,
+    telemetry=None,
 ) -> RunSummary:
     """Execute one benchmark under one policy and summarise it.
 
     The same trace (same benchmark/system/seed/scale) is replayed for
     every policy, so policy comparisons are paired.
+
+    ``telemetry`` is an optional
+    :class:`~repro.telemetry.session.TelemetrySession`.  Probes only
+    observe, so the summary is identical with or without one; the
+    session's aggregate table lands in ``RunSummary.stats`` (which the
+    cache strips before hashing), never in the simulated results.
     """
     trace = build_trace(
         benchmark, config, seed=seed, accesses_per_core=accesses_per_core
@@ -198,7 +205,7 @@ def run(
         policy, zeros_by_scheme, lookahead, mil_overrides
     )
 
-    result = simulate(trace, config, factory)
+    result = simulate(trace, config, factory, telemetry=telemetry)
 
     # Energy: only defined for policies whose schemes have codecs.
     has_energy = policy not in ("bl12", "bl14")
@@ -261,7 +268,7 @@ def run(
         if isinstance(mc.policy, MiLPolicy):
             write_optimized += mc.policy.write_optimized
 
-    return RunSummary(
+    summary = RunSummary(
         benchmark=benchmark,
         system=config.name,
         policy=policy,
@@ -282,13 +289,18 @@ def run(
         write_optimized=write_optimized,
         trace_records=trace.total_records,
     )
+    if telemetry is not None:
+        summary.stats["telemetry"] = telemetry.stats_table()
+    return summary
 
 
-def run_spec(spec) -> RunSummary:
+def run_spec(spec, telemetry=None) -> RunSummary:
     """Execute one :class:`~repro.campaign.spec.RunSpec`.
 
     Duck-typed on purpose: the campaign layer depends on this module,
-    so importing the spec class here would be circular.
+    so importing the spec class here would be circular.  ``telemetry``
+    deliberately lives *outside* the spec: observing a run must not
+    change its identity, so cache keys are the same with it on or off.
     """
     return run(
         spec.benchmark,
@@ -298,4 +310,5 @@ def run_spec(spec) -> RunSummary:
         accesses_per_core=spec.accesses_per_core,
         seed=spec.seed,
         mil_overrides=dict(spec.mil_overrides) or None,
+        telemetry=telemetry,
     )

@@ -97,6 +97,10 @@ class DRAMChannel:
         self.timing = timing
         self.geometry = geometry
         self.keep_log = keep_log
+        # Telemetry probe (repro.telemetry.probes.ChannelProbe), attached
+        # by the wiring layer only when a session is active; None keeps
+        # every instrumentation site a single identity test.
+        self.probe = None
 
         self.banks = [
             [
@@ -266,6 +270,8 @@ class DRAMChannel:
             if len(r.act_history) > 8:
                 del r.act_history[:-8]
             self.activate_count += 1
+            if self.probe is not None:
+                self.probe.activate(cycle, rank)
             return cycle + t.RCD
 
         if cmd is CommandType.PRECHARGE:
@@ -276,6 +282,8 @@ class DRAMChannel:
             if r.open_banks == 0:
                 r.open_cycles += cycle - r.open_since
             b.next_act = max(b.next_act, cycle + t.RP)
+            if self.probe is not None:
+                self.probe.precharge(cycle, rank)
             return cycle + t.RP
 
         if cmd in (CommandType.READ, CommandType.WRITE):
@@ -338,6 +346,10 @@ class DRAMChannel:
                         request_id=request_id,
                     )
                 )
+            if self.probe is not None:
+                self.probe.bus_burst(
+                    data_start, data_end, scheme, is_write, rank, group, bank
+                )
             return data_end
 
         if cmd is CommandType.REFRESH:
@@ -346,6 +358,8 @@ class DRAMChannel:
                 for bb in grp:
                     bb.next_act = max(bb.next_act, done)
             self.refresh_count += 1
+            if self.probe is not None:
+                self.probe.refresh(cycle, rank)
             return done
 
         raise ValueError(f"unknown command {cmd}")

@@ -104,11 +104,16 @@ def simulate(
     config: SystemConfig,
     policy_factory=None,
     max_cycles: int = 200_000_000,
+    telemetry=None,
 ) -> SimulationResult:
     """Run ``trace`` on ``config`` under a coding policy.
 
     ``policy_factory()`` builds one policy per channel (default: the
-    always-DBI baseline).  Returns a :class:`SimulationResult`.
+    always-DBI baseline).  ``telemetry`` is an optional
+    :class:`~repro.telemetry.session.TelemetrySession`; when given, one
+    probe per channel is wired into the controller, its DRAM channel,
+    and its policy (the default ``None`` leaves the fast path exactly as
+    it was).  Returns a :class:`SimulationResult`.
     """
     if policy_factory is None:
         policy_factory = lambda: AlwaysScheme("dbi")  # noqa: E731
@@ -130,6 +135,10 @@ def simulate(
         )
         for _ in range(config.channels)
     ]
+    if telemetry is not None:
+        telemetry.cycle_ns = 1.0 / config.timing.clock_ghz
+        for ch, mc in enumerate(controllers):
+            mc.attach_probe(telemetry.channel_probe(ch))
     policy = controllers[0].policy
     policy_name = getattr(policy, "scheme", None) or type(policy).__name__
 

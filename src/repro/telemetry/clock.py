@@ -1,0 +1,23 @@
+"""The one monotonic wall clock shared by every observability layer.
+
+Campaign-level :class:`~repro.campaign.events.RunEvent` timestamps and
+telemetry phase timers all read the same epoch-relative monotonic
+clock, so a campaign trace and a run trace can be merged into a single
+Perfetto timeline without cross-calibration.  The epoch is process
+start (module import), which keeps the numbers small enough to stay
+exact as float microseconds for any realistic session length.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["EPOCH_NS", "monotonic_ts"]
+
+# Fixed at first import; every timestamp is relative to this instant.
+EPOCH_NS = time.perf_counter_ns()
+
+
+def monotonic_ts() -> float:
+    """Seconds since the process-wide telemetry epoch (monotonic)."""
+    return (time.perf_counter_ns() - EPOCH_NS) / 1e9

@@ -1,0 +1,132 @@
+"""Exporters: JSON-lines metrics dumps and Chrome trace-event files.
+
+Two on-disk formats:
+
+* ``*.metrics.jsonl`` — line 1 is a ``{"meta": ...}`` header, every
+  following line is one instrument (``{"name": ..., "kind": ...,
+  ...}``).  ``repro telemetry PATH`` pretty-prints these.
+* ``*.trace.json`` — the Chrome trace-event JSON-array format, openable
+  in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Run-
+  level sessions stamp events in DRAM cycles and are scaled to real
+  microseconds through the session's ``cycle_ns``; campaign sessions
+  stamp in shared-clock seconds.  Multiple sessions may be merged into
+  one file — each gets its own pid/track group, which is how a campaign
+  timeline and a run timeline coexist in one Perfetto view.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .session import TelemetrySession
+
+__all__ = [
+    "chrome_trace_events",
+    "load_metrics_jsonl",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]
+
+
+def write_metrics_jsonl(path, session: TelemetrySession) -> Path:
+    """Dump the session's metrics as JSON-lines; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = session.metrics_payload()
+    lines = [json.dumps({"meta": payload["meta"]}, sort_keys=True)]
+    for name, body in payload["metrics"].items():
+        lines.append(json.dumps({"name": name, **body}, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_metrics_jsonl(path) -> dict:
+    """Inverse of :func:`write_metrics_jsonl`.
+
+    Returns ``{"meta": ..., "metrics": {name: body}}``; raises
+    ``ValueError`` on files that are not a metrics dump.
+    """
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty metrics dump")
+    head = json.loads(lines[0])
+    if "meta" not in head:
+        raise ValueError(f"{path}: missing meta header line")
+    metrics: dict[str, dict] = {}
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        body = json.loads(line)
+        name = body.pop("name", None)
+        if name is None:
+            raise ValueError(f"{path}:{lineno}: metric line without a name")
+        metrics[name] = body
+    return {"meta": head["meta"], "metrics": metrics}
+
+
+def _ts_scale_us(session: TelemetrySession) -> float:
+    """Multiplier taking the session's timestamps to microseconds."""
+    if session.time_unit == "cycles":
+        return session.cycle_ns / 1e3
+    return 1e6  # seconds
+
+
+def chrome_trace_events(*sessions: TelemetrySession) -> list[dict]:
+    """Flatten sessions into Chrome trace-event dicts.
+
+    Each session becomes one pid (named after its label); each trace
+    track within it becomes one tid.  Counter totals are appended as
+    per-pid metadata-free counter events at the end of the timeline.
+    """
+    events: list[dict] = []
+    for pid, session in enumerate(sessions):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": session.label},
+        })
+        if session.trace is None:
+            continue
+        scale = _ts_scale_us(session)
+        tids: dict[str, int] = {}
+        for event in session.trace:
+            tid = tids.get(event.track)
+            if tid is None:
+                tid = len(tids)
+                tids[event.track] = tid
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                    "args": {"name": event.track},
+                })
+            body = {
+                "name": event.name,
+                "cat": event.category,
+                "ph": event.phase,
+                "ts": event.ts * scale,
+                "pid": pid,
+                "tid": tid,
+            }
+            if event.phase == "X":
+                body["dur"] = event.dur * scale
+            if event.phase == "i":
+                body["s"] = "t"  # thread-scoped instant
+            if event.args:
+                body["args"] = event.args_dict()
+            events.append(body)
+    return events
+
+
+def write_chrome_trace(path, *sessions: TelemetrySession) -> Path:
+    """Write sessions as one Chrome trace-event JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "traceEvents": chrome_trace_events(*sessions),
+        "displayTimeUnit": "ns",
+        "metadata": {
+            "tool": "repro.telemetry",
+            "sessions": [s.label for s in sessions],
+        },
+    }
+    path.write_text(json.dumps(document))
+    return path

@@ -1,0 +1,250 @@
+"""Probe objects: the only telemetry surface the model layers see.
+
+A probe is wired into a component (controller, DRAM channel, MiL
+policy, campaign runner) **only when telemetry is enabled** — the
+module-level flag in :mod:`repro.telemetry` is checked once at wiring
+time, and the disabled fast path keeps the component's probe attribute
+at ``None`` so instrumentation sites cost a single identity test.  A
+probe resolves its instruments from the registry at construction, so
+the per-event work is attribute arithmetic plus (optionally) one ring-
+buffer append; no name lookups ever happen on the hot path.
+
+Probes observe and never steer: nothing a probe computes feeds back
+into simulation state, which is what makes the telemetry-on and
+telemetry-off summaries byte-identical.
+"""
+
+from __future__ import annotations
+
+from .clock import monotonic_ts
+from .registry import MetricRegistry
+from .trace import TraceBuffer
+
+__all__ = ["ChannelProbe", "CampaignProbe", "PhaseTimer"]
+
+# Queue occupancies bucketed at powers of two up to a 64-entry queue.
+_QUEUE_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64)
+# Data-bus occupancy per burst in DRAM cycles (BL8=4 ... BL16=8).
+_BURST_BOUNDS = (4, 5, 6, 7, 8)
+# rdyX comparator outcomes: how many other column commands were ready.
+_READY_BOUNDS = (0, 1, 2, 4, 8, 16, 32)
+
+
+class ChannelProbe:
+    """Per-channel instrumentation shared by the controller, its DRAM
+    channel, and its coding policy.
+
+    The decision modes mirror :class:`repro.core.decision.MiLPolicy`:
+    ``long`` (the rdyX window was free), ``base`` (another column
+    command was imminent), ``fallback`` (the adaptive uncoded tier).
+    Fixed-scheme policies report ``fixed``.  Every issued column command
+    reports exactly one mode, so the mode counters sum to the run's
+    total bursts.
+    """
+
+    __slots__ = (
+        "track", "trace", "trace_bus", "trace_decisions",
+        "act_cmds", "col_cmds", "pre_cmds", "refreshes",
+        "bursts", "burst_cycles", "rdq_occupancy", "wrq_occupancy",
+        "drain_transitions", "modes", "write_opt", "lookahead_ready",
+    )
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        trace: TraceBuffer | None,
+        channel: int,
+        trace_bus: bool = True,
+        trace_decisions: bool = True,
+    ):
+        ch = f"ch{channel}"
+        self.track = ch
+        self.trace = trace
+        self.trace_bus = trace_bus and trace is not None
+        self.trace_decisions = trace_decisions and trace is not None
+
+        self.act_cmds = registry.counter(f"dram.{ch}.bank.act_count")
+        self.pre_cmds = registry.counter(f"dram.{ch}.bank.pre_count")
+        self.refreshes = registry.counter(f"dram.{ch}.refresh_count")
+        self.col_cmds = registry.counter(f"controller.{ch}.row.col_cmds")
+        self.bursts = registry.counter(f"dram.{ch}.bus.bursts")
+        self.burst_cycles = registry.histogram(
+            f"dram.{ch}.bus.burst_cycles", _BURST_BOUNDS
+        )
+        self.rdq_occupancy = registry.histogram(
+            f"controller.{ch}.rdq.occupancy", _QUEUE_BOUNDS
+        )
+        self.wrq_occupancy = registry.histogram(
+            f"controller.{ch}.wrq.occupancy", _QUEUE_BOUNDS
+        )
+        self.drain_transitions = registry.counter(
+            f"controller.{ch}.drain.transitions"
+        )
+        self.modes = {
+            mode: registry.counter(f"core.{ch}.decision.{mode}")
+            for mode in ("long", "base", "fallback", "fixed")
+        }
+        self.write_opt = registry.counter(f"core.{ch}.decision.write_opt")
+        self.lookahead_ready = registry.histogram(
+            f"core.{ch}.lookahead.others_ready", _READY_BOUNDS
+        )
+
+    # -- DRAM channel sites --------------------------------------------
+    def activate(self, cycle: int, rank: int) -> None:
+        self.act_cmds.inc()
+
+    def precharge(self, cycle: int, rank: int) -> None:
+        self.pre_cmds.inc()
+
+    def refresh(self, cycle: int, rank: int) -> None:
+        self.refreshes.inc()
+
+    def bus_burst(
+        self, start: int, end: int, scheme: str, is_write: bool,
+        rank: int, bank_group: int, bank: int,
+    ) -> None:
+        self.bursts.inc()
+        self.col_cmds.inc()
+        self.burst_cycles.observe(end - start)
+        if self.trace_bus:
+            self.trace.emit(
+                name=scheme,
+                category="bus.write" if is_write else "bus.read",
+                phase="X",
+                ts=start,
+                dur=end - start,
+                track=self.track,
+                args=(("rank", rank), ("bank_group", bank_group),
+                      ("bank", bank)),
+            )
+
+    # -- controller sites ----------------------------------------------
+    def enqueue(self, read_depth: int, write_depth: int) -> None:
+        self.rdq_occupancy.observe(read_depth)
+        self.wrq_occupancy.observe(write_depth)
+
+    def drain_transition(self, cycle: int, draining: bool) -> None:
+        self.drain_transitions.inc()
+        if self.trace is not None:
+            self.trace.emit(
+                name="drain.enter" if draining else "drain.exit",
+                category="controller",
+                phase="i",
+                ts=cycle,
+                track=self.track,
+            )
+
+    # -- decision-logic sites ------------------------------------------
+    def decision(
+        self, cycle: int, mode: str, scheme: str,
+        others_ready: int | None = None,
+    ) -> None:
+        self.modes[mode].inc()
+        if others_ready is not None:
+            self.lookahead_ready.observe(others_ready)
+        if self.trace_decisions:
+            self.trace.emit(
+                name=f"{mode}:{scheme}",
+                category="decision",
+                phase="i",
+                ts=cycle,
+                track=self.track,
+            )
+
+    def write_optimized(self) -> None:
+        self.write_opt.inc()
+
+
+class PhaseTimer:
+    """Scoped wall-clock timer: ``with PhaseTimer(...)``.
+
+    Accumulates elapsed seconds into a ``<name>.wall_s`` gauge and, when
+    a trace buffer is attached, emits a complete span on the shared
+    monotonic clock (so campaign phases line up with run events).
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        trace: TraceBuffer | None,
+        name: str,
+        track: str = "campaign",
+    ):
+        self.gauge = registry.gauge(f"{name}.wall_s")
+        self.calls = registry.counter(f"{name}.calls")
+        self.trace = trace
+        self.name = name
+        self.track = track
+        self._started: float | None = None
+
+    def __enter__(self) -> "PhaseTimer":
+        self._started = monotonic_ts()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        ended = monotonic_ts()
+        elapsed = ended - self._started
+        self.calls.inc()
+        self.gauge.set(self.gauge.value + elapsed)
+        if self.trace is not None:
+            self.trace.emit(
+                name=self.name,
+                category="phase",
+                phase="X",
+                ts=self._started,
+                dur=elapsed,
+                track=self.track,
+            )
+        self._started = None
+
+
+class CampaignProbe:
+    """Orchestration-level instrumentation for :class:`CampaignRunner`.
+
+    Counts events per kind, spans each executed run from its
+    ``started`` event to its ``finished``/``failed`` one (timestamps are
+    the shared monotonic clock carried on :class:`RunEvent.ts`), and
+    provides :meth:`phase` timers for the runner's internal phases.
+    """
+
+    def __init__(self, registry: MetricRegistry, trace: TraceBuffer | None):
+        self.registry = registry
+        self.trace = trace
+        self.kinds = {
+            kind: registry.counter(f"campaign.events.{kind.replace('-', '_')}")
+            for kind in ("queued", "started", "cache-hit", "finished",
+                         "retried", "failed")
+        }
+        self._open_spans: dict[str, float] = {}  # cache key -> started ts
+
+    def phase(self, name: str) -> PhaseTimer:
+        return PhaseTimer(self.registry, self.trace, f"campaign.{name}")
+
+    def event(self, event) -> None:
+        """Feed one :class:`~repro.campaign.events.RunEvent`."""
+        counter = self.kinds.get(event.kind)
+        if counter is not None:
+            counter.inc()
+        if event.kind == "started":
+            self._open_spans[event.key] = event.ts
+        elif event.kind in ("finished", "failed", "retried"):
+            started = self._open_spans.pop(event.key, None)
+            if self.trace is not None and started is not None:
+                self.trace.emit(
+                    name=event.spec.slug,
+                    category=f"run.{event.kind}",
+                    phase="X",
+                    ts=started,
+                    dur=max(0.0, event.ts - started),
+                    track="campaign.runs",
+                    args=(("key", event.key),),
+                )
+        elif self.trace is not None and event.kind == "cache-hit":
+            self.trace.emit(
+                name=event.spec.slug,
+                category="run.cache-hit",
+                phase="i",
+                ts=event.ts,
+                track="campaign.runs",
+                args=(("key", event.key),),
+            )

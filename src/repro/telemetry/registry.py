@@ -1,0 +1,166 @@
+"""Named metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricRegistry` owns a flat namespace of hierarchically named
+instruments (``controller.ch0.rdq.occupancy``, ``dram.ch1.act_count``);
+dots are only a naming convention, but the exporters and the pretty
+printer group on them.  Instruments are created once at wiring time and
+then mutated with plain attribute arithmetic — the per-event cost is an
+integer add, never a dict lookup.
+
+Registries are deliberately not thread-safe: one simulation run owns
+one registry, and the campaign layer keeps its own.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry"]
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value with min/max tracking."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.min = None
+        self.max = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``bounds`` are inclusive upper edges of the finite buckets; one
+    overflow bucket catches everything above the last edge.  The edges
+    are frozen at construction — observation is a ``bisect`` plus an
+    add, with no allocation.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+    kind = "histogram"
+
+    DEFAULT_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    def __init__(self, name: str, bounds=None):
+        self.name = name
+        self.bounds = tuple(bounds) if bounds is not None else self.DEFAULT_BOUNDS
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError(f"histogram {name!r}: bounds must be sorted, non-empty")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricRegistry:
+    """Get-or-create home for named instruments.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument
+    when the name is already registered (so independent probes may share
+    one) and raise if the name is bound to a different instrument kind.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, bounds=None) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict:
+        """``{name: instrument.as_dict()}`` in sorted-name order."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}

@@ -1,0 +1,111 @@
+"""One telemetry session: a registry, a trace ring, and probe wiring.
+
+A :class:`TelemetrySession` is the object handed to
+:func:`repro.system.simulator.simulate` (for cycle-level runs) or to
+:class:`repro.campaign.runner.CampaignRunner` (for orchestration).  It
+owns the :class:`MetricRegistry` and :class:`TraceBuffer` and hands out
+probes bound to them; when no session is supplied the components keep
+``probe = None`` and the instrumentation sites stay dormant.
+
+``time_unit`` declares what the trace timestamps mean — ``"cycles"``
+for run-level sessions (scaled to real time through ``cycle_ns`` at
+export) or ``"seconds"`` for campaign-level ones (the shared monotonic
+clock of :mod:`repro.telemetry.clock`).
+"""
+
+from __future__ import annotations
+
+from .probes import CampaignProbe, ChannelProbe
+from .registry import MetricRegistry
+from .trace import DEFAULT_CAPACITY, TraceBuffer
+
+__all__ = ["TelemetrySession"]
+
+
+class TelemetrySession:
+    """Container for one run's (or one campaign's) observability state."""
+
+    def __init__(
+        self,
+        label: str = "run",
+        trace_capacity: int = DEFAULT_CAPACITY,
+        trace_enabled: bool = True,
+        time_unit: str = "cycles",
+    ):
+        if time_unit not in ("cycles", "seconds"):
+            raise ValueError("time_unit must be 'cycles' or 'seconds'")
+        self.label = label
+        self.time_unit = time_unit
+        self.registry = MetricRegistry()
+        self.trace = TraceBuffer(trace_capacity) if trace_enabled else None
+        # Nanoseconds per DRAM cycle; the wiring layer sets this from the
+        # system's timing so exported traces land on a real time axis.
+        self.cycle_ns = 1.0
+        self._channel_probes: dict[int, ChannelProbe] = {}
+        self._campaign_probe: CampaignProbe | None = None
+
+    # -- probe wiring ---------------------------------------------------
+    def channel_probe(self, channel: int) -> ChannelProbe:
+        probe = self._channel_probes.get(channel)
+        if probe is None:
+            probe = ChannelProbe(self.registry, self.trace, channel)
+            self._channel_probes[channel] = probe
+        return probe
+
+    def campaign_probe(self) -> CampaignProbe:
+        if self._campaign_probe is None:
+            self._campaign_probe = CampaignProbe(self.registry, self.trace)
+        return self._campaign_probe
+
+    # -- aggregation ----------------------------------------------------
+    def decision_modes(self) -> dict:
+        """Per-mode decision counts summed over channels (Figure 22)."""
+        merged: dict[str, int] = {}
+        for probe in self._channel_probes.values():
+            for mode, counter in probe.modes.items():
+                if counter.value:
+                    merged[mode] = merged.get(mode, 0) + counter.value
+        return merged
+
+    def stats_table(self) -> dict:
+        """Compact aggregate merged into ``RunSummary.stats``.
+
+        Everything here is *about* the run, never *of* it: the cache
+        layer strips ``stats`` before hashing/storing, so this table
+        rides through the campaign engine without touching result
+        identity.
+        """
+        bursts = acts = drains = 0
+        rdq = wrq = None
+        for probe in self._channel_probes.values():
+            bursts += probe.bursts.value
+            acts += probe.act_cmds.value
+            drains += probe.drain_transitions.value
+            rdq = probe.rdq_occupancy if rdq is None else rdq
+            wrq = probe.wrq_occupancy if wrq is None else wrq
+        table = {
+            "label": self.label,
+            "metrics": len(self.registry),
+            "bursts": bursts,
+            "act_count": acts,
+            "drain_transitions": drains,
+            "decision_modes": self.decision_modes(),
+        }
+        if self.trace is not None:
+            table["trace_events"] = len(self.trace)
+            table["trace_dropped"] = self.trace.dropped
+        return table
+
+    def metrics_payload(self) -> dict:
+        """Full metrics dump (the JSONL exporter's source of truth)."""
+        return {
+            "meta": {
+                "label": self.label,
+                "time_unit": self.time_unit,
+                "cycle_ns": self.cycle_ns,
+                "trace_events": 0 if self.trace is None else len(self.trace),
+                "trace_dropped": 0 if self.trace is None else self.trace.dropped,
+                "summary": self.stats_table(),
+            },
+            "metrics": self.registry.as_dict(),
+        }

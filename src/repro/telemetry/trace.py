@@ -1,0 +1,80 @@
+"""Cycle-stamped event trace: a bounded ring buffer of spans/instants.
+
+The :class:`TraceBuffer` records what the bus-occupancy timelines of
+Figures 4-6 are made of — data-bus bursts, MiL mode decisions, drain
+transitions — each stamped with the DRAM cycle it happened at (or, for
+campaign-level events, the shared wall clock).  The buffer is a fixed-
+capacity ring: when full it overwrites the oldest event and counts the
+drop, so a long run can never exhaust memory; the tail of the run is
+what survives, which is the part a divergence debug usually needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TraceBuffer", "TraceEvent"]
+
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record in the Chrome trace-event vocabulary.
+
+    ``phase`` is the trace-event phase letter: ``"X"`` for a complete
+    span (``ts`` + ``dur``), ``"i"`` for an instant, ``"C"`` for a
+    counter sample.  ``ts``/``dur`` are in the emitting layer's time
+    unit — DRAM cycles for run-level probes, seconds for campaign-level
+    ones; the exporter scales both to trace microseconds.
+    """
+
+    name: str
+    category: str
+    phase: str
+    ts: float
+    dur: float = 0.0
+    track: str = "main"
+    args: tuple = ()
+
+    def args_dict(self) -> dict:
+        return dict(self.args)
+
+
+class TraceBuffer:
+    """Bounded ring of :class:`TraceEvent` records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self._ring: list[TraceEvent | None] = [None] * capacity
+        self._next = 0  # next write slot
+        self._size = 0
+
+    def append(self, event: TraceEvent) -> None:
+        if self._size == self.capacity:
+            self.dropped += 1
+        else:
+            self._size += 1
+        self._ring[self._next] = event
+        self._next = (self._next + 1) % self.capacity
+
+    def emit(self, name, category, phase, ts, dur=0.0, track="main", args=()):
+        """Construct-and-append convenience used by the probes."""
+        self.append(TraceEvent(name, category, phase, ts, dur, track, args))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self):
+        """Events oldest-first."""
+        if self._size < self.capacity:
+            yield from (e for e in self._ring[: self._size])
+        else:
+            yield from (e for e in self._ring[self._next :])
+            yield from (e for e in self._ring[: self._next])
+
+    def events(self) -> list[TraceEvent]:
+        return list(self)

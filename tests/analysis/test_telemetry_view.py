@@ -1,0 +1,59 @@
+"""Rendering of saved telemetry metrics dumps."""
+
+from repro.analysis import render_metrics, summarize_decisions
+
+
+def _payload() -> dict:
+    return {
+        "meta": {"label": "run-MM-mil", "time_unit": "cycles",
+                 "trace_events": 12, "trace_dropped": 0},
+        "metrics": {
+            "core.ch0.decision.long": {"kind": "counter", "value": 10},
+            "core.ch1.decision.long": {"kind": "counter", "value": 5},
+            "core.ch0.decision.base": {"kind": "counter", "value": 3},
+            "core.ch0.decision.fallback": {"kind": "counter", "value": 0},
+            "dram.ch0.bus.bursts": {"kind": "counter", "value": 18},
+            "controller.ch0.rdq.occupancy": {
+                "kind": "histogram", "bounds": [0, 2, 4],
+                "counts": [1, 2, 0, 1], "count": 4, "sum": 9,
+                "mean": 2.25, "min": 0, "max": 7,
+            },
+            "campaign.scan.wall_s": {
+                "kind": "gauge", "value": 0.5, "min": 0.5, "max": 0.5,
+                "updates": 1,
+            },
+        },
+    }
+
+
+class TestSummarizeDecisions:
+    def test_sums_modes_across_channels(self):
+        assert summarize_decisions(_payload()["metrics"]) == {
+            "long": 15, "base": 3,
+        }
+
+    def test_ignores_non_decision_names(self):
+        metrics = {
+            "dram.ch0.decision.long": {"kind": "counter", "value": 9},
+            "core.ch0.decision.long.extra": {"kind": "counter", "value": 9},
+        }
+        assert summarize_decisions(metrics) == {}
+
+
+class TestRenderMetrics:
+    def test_groups_by_family_and_shows_decision_mix(self):
+        text = render_metrics(_payload())
+        assert "run-MM-mil" in text
+        assert "base=3, long=15 (sum 18)" in text
+        # One table per top-level family.
+        for family in ("campaign", "controller", "core", "dram"):
+            assert family in text
+
+    def test_histogram_rows_show_buckets(self):
+        text = render_metrics(_payload())
+        assert "n=4 mean=2.25 max=7" in text
+        assert "<=0:1" in text and ">4:1" in text
+
+    def test_empty_payload_renders(self):
+        text = render_metrics({"meta": {}, "metrics": {}})
+        assert "telemetry" in text

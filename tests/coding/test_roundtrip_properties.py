@@ -1,0 +1,164 @@
+"""Property-based round-trip and zero-guarantee tests (hypothesis).
+
+Every code the simulator charges energy for must satisfy
+``decode(encode(x)) == x`` for *arbitrary* payloads, and the limited-
+weight codes must honour their worst-case zero guarantees — those bounds
+are what the MiL scheduling maths in Section 4 leans on.  The example
+tests elsewhere pin exact codewords; these sweep the input space.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import (
+    BusInvertCode,
+    DBICode,
+    MiLCCode,
+    ThreeLWC,
+    TransitionSignaling,
+)
+from repro.coding.bitops import bytes_to_bits, zeros_in_bits
+
+MAX_EXAMPLES = 50
+
+byte_seqs = st.lists(st.integers(0, 255), min_size=1, max_size=64)
+
+
+def _bits(byte_values, block_bits):
+    """uint8 byte values -> bit blocks of shape (n, block_bits)."""
+    flat = bytes_to_bits(np.asarray(byte_values, dtype=np.uint8))
+    return flat.reshape(-1, block_bits)
+
+
+class TestDBI:
+    @given(byte_seqs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_round_trip(self, data):
+        code = DBICode()
+        bits = _bits(data, 8)
+        assert np.array_equal(code.decode(code.encode(bits)), bits)
+
+    @given(byte_seqs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_at_most_four_zeros_per_codeword(self, data):
+        code = DBICode()
+        bits = _bits(data, 8)
+        coded_zeros = zeros_in_bits(code.encode(bits))
+        raw_zeros = 8 - bits.sum(axis=-1)
+        assert (coded_zeros <= 4).all()
+        assert (coded_zeros <= raw_zeros).all()
+
+    @given(byte_seqs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_count_zeros_agrees_with_real_encoding(self, data):
+        code = DBICode()
+        bits = _bits(data, 8)
+        assert np.array_equal(
+            code.count_zeros(bits), zeros_in_bits(code.encode(bits))
+        )
+
+
+class TestThreeLWC:
+    @given(byte_seqs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_round_trip(self, data):
+        code = ThreeLWC()
+        bits = _bits(data, 8)
+        assert np.array_equal(code.decode(code.encode(bits)), bits)
+
+    @given(byte_seqs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_at_most_three_zeros_per_codeword(self, data):
+        code = ThreeLWC()
+        bits = _bits(data, 8)
+        assert (zeros_in_bits(code.encode(bits)) <= 3).all()
+
+    @given(byte_seqs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_count_zeros_agrees_with_real_encoding(self, data):
+        code = ThreeLWC()
+        bits = _bits(data, 8)
+        assert np.array_equal(
+            code.count_zeros(bits), zeros_in_bits(code.encode(bits))
+        )
+
+
+class TestMiLC:
+    # MiLC blocks are 64 bits = 8 bytes; generate whole blocks.
+    blocks = st.lists(st.integers(0, 255), min_size=8, max_size=64).map(
+        lambda xs: xs[: len(xs) - len(xs) % 8]
+    )
+
+    @given(blocks)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_round_trip(self, data):
+        code = MiLCCode()
+        bits = _bits(data, 64)
+        assert np.array_equal(code.decode(code.encode(bits)), bits)
+
+    @given(blocks)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_never_worse_than_uncoded(self, data):
+        # The original-rows candidate is always available, so encoding
+        # can cost at most the 16 mode bits' worth of extra zeros.
+        code = MiLCCode()
+        bits = _bits(data, 64)
+        coded_zeros = zeros_in_bits(code.encode(bits))
+        raw_zeros = 64 - bits.sum(axis=-1)
+        assert (coded_zeros <= raw_zeros + 16).all()
+
+    @given(blocks)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_count_zeros_agrees_with_real_encoding(self, data):
+        code = MiLCCode()
+        bits = _bits(data, 64)
+        assert np.array_equal(
+            code.count_zeros(bits), zeros_in_bits(code.encode(bits))
+        )
+
+
+class TestBusInvert:
+    @given(byte_seqs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_sequence_round_trip(self, data):
+        code = BusInvertCode()
+        beats = np.asarray(data, dtype=np.uint8)
+        codes, _ = code.encode_sequence(beats)
+        decoded = code.decode_sequence(codes)
+        assert np.array_equal(decoded, bytes_to_bits(beats).reshape(-1, 8))
+
+    @given(byte_seqs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_at_most_four_transitions_per_beat(self, data):
+        # flips(original) + flips(inverted) = 9 over the 9 wires, so the
+        # cheaper choice can never exceed four transitions.
+        code = BusInvertCode()
+        _, transitions = code.encode_sequence(
+            np.asarray(data, dtype=np.uint8))
+        assert (transitions <= 4).all()
+
+
+class TestTransitionSignaling:
+    @given(byte_seqs, st.sampled_from([0, 1]))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_round_trip(self, data, flip_on):
+        ts = TransitionSignaling(lanes=8, flip_on=flip_on)
+        bits = bytes_to_bits(np.asarray(data, dtype=np.uint8)).reshape(-1, 8)
+        start = ts.wire_state
+        levels = ts.encode(bits)
+        assert np.array_equal(ts.decode(levels, prev_wire=start), bits)
+
+    @given(byte_seqs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_flips_equal_zeros_with_paper_polarity(self, data):
+        # Section 2.1.2: with flip-on-0 polarity, wire flips == logical
+        # zeros, so zero-minimising codes minimise LPDDR3 flip energy.
+        ts = TransitionSignaling(lanes=8, flip_on=0)
+        bits = bytes_to_bits(np.asarray(data, dtype=np.uint8)).reshape(-1, 8)
+        zeros = int((bits == 0).sum())
+        assert ts.count_flips(bits) == zeros
+        levels = ts.encode(bits)
+        prev = np.zeros(8, dtype=np.uint8)
+        flips = int((np.vstack([prev[None, :], levels[:-1]]) != levels).sum())
+        assert flips == zeros

@@ -1,8 +1,19 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
+from repro import telemetry
 from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry_flag():
+    """--telemetry flips the process-wide switch; undo it per test."""
+    previous = telemetry.enabled()
+    yield
+    telemetry.set_enabled(previous)
 
 
 class TestList:
@@ -69,3 +80,67 @@ class TestTrace:
         out = tmp_path / "bus.jsonl"
         assert main(["trace", "MM", str(out), "--scale", "600"]) == 0
         assert (tmp_path / "bus.ch0.jsonl").exists()
+
+
+class TestTelemetry:
+    def test_run_telemetry_extends_summary(self, capsys):
+        assert main([
+            "run", "MM", "--scale", "400", "--policy", "mil", "--telemetry",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: bursts" in out
+        assert "telemetry: decision mix" in out
+
+    def test_run_trace_out_writes_both_artifacts(self, tmp_path, capsys):
+        stem = tmp_path / "mm"
+        assert main([
+            "run", "MM", "--scale", "400", "--policy", "mil",
+            "--trace-out", str(stem),
+        ]) == 0
+        trace = json.loads((tmp_path / "mm.trace.json").read_text())
+        assert trace["traceEvents"], "trace must not be empty"
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert "X" in phases and "M" in phases
+        metrics = (tmp_path / "mm.metrics.jsonl").read_text().splitlines()
+        assert "meta" in json.loads(metrics[0])
+
+    def test_telemetry_verb_renders_a_dump(self, tmp_path, capsys):
+        stem = tmp_path / "mm"
+        assert main([
+            "run", "MM", "--scale", "400", "--policy", "mil",
+            "--trace-out", str(stem),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", str(tmp_path / "mm.metrics.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "decision mix" in out
+        assert "core.ch0.decision" in out
+        # The decision mix line carries the burst-sum invariant.
+        assert "(sum " in out
+
+    def test_telemetry_verb_rejects_non_dumps(self, tmp_path):
+        bogus = tmp_path / "not-a-dump.jsonl"
+        bogus.write_text('{"name": "x"}\n')
+        with pytest.raises(SystemExit):
+            main(["telemetry", str(bogus)])
+        with pytest.raises(SystemExit):
+            main(["telemetry", str(tmp_path / "missing.jsonl")])
+
+    def test_campaign_trace_out(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "runs"))
+        stem = tmp_path / "camp"
+        assert main([
+            "campaign", "fig02", "--scale", "80", "--no-report",
+            "--telemetry", "--trace-out", str(stem),
+        ]) == 0
+        trace = json.loads((tmp_path / "camp.trace.json").read_text())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert "campaign.scan" in {e["name"] for e in spans}
+        finished = [e for e in spans if e["cat"] == "run.finished"]
+        assert len(finished) == 4  # fig02 is four runs, all executed cold
+
+    def test_run_without_flags_stays_silent(self, capsys):
+        assert main(["run", "MM", "--scale", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out
+        assert not telemetry.enabled()

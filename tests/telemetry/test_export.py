@@ -1,0 +1,106 @@
+"""Exporters: metrics JSONL round-trip and Chrome trace-event output."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    TelemetrySession,
+    chrome_trace_events,
+    load_metrics_jsonl,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+
+
+def _session(label="run", time_unit="cycles") -> TelemetrySession:
+    session = TelemetrySession(label=label, time_unit=time_unit)
+    session.registry.counter("dram.ch0.act_count").inc(7)
+    session.registry.gauge("controller.ch0.drain.level").set(2.5)
+    session.registry.histogram("controller.ch0.rdq.occupancy").observe(3)
+    assert session.trace is not None
+    session.trace.emit("burst", "bus.read", "X", ts=100.0, dur=4.0,
+                       track="ch0.bus", args=(("scheme", "milc"),))
+    session.trace.emit("drain", "controller", "i", ts=110.0, track="ch0.mc")
+    return session
+
+
+class TestMetricsJsonl:
+    def test_round_trip(self, tmp_path):
+        session = _session()
+        path = write_metrics_jsonl(tmp_path / "m.metrics.jsonl", session)
+        payload = load_metrics_jsonl(path)
+        assert payload["meta"]["label"] == "run"
+        assert payload["meta"]["time_unit"] == "cycles"
+        assert payload["meta"]["trace_events"] == 2
+        assert payload["metrics"] == session.metrics_payload()["metrics"]
+
+    def test_one_metric_per_line(self, tmp_path):
+        path = write_metrics_jsonl(tmp_path / "m.metrics.jsonl", _session())
+        lines = path.read_text().splitlines()
+        assert "meta" in json.loads(lines[0])
+        assert len(lines) == 1 + 3
+        for line in lines[1:]:
+            assert "name" in json.loads(line)
+
+    def test_empty_file_rejected(self, tmp_path):
+        bad = tmp_path / "empty.jsonl"
+        bad.write_text("")
+        with pytest.raises(ValueError, match="empty metrics dump"):
+            load_metrics_jsonl(bad)
+
+    def test_missing_meta_header_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"name": "x", "kind": "counter", "value": 1}\n')
+        with pytest.raises(ValueError, match="missing meta header"):
+            load_metrics_jsonl(bad)
+
+    def test_nameless_metric_line_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"meta": {}}\n{"kind": "counter", "value": 1}\n')
+        with pytest.raises(ValueError, match="without a name"):
+            load_metrics_jsonl(bad)
+
+
+class TestChromeTrace:
+    def test_events_carry_process_and_thread_names(self):
+        events = chrome_trace_events(_session())
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {e["name"] for e in metas}
+        names = [e["args"]["name"] for e in metas]
+        assert "run" in names and "ch0.bus" in names and "ch0.mc" in names
+
+    def test_cycle_timestamps_scale_through_cycle_ns(self):
+        session = _session()
+        session.cycle_ns = 2.0  # 0.5 GHz DRAM clock
+        span = [e for e in chrome_trace_events(session) if e["ph"] == "X"][0]
+        # 100 cycles * 2 ns / 1e3 = 0.2 us
+        assert span["ts"] == pytest.approx(0.2)
+        assert span["dur"] == pytest.approx(0.008)
+        assert span["cat"] == "bus.read"
+        assert span["args"] == {"scheme": "milc"}
+
+    def test_second_timestamps_scale_to_microseconds(self):
+        session = _session(label="campaign", time_unit="seconds")
+        span = [e for e in chrome_trace_events(session) if e["ph"] == "X"][0]
+        assert span["ts"] == pytest.approx(100.0 * 1e6)
+
+    def test_instants_are_thread_scoped(self):
+        instant = [
+            e for e in chrome_trace_events(_session()) if e["ph"] == "i"
+        ][0]
+        assert instant["s"] == "t"
+
+    def test_sessions_get_distinct_pids(self, tmp_path):
+        run = _session()
+        campaign = _session(label="campaign", time_unit="seconds")
+        path = write_chrome_trace(tmp_path / "t.trace.json", run, campaign)
+        document = json.loads(path.read_text())
+        assert document["metadata"]["sessions"] == ["run", "campaign"]
+        pids = {e["pid"] for e in document["traceEvents"]}
+        assert pids == {0, 1}
+
+    def test_traceless_session_exports_only_process_meta(self):
+        session = TelemetrySession(trace_enabled=False)
+        events = chrome_trace_events(session)
+        assert [e["name"] for e in events] == ["process_name"]

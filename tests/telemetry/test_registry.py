@@ -1,0 +1,85 @@
+"""MetricRegistry: counters, gauges, fixed-bucket histograms."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert c.as_dict() == {"kind": "counter", "value": 42}
+
+
+class TestGauge:
+    def test_tracks_last_min_max(self):
+        g = Gauge("q")
+        assert g.updates == 0
+        for v in (3.0, 1.0, 7.0):
+            g.set(v)
+        assert g.value == 7.0
+        assert g.min == 1.0
+        assert g.max == 7.0
+        assert g.updates == 3
+
+    def test_untouched_gauge_has_no_extremes(self):
+        g = Gauge("q")
+        body = g.as_dict()
+        assert body["min"] is None and body["max"] is None
+
+
+class TestHistogram:
+    def test_buckets_are_inclusive_upper_edges(self):
+        h = Histogram("h", bounds=(0, 2, 4))
+        for v in (0, 1, 2, 3, 4, 5):
+            h.observe(v)
+        # <=0: {0}; <=2: {1,2}; <=4: {3,4}; overflow: {5}
+        assert h.counts == [1, 2, 2, 1]
+        assert h.count == 6
+        assert h.total == 15
+        assert h.min == 0 and h.max == 5
+        assert h.mean == pytest.approx(2.5)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_default_bounds_cover_queue_depths(self):
+        h = Histogram("h")
+        assert h.bounds == Histogram.DEFAULT_BOUNDS
+        h.observe(1000)  # deep but still countable: overflow bucket
+        assert h.counts[-1] == 1
+
+    def test_unsorted_or_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(4, 2))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricRegistry()
+        a = reg.counter("dram.ch0.act_count")
+        b = reg.counter("dram.ch0.act_count")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered as counter"):
+            reg.gauge("x")
+
+    def test_as_dict_is_name_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("b.two")
+        reg.gauge("a.one")
+        reg.histogram("c.three")
+        assert list(reg.as_dict()) == ["a.one", "b.two", "c.three"]
+        assert reg.names() == ["a.one", "b.two", "c.three"]
+        assert "a.one" in reg
+        assert reg["a.one"].kind == "gauge"

@@ -1,0 +1,50 @@
+"""TraceBuffer: bounded ring semantics and event ordering."""
+
+import pytest
+
+from repro.telemetry import TraceBuffer, TraceEvent
+
+
+def _evt(i: int) -> TraceEvent:
+    return TraceEvent(name=f"e{i}", category="test", phase="i", ts=float(i))
+
+
+class TestTraceBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(0)
+
+    def test_under_capacity_keeps_everything_in_order(self):
+        buf = TraceBuffer(capacity=8)
+        for i in range(5):
+            buf.append(_evt(i))
+        assert len(buf) == 5
+        assert buf.dropped == 0
+        assert [e.name for e in buf] == ["e0", "e1", "e2", "e3", "e4"]
+
+    def test_overflow_drops_oldest_and_counts(self):
+        buf = TraceBuffer(capacity=4)
+        for i in range(10):
+            buf.append(_evt(i))
+        assert len(buf) == 4
+        assert buf.dropped == 6
+        # The tail of the run survives, oldest-first.
+        assert [e.name for e in buf] == ["e6", "e7", "e8", "e9"]
+
+    def test_emit_builds_the_event(self):
+        buf = TraceBuffer(capacity=4)
+        buf.emit("burst", "bus.read", "X", ts=100.0, dur=4.0,
+                 track="ch0", args=(("scheme", "milc"),))
+        event = buf.events()[0]
+        assert event.name == "burst"
+        assert event.phase == "X"
+        assert event.dur == 4.0
+        assert event.track == "ch0"
+        assert event.args_dict() == {"scheme": "milc"}
+
+    def test_exactly_full_iterates_in_order(self):
+        buf = TraceBuffer(capacity=3)
+        for i in range(3):
+            buf.append(_evt(i))
+        assert [e.name for e in buf] == ["e0", "e1", "e2"]
+        assert buf.dropped == 0
