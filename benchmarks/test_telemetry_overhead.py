@@ -3,56 +3,38 @@
 Two checks, both about the *disabled* state (the repo default):
 
 * The codec-throughput kernel (``line_zeros`` over cache-line batches)
-  must carry zero telemetry gating.  Timing it with the global switch
-  off versus fully on-with-a-live-session must agree within 2% — any
-  per-call ``enabled()`` check or probe lookup threaded into the kernel
-  shows up here long before it shows up in a profile.
+  must carry zero telemetry gating.  The registered benchmark pair
+  ``telemetry.codec_disabled`` / ``telemetry.codec_enabled`` (see
+  ``repro.bench.suite``) times the same kernel with the global switch
+  off versus fully on-with-a-live-session under the standard
+  ``repro.bench`` timing protocol; the two must agree within 2%.
 * A dormant instrumentation site — the single ``probe is None`` test
   the DRAM channel and decision policies pay per event — must stay in
   single-digit nanoseconds next to the work it guards.
 
-Timings interleave the two configurations and keep the best of many
-small repeats, so one scheduler hiccup cannot fake a regression; a
-whole-comparison retry absorbs the rest.
+Both configurations run under the protocol's min-of-repeats statistic,
+so one scheduler hiccup cannot fake a regression; a whole-comparison
+retry absorbs the rest.
 """
 
 import time
 
-import numpy as np
 import pytest
 
 from repro import telemetry
-from repro.coding import line_zeros
-from repro.telemetry import TelemetrySession
-
-RNG = np.random.default_rng(42)
-LINES = RNG.integers(0, 256, size=(4096, 64), dtype=np.uint8)
+from repro.bench import get, measure
 
 MAX_OVERHEAD = 0.02
-REPEATS = 30  # best-of per configuration
 ATTEMPTS = 3  # whole-comparison retries before failing
 
 
-def _best_of(fn, repeats: int = REPEATS) -> float:
+def _best_of(fn, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - start)
     return best
-
-
-def _interleaved_best(fn_a, fn_b, repeats: int = REPEATS):
-    """Best-of timings for two thunks, alternated to share noise."""
-    best_a = best_b = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn_a()
-        best_a = min(best_a, time.perf_counter() - start)
-        start = time.perf_counter()
-        fn_b()
-        best_b = min(best_b, time.perf_counter() - start)
-    return best_a, best_b
 
 
 @pytest.fixture(autouse=True)
@@ -63,32 +45,22 @@ def _telemetry_off_by_default():
 
 
 def test_codec_throughput_is_unaffected_by_the_global_switch():
-    kernel = lambda: line_zeros("milc", LINES)  # noqa: E731
-    kernel()  # warm caches and lookup tables
+    disabled = get("telemetry.codec_disabled")
+    enabled = get("telemetry.codec_enabled")
 
-    for attempt in range(ATTEMPTS):
-        telemetry.set_enabled(False)
-        assert telemetry.session_if_enabled() is None
-
-        def disabled():
-            kernel()
-
-        def enabled():
-            telemetry.set_enabled(True)
-            session = telemetry.session_if_enabled()
-            assert isinstance(session, TelemetrySession)
-            kernel()
-            telemetry.set_enabled(False)
-
-        t_disabled, t_enabled = _interleaved_best(disabled, enabled)
+    for _ in range(ATTEMPTS):
+        t_disabled = measure(disabled.build(), repeats=9, warmup=1,
+                             inner_ops=disabled.inner_ops).min_ns
+        t_enabled = measure(enabled.build(), repeats=9, warmup=1,
+                            inner_ops=enabled.inner_ops).min_ns
         # ``enabled`` also constructs a session, so it bounds from above;
         # the disabled kernel may not exceed it by more than the budget.
         if t_disabled <= t_enabled * (1 + MAX_OVERHEAD):
             return
     pytest.fail(
         f"disabled-telemetry codec path slower than budget after "
-        f"{ATTEMPTS} attempts: disabled={t_disabled:.6f}s "
-        f"enabled={t_enabled:.6f}s (limit {MAX_OVERHEAD:.0%})"
+        f"{ATTEMPTS} attempts: disabled={t_disabled:.1f}ns/op "
+        f"enabled={t_enabled:.1f}ns/op (limit {MAX_OVERHEAD:.0%})"
     )
 
 
@@ -123,6 +95,7 @@ def test_simulation_summary_identical_with_telemetry_off_and_on():
     """
     from repro.campaign import RunSpec
     from repro.core.framework import run_spec
+    from repro.telemetry import TelemetrySession
 
     spec = RunSpec(benchmark="GUPS", policy="mil", accesses_per_core=80)
     plain = run_spec(spec).to_dict()

@@ -1,0 +1,78 @@
+"""repro.bench — reproducible benchmarks with regression gating.
+
+A declarative registry of named benchmarks over the repository's hot
+paths, a fixed timing protocol (calibrated sample batching, warmup,
+GC off, min/median/MAD over repeats), machine-readable ``BENCH_*.json``
+reports, baseline comparison with a regression gate, and optional
+per-benchmark profiling.  Driven by the ``repro bench`` CLI verb; the
+full picture lives in ``docs/BENCHMARKS.md``.
+
+Defining a benchmark::
+
+    from repro.bench import benchmark
+
+    @benchmark("coding.line_zeros.milc", params={"lines": 2048},
+               smoke=True, inner_ops=2048)
+    def _factory():
+        data = build_inputs()          # setup: not timed
+        return lambda: kernel(data)    # thunk: timed
+
+Benchmarks register at import of :mod:`repro.bench.suite`;
+:func:`collect` triggers that import exactly once.
+"""
+
+from .compare import Comparison, Delta, compare_reports, format_comparison
+from .corpus import CORPUS_SEED, LINE_BYTES, corpus_digest, lines
+from .profiling import PROFILE_BACKENDS, profile_benchmark
+from .registry import (
+    REGISTRY,
+    BenchError,
+    BenchmarkDef,
+    benchmark,
+    collect,
+    get,
+    select,
+)
+from .report import (
+    SCHEMA,
+    build_report,
+    default_filename,
+    environment,
+    load_report,
+    result_entry,
+    validate_report,
+    write_report,
+)
+from .timing import DEFAULT_REPEATS, DEFAULT_WARMUP, Measurement, measure
+
+__all__ = [
+    "BenchError",
+    "BenchmarkDef",
+    "CORPUS_SEED",
+    "Comparison",
+    "DEFAULT_REPEATS",
+    "DEFAULT_WARMUP",
+    "Delta",
+    "LINE_BYTES",
+    "Measurement",
+    "PROFILE_BACKENDS",
+    "REGISTRY",
+    "SCHEMA",
+    "benchmark",
+    "build_report",
+    "collect",
+    "compare_reports",
+    "corpus_digest",
+    "default_filename",
+    "environment",
+    "format_comparison",
+    "get",
+    "lines",
+    "load_report",
+    "measure",
+    "profile_benchmark",
+    "result_entry",
+    "select",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,144 @@
+"""Baseline comparison and regression gating.
+
+``repro bench --compare benchmarks/baseline.json --max-regression 20``
+loads both reports, matches results by benchmark name, and flags every
+benchmark whose best (min) per-op time grew by more than the allowed
+percentage.  Comparison refuses to match entries whose ``params``
+differ — a corpus-size change would otherwise masquerade as a speedup
+or regression.
+
+The gate is deliberately one-sided: getting *faster* never fails, it
+just shows up in the report so the baseline can be refreshed
+(``repro bench --update-baseline``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Comparison", "Delta", "compare_reports", "format_comparison"]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One benchmark's current-vs-baseline movement."""
+
+    name: str
+    baseline_ns: float
+    current_ns: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline; > 1 means slower than the baseline."""
+        if self.baseline_ns <= 0:
+            return float("inf") if self.current_ns > 0 else 1.0
+        return self.current_ns / self.baseline_ns
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of comparing a current report against a baseline."""
+
+    max_regression_pct: float
+    regressions: tuple  # Deltas beyond the threshold, worst first
+    improvements: tuple  # Deltas faster than the baseline
+    unchanged: tuple  # Deltas within the gate
+    param_mismatches: tuple  # names whose params differ (not compared)
+    missing_in_baseline: tuple  # current names the baseline lacks
+    missing_in_current: tuple  # baseline names this run did not produce
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _min_ns(entry: dict) -> float:
+    return float(entry["ns_per_op"]["min"])
+
+
+def compare_reports(
+    current: dict, baseline: dict, max_regression_pct: float = 20.0
+) -> Comparison:
+    """Match results by name and gate on the per-op minimum."""
+    if max_regression_pct < 0:
+        raise ValueError("max_regression_pct must be >= 0")
+    base_by_name = {e["name"]: e for e in baseline["results"]}
+    cur_by_name = {e["name"]: e for e in current["results"]}
+
+    regressions: list[Delta] = []
+    improvements: list[Delta] = []
+    unchanged: list[Delta] = []
+    mismatches: list[str] = []
+    limit = 1.0 + max_regression_pct / 100.0
+
+    for name, cur in cur_by_name.items():
+        base = base_by_name.get(name)
+        if base is None:
+            continue
+        if base.get("params", {}) != cur.get("params", {}):
+            mismatches.append(name)
+            continue
+        delta = Delta(name, _min_ns(base), _min_ns(cur))
+        if delta.ratio > limit:
+            regressions.append(delta)
+        elif delta.ratio < 1.0:
+            improvements.append(delta)
+        else:
+            unchanged.append(delta)
+
+    regressions.sort(key=lambda d: -d.ratio)
+    improvements.sort(key=lambda d: d.ratio)
+    return Comparison(
+        max_regression_pct=max_regression_pct,
+        regressions=tuple(regressions),
+        improvements=tuple(improvements),
+        unchanged=tuple(unchanged),
+        param_mismatches=tuple(sorted(mismatches)),
+        missing_in_baseline=tuple(
+            sorted(cur_by_name.keys() - base_by_name.keys())
+        ),
+        missing_in_current=tuple(
+            sorted(base_by_name.keys() - cur_by_name.keys())
+        ),
+    )
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns:.0f} ns"
+
+
+def format_comparison(cmp: Comparison) -> str:
+    """Human-readable verdict, one line per moved benchmark."""
+    lines: list[str] = []
+    for d in cmp.regressions:
+        lines.append(
+            f"REGRESSED  {d.name}: {_fmt_ns(d.baseline_ns)} -> "
+            f"{_fmt_ns(d.current_ns)}  ({d.ratio:.2f}x, limit "
+            f"{1 + cmp.max_regression_pct / 100:.2f}x)"
+        )
+    for d in cmp.improvements:
+        lines.append(
+            f"improved   {d.name}: {_fmt_ns(d.baseline_ns)} -> "
+            f"{_fmt_ns(d.current_ns)}  ({d.ratio:.2f}x)"
+        )
+    for name in cmp.param_mismatches:
+        lines.append(f"SKIPPED    {name}: params differ from baseline")
+    for name in cmp.missing_in_baseline:
+        lines.append(f"new        {name}: not in baseline")
+    for name in cmp.missing_in_current:
+        lines.append(f"absent     {name}: in baseline but not in this run")
+    verdict = (
+        "baseline comparison OK"
+        if cmp.ok
+        else f"baseline comparison FAILED: {len(cmp.regressions)} "
+        f"regression(s) beyond {cmp.max_regression_pct:.0f}%"
+    )
+    lines.append(
+        f"{verdict} ({len(cmp.unchanged) + len(cmp.improvements)} within "
+        "gate)"
+    )
+    return "\n".join(lines)

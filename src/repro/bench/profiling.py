@@ -1,0 +1,87 @@
+"""Per-benchmark profiles: ``repro bench --profile cprofile|pyinstrument``.
+
+Profiles are written next to the results JSON, one file per benchmark:
+``<dir>/<benchmark.name>.prof`` (cProfile binary stats, loadable with
+:mod:`pstats` or snakeviz) plus ``.txt`` (top functions by cumulative
+time).  pyinstrument — a statistical profiler with a far nicer HTML
+tree — is optional; if it is not installed the error says so instead of
+crashing mid-suite.
+
+Profiling runs *outside* the timing protocol: a profiled run is never
+the run whose numbers land in the report.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+from .registry import BenchError, BenchmarkDef
+
+__all__ = ["PROFILE_BACKENDS", "profile_benchmark"]
+
+PROFILE_BACKENDS = ("cprofile", "pyinstrument")
+
+# Enough calls to smooth out per-call noise without rerunning the whole
+# timing protocol under instrumentation.
+_PROFILE_CALLS = 10
+
+
+def _profile_cprofile(defn: BenchmarkDef, out_dir: Path) -> list[Path]:
+    thunk = defn.build()
+    thunk()  # warm caches outside the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(_PROFILE_CALLS):
+        thunk()
+    profiler.disable()
+
+    prof_path = out_dir / f"{defn.name}.prof"
+    profiler.dump_stats(prof_path)
+
+    text = io.StringIO()
+    stats = pstats.Stats(profiler, stream=text)
+    stats.sort_stats("cumulative").print_stats(30)
+    txt_path = out_dir / f"{defn.name}.txt"
+    txt_path.write_text(text.getvalue())
+    return [prof_path, txt_path]
+
+
+def _profile_pyinstrument(defn: BenchmarkDef, out_dir: Path) -> list[Path]:
+    try:
+        from pyinstrument import Profiler
+    except ImportError:
+        raise BenchError(
+            "pyinstrument is not installed; use --profile cprofile or "
+            "`pip install pyinstrument`"
+        ) from None
+    thunk = defn.build()
+    thunk()
+    profiler = Profiler()
+    profiler.start()
+    for _ in range(_PROFILE_CALLS):
+        thunk()
+    profiler.stop()
+
+    html_path = out_dir / f"{defn.name}.html"
+    html_path.write_text(profiler.output_html())
+    txt_path = out_dir / f"{defn.name}.txt"
+    txt_path.write_text(profiler.output_text(unicode=True, color=False))
+    return [html_path, txt_path]
+
+
+def profile_benchmark(
+    defn: BenchmarkDef, backend: str, out_dir: str | Path
+) -> list[Path]:
+    """Profile one benchmark; returns the files written."""
+    if backend not in PROFILE_BACKENDS:
+        raise BenchError(
+            f"unknown profile backend {backend!r}; known: {PROFILE_BACKENDS}"
+        )
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    if backend == "cprofile":
+        return _profile_cprofile(defn, out)
+    return _profile_pyinstrument(defn, out)

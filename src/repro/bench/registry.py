@@ -1,0 +1,149 @@
+"""Declarative benchmark registry (decorator-based, like pytest collection).
+
+A benchmark is a *factory*: a zero-argument callable that performs all
+setup (building corpora, constructing channels, opening rows) and
+returns the zero-argument thunk the timing protocol will measure.
+Setup cost therefore never pollutes the numbers, and registering a
+benchmark costs nothing until it is actually run.
+
+Registration happens at import time of :mod:`repro.bench.suite`;
+:func:`collect` triggers that import exactly once, so CLI listing, test
+collection, and programmatic use all see the same registry.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["BenchError", "BenchmarkDef", "REGISTRY", "benchmark",
+           "collect", "get", "select"]
+
+
+class BenchError(RuntimeError):
+    """A benchmark could not be registered, found, or executed."""
+
+
+@dataclass(frozen=True)
+class BenchmarkDef:
+    """One registered benchmark.
+
+    Attributes
+    ----------
+    name:
+        Dotted identifier, e.g. ``coding.line_zeros.milc``.  Unique.
+    factory:
+        Zero-argument setup callable returning the thunk to measure.
+    params:
+        Workload parameters recorded verbatim in the results JSON
+        (corpus size, scheme name, ...), so a baseline comparison can
+        refuse to compare apples to oranges.
+    smoke:
+        Part of the quick subset (``repro bench --smoke``, CI).
+    inner_ops:
+        Logical operations one thunk call performs (e.g. lines
+        processed); ``ns_per_op`` is normalised by it.
+    description:
+        One line for ``repro bench --list``.
+    """
+
+    name: str
+    factory: Callable[[], Callable[[], Any]]
+    params: dict = field(default_factory=dict)
+    smoke: bool = False
+    inner_ops: int = 1
+    description: str = ""
+
+    def build(self) -> Callable[[], Any]:
+        """Run setup and hand back the measurable thunk."""
+        thunk = self.factory()
+        if not callable(thunk):
+            raise BenchError(
+                f"benchmark {self.name!r}: factory returned "
+                f"{type(thunk).__name__}, not a callable thunk"
+            )
+        return thunk
+
+
+REGISTRY: dict[str, BenchmarkDef] = {}
+
+
+def benchmark(
+    name: str,
+    *,
+    params: dict | None = None,
+    smoke: bool = False,
+    inner_ops: int = 1,
+    description: str = "",
+):
+    """Decorator registering a benchmark factory under ``name``.
+
+    ::
+
+        @benchmark("coding.line_zeros.milc", smoke=True,
+                   params={"lines": 2048}, inner_ops=2048)
+        def _milc():
+            lines = corpus.lines(2048)
+            return lambda: line_zeros("milc", lines)
+    """
+    if inner_ops < 1:
+        raise BenchError(f"benchmark {name!r}: inner_ops must be >= 1")
+
+    def register(factory: Callable[[], Callable[[], Any]]) -> Callable:
+        if name in REGISTRY:
+            raise BenchError(f"duplicate benchmark name {name!r}")
+        REGISTRY[name] = BenchmarkDef(
+            name=name,
+            factory=factory,
+            params=dict(params or {}),
+            smoke=smoke,
+            inner_ops=inner_ops,
+            description=description or (factory.__doc__ or "").strip(),
+        )
+        return factory
+
+    return register
+
+
+_collected = False
+
+
+def collect() -> dict[str, BenchmarkDef]:
+    """Import the benchmark suite (once) and return the registry."""
+    global _collected
+    if not _collected:
+        from . import suite  # noqa: F401  (imports register benchmarks)
+
+        _collected = True
+    return REGISTRY
+
+
+def get(name: str) -> BenchmarkDef:
+    """Look up one collected benchmark by exact name."""
+    reg = collect()
+    try:
+        return reg[name]
+    except KeyError:
+        raise BenchError(
+            f"unknown benchmark {name!r}; run `repro bench --list`"
+        ) from None
+
+
+def select(
+    pattern: str | None = None, smoke_only: bool = False
+) -> list[BenchmarkDef]:
+    """Collected benchmarks matching ``pattern``, in registration order.
+
+    ``pattern`` matches like pytest's ``-k``: a plain substring, or a
+    glob when it contains ``*``/``?``/``[``.
+    """
+    defs = list(collect().values())
+    if smoke_only:
+        defs = [d for d in defs if d.smoke]
+    if pattern:
+        if any(c in pattern for c in "*?["):
+            defs = [d for d in defs if fnmatch.fnmatch(d.name, pattern)]
+        else:
+            defs = [d for d in defs if pattern in d.name]
+    return defs

@@ -1,0 +1,208 @@
+"""Machine-readable benchmark results: the ``BENCH_*.json`` schema.
+
+Schema ``repro.bench/v1`` (documented in ``docs/BENCHMARKS.md``)::
+
+    {
+      "schema": "repro.bench/v1",
+      "created_utc": "2026-02-03T04:05:06Z",
+      "environment": {
+        "git_rev": "<sha or 'unknown'>",
+        "python": "3.12.1",
+        "implementation": "CPython",
+        "platform": "Linux-6.1-x86_64",
+        "machine": "x86_64",
+        "numpy": "2.4.6",
+        "native_popcount": true
+      },
+      "protocol": {
+        "repeats": 7, "warmup": 2, "gc_disabled": true,
+        "timer": "repro.telemetry.clock.monotonic_ts",
+        "stat_for_compare": "ns_per_op.min"
+      },
+      "results": [
+        {
+          "name": "coding.line_zeros.milc",
+          "params": {"lines": 2048},
+          "smoke": true,
+          "repeats": 7, "warmup": 2,
+          "inner_ops": 2048, "calls_per_sample": 3,
+          "ns_per_op": {"min": ..., "median": ..., "mad": ...},
+          "ops_per_sec": ...
+        }, ...
+      ]
+    }
+
+Every write goes through :func:`validate_report`, so a malformed file
+can never be produced by this module, only consumed defensively.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+from .registry import BenchError, BenchmarkDef
+from .timing import Measurement
+
+__all__ = [
+    "SCHEMA",
+    "build_report",
+    "default_filename",
+    "environment",
+    "load_report",
+    "result_entry",
+    "validate_report",
+    "write_report",
+]
+
+SCHEMA = "repro.bench/v1"
+
+
+def environment() -> dict:
+    """Provenance block: where these numbers came from."""
+    import numpy as np
+
+    from ..coding.bitops import HAVE_NATIVE_POPCOUNT
+
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        rev = ""
+    return {
+        "git_rev": rev or "unknown",
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "native_popcount": HAVE_NATIVE_POPCOUNT,
+    }
+
+
+def result_entry(defn: BenchmarkDef, measurement: Measurement) -> dict:
+    """One ``results[]`` element for a finished benchmark."""
+    entry = {"name": defn.name, "params": dict(defn.params),
+             "smoke": defn.smoke}
+    entry.update(measurement.as_dict())
+    return entry
+
+
+def build_report(results: list[dict], protocol: dict | None = None) -> dict:
+    """Assemble a schema-valid report document from result entries."""
+    doc = {
+        "schema": SCHEMA,
+        "created_utc": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "environment": environment(),
+        "protocol": {
+            "gc_disabled": True,
+            "timer": "repro.telemetry.clock.monotonic_ts",
+            "stat_for_compare": "ns_per_op.min",
+            **(protocol or {}),
+        },
+        "results": results,
+    }
+    problems = validate_report(doc)
+    if problems:
+        raise BenchError(
+            "refusing to build an invalid report: " + "; ".join(problems)
+        )
+    return doc
+
+
+def validate_report(doc) -> list[str]:
+    """Schema check; returns a list of problems (empty == valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("created_utc", "environment", "protocol", "results"):
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    env = doc.get("environment")
+    if isinstance(env, dict):
+        for key in ("git_rev", "python", "platform"):
+            if not isinstance(env.get(key), str):
+                problems.append(f"environment.{key} missing or not a string")
+    elif env is not None:
+        problems.append("environment is not an object")
+    results = doc.get("results")
+    if not isinstance(results, list):
+        problems.append("results is not a list")
+        return problems
+    seen: set[str] = set()
+    for i, entry in enumerate(results):
+        where = f"results[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}.name missing or empty")
+        elif name in seen:
+            problems.append(f"{where}.name {name!r} is duplicated")
+        else:
+            seen.add(name)
+        ns = entry.get("ns_per_op")
+        if not isinstance(ns, dict):
+            problems.append(f"{where}.ns_per_op missing")
+        else:
+            for stat in ("min", "median", "mad"):
+                value = ns.get(stat)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(
+                        f"{where}.ns_per_op.{stat} missing or negative"
+                    )
+        for key in ("repeats", "inner_ops", "calls_per_sample"):
+            value = entry.get(key)
+            if not isinstance(value, int) or value < 1:
+                problems.append(f"{where}.{key} missing or < 1")
+        if not isinstance(entry.get("params", {}), dict):
+            problems.append(f"{where}.params is not an object")
+    return problems
+
+
+def default_filename(now: datetime | None = None) -> str:
+    """The ``BENCH_<timestamp>.json`` naming convention."""
+    now = now or datetime.now(timezone.utc)
+    return f"BENCH_{now.strftime('%Y%m%dT%H%M%SZ')}.json"
+
+
+def write_report(target: str | Path, doc: dict) -> Path:
+    """Write ``doc`` to ``target`` (a file, or a directory to name into)."""
+    problems = validate_report(doc)
+    if problems:
+        raise BenchError(
+            "refusing to write an invalid report: " + "; ".join(problems)
+        )
+    path = Path(target)
+    if path.is_dir() or str(target).endswith(("/", ".")):
+        path = Path(target) / default_filename()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    """Read and validate a report; raises :class:`BenchError` on problems."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise BenchError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchError(f"{path} is not valid JSON: {exc}") from exc
+    problems = validate_report(doc)
+    if problems:
+        raise BenchError(f"{path} is not a valid report: " + "; ".join(problems))
+    return doc

@@ -1,0 +1,361 @@
+"""The registered benchmark suite: every hot path the roadmap cares about.
+
+Collected automatically by :func:`repro.bench.registry.collect`.  Each
+factory builds its inputs from the fixed-seed corpus (or a fixed
+synthetic device state) and returns the thunk to measure — setup never
+counts against the numbers.
+
+Groups:
+
+``coding.*``
+    The codec kernels (``line_zeros`` per scheme, bus-invert, transition
+    signaling) plus the raw popcount primitive and its legacy
+    unpack-to-bits formulation, kept as the regression reference for the
+    ``bitops`` fast path.
+``dram.*`` / ``controller.*`` / ``core.*``
+    The cycle-level channel tick loop, FR-FCFS candidate scheduling,
+    and the MiL look-ahead decision.
+``campaign.*``
+    Cache fingerprinting and key derivation — the costs every campaign
+    pays per run.
+``telemetry.*``
+    The codec kernel with telemetry globally off vs. on; the ≤2%
+    disabled-overhead guard in ``benchmarks/test_telemetry_overhead.py``
+    runs these two under the same protocol.
+``sim.*``
+    A small end-to-end run, covering the integrated stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import corpus
+from .registry import benchmark
+
+_LINES = 2048  # corpus size for the codec kernels
+_SMOKE_SCHEMES = ("dbi", "milc", "3lwc")  # cheap, distinct code families
+_HEAVY_SCHEMES = ("raw", "lwc12", "cafo2", "cafo4")
+
+
+# ----------------------------------------------------------------------
+# coding.* — codec kernels
+# ----------------------------------------------------------------------
+def _register_line_zeros(scheme: str, smoke: bool) -> None:
+    @benchmark(
+        f"coding.line_zeros.{scheme}",
+        params={"lines": _LINES, "scheme": scheme},
+        smoke=smoke,
+        inner_ops=_LINES,
+        description=f"{scheme} zero counting over {_LINES} cache lines",
+    )
+    def _factory(scheme=scheme):
+        from ..coding.pipeline import line_zeros
+
+        data = corpus.lines(_LINES)
+        return lambda: line_zeros(scheme, data)
+
+
+for _scheme in _SMOKE_SCHEMES:
+    _register_line_zeros(_scheme, smoke=True)
+for _scheme in _HEAVY_SCHEMES:
+    _register_line_zeros(_scheme, smoke=False)
+
+
+@benchmark(
+    "coding.bitops.popcount",
+    params={"lines": _LINES},
+    smoke=True,
+    inner_ops=_LINES,
+    description="byte-level popcount path (np.bitwise_count / byte table)",
+)
+def _popcount_bytes():
+    from ..coding.bitops import zeros_in_bytes
+
+    data = corpus.lines(_LINES)
+    return lambda: zeros_in_bytes(data)
+
+
+@benchmark(
+    "coding.bitops.popcount_unpack",
+    params={"lines": _LINES},
+    smoke=True,
+    inner_ops=_LINES,
+    description="legacy unpack-to-bits popcount (regression reference)",
+)
+def _popcount_unpack():
+    data = corpus.lines(_LINES)
+
+    def unpack_zeros() -> np.ndarray:
+        # The pre-bench formulation of raw_line_zeros: expand every
+        # byte to eight uint8 bit elements, then sum.  Kept verbatim so
+        # the speedup of the byte-level path stays measurable.
+        bits = np.unpackbits(data, axis=-1)
+        return bits.shape[-1] - bits.sum(axis=-1, dtype=np.int64)
+
+    return unpack_zeros
+
+
+@benchmark(
+    "coding.businvert.sequence",
+    params={"beats": 512},
+    inner_ops=512,
+    description="stateful bus-invert encoding of a 512-beat lane stream",
+)
+def _businvert():
+    from ..coding.businvert import BusInvertCode
+
+    beats = corpus.lines(_LINES)[:8].reshape(-1)[:512].copy()
+    code = BusInvertCode()
+    return lambda: code.encode_sequence(beats)
+
+
+@benchmark(
+    "coding.transition.encode",
+    params={"beats": 2048, "lanes": 64},
+    inner_ops=2048,
+    description="transition-signaling XOR cascade over 2048 64-lane beats",
+)
+def _transition():
+    from ..coding.bitops import bytes_to_bits
+    from ..coding.transition import TransitionSignaling
+
+    bits = bytes_to_bits(corpus.lines(_LINES)[:256]).reshape(-1, 64)
+    ts = TransitionSignaling(lanes=64)
+
+    def encode():
+        ts.reset()
+        return ts.encode(bits)
+
+    return encode
+
+
+# ----------------------------------------------------------------------
+# dram.* / controller.* / core.* — the cycle-level engine
+# ----------------------------------------------------------------------
+@benchmark(
+    "dram.channel.tick",
+    params={"activations": 64, "reads_per_row": 4},
+    inner_ops=64 * 6,  # commands issued per thunk call
+    description="DRAM channel ACT/READx4/PRE loop across banks",
+)
+def _channel_tick():
+    from ..dram.channel import DRAMChannel
+    from ..dram.commands import DDR4_GEOMETRY, CommandType
+    from ..dram.timing import DDR4_3200
+
+    geometry = DDR4_GEOMETRY
+
+    def tick():
+        channel = DRAMChannel(DDR4_3200, geometry, keep_log=False)
+        now = 0
+        for i in range(64):
+            rank = i % geometry.ranks
+            group = (i // geometry.ranks) % geometry.bank_groups
+            bank = i % geometry.banks_per_group
+            t = channel.earliest_issue(
+                CommandType.ACTIVATE, rank, group, bank, now
+            )
+            channel.issue(CommandType.ACTIVATE, rank, group, bank, t, row=i)
+            for _ in range(4):
+                t = channel.earliest_issue(
+                    CommandType.READ, rank, group, bank, t
+                )
+                channel.issue(
+                    CommandType.READ, rank, group, bank, t, bus_cycles=4
+                )
+            t = channel.earliest_issue(
+                CommandType.PRECHARGE, rank, group, bank, t
+            )
+            now = channel.issue(
+                CommandType.PRECHARGE, rank, group, bank, t
+            ) - DDR4_3200.RP
+        return channel.read_count
+
+    return tick
+
+
+def _queued_controller():
+    """A ChannelController with a populated read queue and open rows.
+
+    Shared fixture for the FR-FCFS and decision-logic benchmarks: 32
+    mapped reads spread over ranks/groups/banks, half of them row hits.
+    """
+    from ..controller.controller import ChannelController
+    from ..controller.request import MemoryRequest
+    from ..dram.address import MappedAddress
+    from ..dram.commands import DDR4_GEOMETRY, CommandType
+    from ..dram.timing import DDR4_3200
+
+    geometry = DDR4_GEOMETRY
+    controller = ChannelController(
+        DDR4_3200, geometry, keep_log=False, refresh_enabled=False
+    )
+    requests = []
+    for i in range(32):
+        mapped = MappedAddress(
+            channel=0,
+            rank=i % geometry.ranks,
+            bank_group=(i // 2) % geometry.bank_groups,
+            bank=(i // 4) % geometry.banks_per_group,
+            row=100 + (i // 16),  # two row cohorts -> hits and conflicts
+            column=i % geometry.lines_per_row,
+        )
+        req = MemoryRequest(
+            address=i * 64, is_write=False, core=i % 8, line_id=i,
+            mapped=mapped,
+        )
+        requests.append(req)
+        controller.enqueue(req, now=i)
+    # Open the row-100 cohort so the queue holds genuine row hits.
+    opened = set()
+    for req in requests:
+        m = req.mapped
+        key = (m.rank, m.bank_group, m.bank)
+        if m.row == 100 and key not in opened:
+            t = controller.channel.earliest_issue(
+                CommandType.ACTIVATE, m.rank, m.bank_group, m.bank, 0
+            )
+            controller.channel.issue(
+                CommandType.ACTIVATE, m.rank, m.bank_group, m.bank, t,
+                row=m.row,
+            )
+            opened.add(key)
+    return controller, requests
+
+
+@benchmark(
+    "controller.frfcfs.schedule",
+    params={"queue_depth": 32},
+    smoke=True,
+    description="FR-FCFS candidate generation + pick over a 32-deep queue",
+)
+def _frfcfs():
+    controller, requests = _queued_controller()
+    scheduler = controller.scheduler
+    entries = controller.read_queue.oldest_first()
+    now = 200
+
+    def schedule():
+        cands = scheduler.candidates(entries, now)
+        return scheduler.pick(cands, now)
+
+    return schedule
+
+
+@benchmark(
+    "core.decision.lookahead",
+    params={"queue_depth": 32, "lookahead": 14},
+    smoke=True,
+    description="MiL rdyX look-ahead decision against a 32-deep queue",
+)
+def _decision():
+    from ..core.config import MiLConfig
+    from ..core.decision import MiLPolicy
+
+    controller, requests = _queued_controller()
+    policy = MiLPolicy(MiLConfig(lookahead=14))
+    victim = requests[0]
+    now = 200
+
+    return lambda: policy.choose(controller, victim, now)
+
+
+# ----------------------------------------------------------------------
+# campaign.* — orchestration hot paths
+# ----------------------------------------------------------------------
+@benchmark(
+    "campaign.fingerprint",
+    smoke=True,
+    description="cold model-source fingerprint (hash every model file)",
+)
+def _fingerprint():
+    from ..campaign.fingerprint import model_fingerprint
+
+    def fingerprint():
+        model_fingerprint.cache_clear()
+        return model_fingerprint()
+
+    return fingerprint
+
+
+@benchmark(
+    "campaign.cache_key",
+    smoke=True,
+    description="content-addressed cache key from a RunSpec",
+)
+def _cache_key():
+    from ..campaign.cache import cache_key
+    from ..campaign.spec import RunSpec
+
+    spec = RunSpec(benchmark="GUPS", policy="mil", accesses_per_core=4000)
+    fingerprint = "0" * 16  # pinned: measures keying, not file hashing
+    return lambda: cache_key(spec, fingerprint)
+
+
+# ----------------------------------------------------------------------
+# telemetry.* — the disabled-overhead contract, same protocol
+# ----------------------------------------------------------------------
+@benchmark(
+    "telemetry.codec_disabled",
+    params={"lines": _LINES, "scheme": "milc"},
+    smoke=True,
+    inner_ops=_LINES,
+    description="milc kernel with telemetry globally off (repo default)",
+)
+def _codec_disabled():
+    from .. import telemetry
+    from ..coding.pipeline import line_zeros
+
+    data = corpus.lines(_LINES)
+
+    def kernel():
+        previous = telemetry.set_enabled(False)
+        try:
+            return line_zeros("milc", data)
+        finally:
+            telemetry.set_enabled(previous)
+
+    return kernel
+
+
+@benchmark(
+    "telemetry.codec_enabled",
+    params={"lines": _LINES, "scheme": "milc"},
+    smoke=True,
+    inner_ops=_LINES,
+    description="milc kernel with telemetry on and a live session",
+)
+def _codec_enabled():
+    from .. import telemetry
+    from ..coding.pipeline import line_zeros
+    from ..telemetry import TelemetrySession
+
+    data = corpus.lines(_LINES)
+
+    def kernel():
+        previous = telemetry.set_enabled(True)
+        try:
+            session = TelemetrySession()
+            assert session is not None
+            return line_zeros("milc", data)
+        finally:
+            telemetry.set_enabled(previous)
+
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# sim.* — end-to-end
+# ----------------------------------------------------------------------
+@benchmark(
+    "sim.run_spec.gups",
+    params={"benchmark": "GUPS", "policy": "mil", "accesses_per_core": 120},
+    description="small end-to-end GUPS run (trace, simulate, energy)",
+)
+def _end_to_end():
+    from ..campaign.spec import RunSpec
+    from ..core.framework import run_spec
+
+    spec = RunSpec(benchmark="GUPS", policy="mil", accesses_per_core=120)
+    return lambda: run_spec(spec)

@@ -1,0 +1,138 @@
+"""The timing protocol every registered benchmark runs under.
+
+One protocol for all benchmarks, so numbers taken months apart remain
+comparable:
+
+* **warmup** calls populate caches, lookup tables, and the allocator;
+* each of **repeats** samples times a batch of ``calls_per_sample``
+  thunk calls, sized so a sample is long enough for the clock to
+  resolve (auto-calibrated once, before the warmup);
+* the **garbage collector is disabled** across the measured region (and
+  restored after), so a collection pause cannot land inside a sample;
+* the timebase is :func:`repro.telemetry.clock.monotonic_ts` — the same
+  monotonic epoch the telemetry subsystem stamps traces with;
+* reported statistics are **min**, **median**, and **MAD** (median
+  absolute deviation) of the per-op nanosecond samples.  Regression
+  comparisons use the *min*: on a quiet machine it estimates the true
+  cost, and every source of noise only ever adds time.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+from dataclasses import dataclass
+
+from ..telemetry.clock import monotonic_ts
+
+__all__ = ["DEFAULT_REPEATS", "DEFAULT_WARMUP", "Measurement", "measure"]
+
+DEFAULT_REPEATS = 7
+DEFAULT_WARMUP = 2
+
+# A sample shorter than this is clock-resolution noise; calibration
+# batches thunk calls until one sample crosses it.
+_TARGET_SAMPLE_S = 5e-3
+_MAX_CALLS_PER_SAMPLE = 4096
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Per-op wall-time samples for one benchmark run."""
+
+    samples_ns: tuple  # one per repeat, already normalised per op
+    repeats: int
+    warmup: int
+    inner_ops: int
+    calls_per_sample: int
+
+    @property
+    def min_ns(self) -> float:
+        return min(self.samples_ns)
+
+    @property
+    def median_ns(self) -> float:
+        return statistics.median(self.samples_ns)
+
+    @property
+    def mad_ns(self) -> float:
+        med = self.median_ns
+        return statistics.median(abs(s - med) for s in self.samples_ns)
+
+    @property
+    def ops_per_sec(self) -> float:
+        return 1e9 / self.min_ns if self.min_ns > 0 else float("inf")
+
+    def as_dict(self) -> dict:
+        return {
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "inner_ops": self.inner_ops,
+            "calls_per_sample": self.calls_per_sample,
+            "ns_per_op": {
+                "min": self.min_ns,
+                "median": self.median_ns,
+                "mad": self.mad_ns,
+            },
+            "ops_per_sec": self.ops_per_sec,
+        }
+
+
+def _calibrate(thunk, inner_ops: int) -> int:
+    """Pick calls-per-sample so one sample spans >= the target time."""
+    start = monotonic_ts()
+    thunk()
+    elapsed = monotonic_ts() - start
+    if elapsed >= _TARGET_SAMPLE_S:
+        return 1
+    if elapsed <= 0:
+        return _MAX_CALLS_PER_SAMPLE
+    calls = int(_TARGET_SAMPLE_S / elapsed) + 1
+    return max(1, min(calls, _MAX_CALLS_PER_SAMPLE))
+
+
+def measure(
+    thunk,
+    *,
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+    inner_ops: int = 1,
+) -> Measurement:
+    """Time ``thunk`` under the protocol; returns a :class:`Measurement`.
+
+    ``inner_ops`` is how many logical operations one thunk call performs
+    (e.g. cache lines processed); the reported per-op numbers divide by
+    ``calls_per_sample * inner_ops``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        calls = _calibrate(thunk, inner_ops)
+        for _ in range(warmup):
+            for _ in range(calls):
+                thunk()
+        samples = []
+        per_sample_ops = calls * inner_ops
+        for _ in range(repeats):
+            start = monotonic_ts()
+            for _ in range(calls):
+                thunk()
+            elapsed = monotonic_ts() - start
+            samples.append(elapsed * 1e9 / per_sample_ops)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    return Measurement(
+        samples_ns=tuple(samples),
+        repeats=repeats,
+        warmup=warmup,
+        inner_ops=inner_ops,
+        calls_per_sample=calls,
+    )

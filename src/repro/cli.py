@@ -23,6 +23,12 @@ Commands
     JSON-lines, and re-audit the dump against the DDRx protocol rules.
 ``telemetry PATH.metrics.jsonl``
     Pretty-print a saved telemetry metrics dump.
+``bench [-k PAT] [--smoke] [--list] [--out PATH] [--compare BASE]
+[--max-regression PCT] [--update-baseline] [--profile BACKEND]``
+    Run the registered wall-clock benchmark suite (see
+    ``docs/BENCHMARKS.md``), write a ``BENCH_<timestamp>.json`` report,
+    and optionally gate against a committed baseline or dump
+    per-benchmark profiles.
 
 ``--jobs`` (or the ``REPRO_JOBS`` environment variable) sets the
 process-pool width for campaign-backed commands; ``-j1`` stays serial.
@@ -51,6 +57,11 @@ from .workloads.benchmarks import BENCHMARK_ORDER, BENCHMARKS
 __all__ = ["main"]
 
 DEFAULT_SCALE = 4000
+
+# Mirrors repro.bench.timing defaults; repeated here so building the
+# argument parser does not import numpy and the whole bench package.
+_BENCH_REPEATS = 7
+_BENCH_WARMUP = 2
 
 
 def _system(name: str):
@@ -333,6 +344,82 @@ def cmd_trace(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from . import bench
+
+    defs = bench.select(args.keyword, smoke_only=args.smoke)
+    if not defs:
+        known = ", ".join(sorted(bench.collect()))
+        sys.exit(f"no benchmarks match {args.keyword!r}; known: {known}")
+
+    if args.list:
+        for d in defs:
+            flag = "smoke" if d.smoke else "     "
+            print(f"{d.name:28s} {flag}  {d.description}")
+        return 0
+
+    if args.profile:
+        written = []
+        for d in defs:
+            print(f"profiling {d.name} [{args.profile}]", file=sys.stderr)
+            try:
+                written += bench.profile_benchmark(
+                    d, args.profile, args.profile_dir
+                )
+            except bench.BenchError as exc:
+                sys.exit(str(exc))
+        for path in written:
+            print(path)
+        return 0
+
+    def fmt(ns: float) -> str:
+        if ns >= 1e6:
+            return f"{ns / 1e6:9.2f} ms"
+        if ns >= 1e3:
+            return f"{ns / 1e3:9.2f} us"
+        return f"{ns:9.0f} ns"
+
+    results = []
+    for d in defs:
+        measurement = bench.measure(
+            d.build(), repeats=args.repeats, warmup=args.warmup,
+            inner_ops=d.inner_ops,
+        )
+        results.append(bench.result_entry(d, measurement))
+        print(
+            f"{d.name:28s} min {fmt(measurement.min_ns)}/op   "
+            f"median {fmt(measurement.median_ns)}/op   "
+            f"{measurement.ops_per_sec:12.0f} ops/s",
+            file=sys.stderr,
+        )
+    doc = bench.build_report(
+        results,
+        protocol={"repeats": args.repeats, "warmup": args.warmup},
+    )
+
+    if args.update_baseline:
+        target = Path(__file__).resolve().parents[2] / "benchmarks"
+        out_path = bench.write_report(target / "baseline.json", doc)
+    else:
+        out_path = bench.write_report(args.out, doc)
+    print(f"wrote {out_path}", file=sys.stderr)
+
+    if args.compare:
+        try:
+            baseline = bench.load_report(args.compare)
+        except bench.BenchError as exc:
+            sys.exit(str(exc))
+        comparison = bench.compare_reports(
+            doc, baseline, max_regression_pct=args.max_regression
+        )
+        print(bench.format_comparison(comparison))
+        if not comparison.ok:
+            return 1
+    return 0
+
+
 def cmd_telemetry(args) -> int:
     from .analysis.telemetry_view import render_metrics
     from .telemetry import load_metrics_jsonl
@@ -418,6 +505,56 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_tele.add_argument("path", help="a *.metrics.jsonl file")
 
+    p_bench = sub.add_parser(
+        "bench", help="run the wall-clock benchmark suite"
+    )
+    p_bench.add_argument(
+        "-k", dest="keyword", default=None, metavar="PATTERN",
+        help="only benchmarks whose name contains PATTERN (or glob)",
+    )
+    p_bench.add_argument(
+        "--smoke", action="store_true",
+        help="only the quick smoke subset (what CI runs)",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true",
+        help="list matching benchmarks instead of running them",
+    )
+    p_bench.add_argument(
+        "--out", default=".", metavar="PATH",
+        help="report file, or a directory to write BENCH_<ts>.json into "
+             "(default: current directory)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=_BENCH_REPEATS,
+        help=f"timed samples per benchmark (default {_BENCH_REPEATS})",
+    )
+    p_bench.add_argument(
+        "--warmup", type=int, default=_BENCH_WARMUP,
+        help=f"warmup rounds per benchmark (default {_BENCH_WARMUP})",
+    )
+    p_bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare against a baseline report; exit non-zero on "
+             "regressions",
+    )
+    p_bench.add_argument(
+        "--max-regression", type=float, default=20.0, metavar="PCT",
+        help="allowed slowdown vs baseline, percent (default 20)",
+    )
+    p_bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the report to benchmarks/baseline.json instead",
+    )
+    p_bench.add_argument(
+        "--profile", default=None, choices=("cprofile", "pyinstrument"),
+        help="dump per-benchmark profiles instead of timing",
+    )
+    p_bench.add_argument(
+        "--profile-dir", default="profiles", metavar="DIR",
+        help="directory for profile output (default: profiles/)",
+    )
+
     args = parser.parse_args(argv)
     handler = {
         "list": cmd_list,
@@ -427,6 +564,7 @@ def main(argv: list[str] | None = None) -> int:
         "suite": cmd_suite,
         "trace": cmd_trace,
         "telemetry": cmd_telemetry,
+        "bench": cmd_bench,
     }[args.command]
     return handler(args)
 

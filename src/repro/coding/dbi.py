@@ -70,7 +70,7 @@ class DBICode(CodingScheme):
         if data_bits.shape[-1] % 8 != 0:
             raise ValueError("DBI zero counting needs whole bytes")
         byte_vals = np.packbits(data_bits, axis=-1)
-        return _DBI_ZEROS[byte_vals].astype(np.int64).sum(axis=-1)
+        return _DBI_ZEROS[byte_vals].sum(axis=-1, dtype=np.int64)
 
     def count_zeros_bytes(self, data: np.ndarray) -> np.ndarray:
         """Zero count straight from uint8 byte values (fast path).
@@ -78,7 +78,7 @@ class DBICode(CodingScheme):
         Accepts any shape of uint8 bytes; sums over the trailing axis.
         """
         data = np.asarray(data, dtype=np.uint8)
-        return _DBI_ZEROS[data].astype(np.int64).sum(axis=-1)
+        return _DBI_ZEROS[data].sum(axis=-1, dtype=np.int64)
 
     def encode_bytes(self, data: np.ndarray) -> np.ndarray:
         """Encode uint8 bytes of shape ``(..., n)`` to ``(..., n, 9)`` bits."""

@@ -159,9 +159,9 @@ class ThreeLWC(CodingScheme):
         if data_bits.shape[-1] % 8 != 0:
             raise ValueError("3-LWC zero counting needs whole bytes")
         byte_vals = np.packbits(data_bits, axis=-1)
-        return _LWC_ZEROS[byte_vals].astype(np.int64).sum(axis=-1)
+        return _LWC_ZEROS[byte_vals].sum(axis=-1, dtype=np.int64)
 
     def count_zeros_bytes(self, data: np.ndarray) -> np.ndarray:
         """Zero count straight from uint8 byte values (fast path)."""
         data = np.asarray(data, dtype=np.uint8)
-        return _LWC_ZEROS[data].astype(np.int64).sum(axis=-1)
+        return _LWC_ZEROS[data].sum(axis=-1, dtype=np.int64)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .bitops import zeros_in_bytes
 from .cafo import CAFOCode
 from .dbi import DBICode
 from .lwc import ThreeLWC
@@ -122,10 +123,13 @@ def scheme_for(name: str):
 
 
 def raw_line_zeros(lines: np.ndarray) -> np.ndarray:
-    """Zeros in the *uncoded* 512-bit lines (Figure 7's normalisation)."""
+    """Zeros in the *uncoded* 512-bit lines (Figure 7's normalisation).
+
+    Counted straight on the byte values (popcount), never via an 8x
+    bit-array expansion — this runs once per line per campaign run.
+    """
     lines = _check_lines(lines)
-    bits = np.unpackbits(lines, axis=-1)
-    return (bits.shape[-1] - bits.sum(axis=-1, dtype=np.int64)).astype(np.int64)
+    return zeros_in_bytes(lines)
 
 
 def _check_lines(lines: np.ndarray) -> np.ndarray:

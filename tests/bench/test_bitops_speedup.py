@@ -1,0 +1,86 @@
+"""The landed bitops win: byte-level popcount vs unpack-to-bits.
+
+Correctness is asserted unconditionally against the unpackbits
+reference; the >= 2x speedup claim is only asserted where the vectorized
+popcount instruction (``np.bitwise_count``, numpy >= 2.0) exists — the
+byte-table fallback is faster too, but not by a guaranteed margin.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.corpus import lines
+from repro.bench.timing import measure
+from repro.coding.bitops import (
+    HAVE_NATIVE_POPCOUNT,
+    int_popcount,
+    popcount_bytes,
+    toggle_count_bytes,
+    zeros_in_bytes,
+)
+
+
+def _reference_zeros(data):
+    bits = np.unpackbits(data, axis=-1)
+    return bits.shape[-1] - bits.sum(axis=-1, dtype=np.int64)
+
+
+class TestCorrectness:
+    def test_popcount_matches_unpackbits_on_corpus(self):
+        data = lines(512)
+        expected = np.unpackbits(data, axis=-1).sum(axis=-1, dtype=np.int64)
+        assert np.array_equal(popcount_bytes(data), expected)
+
+    def test_zeros_matches_reference_on_corpus(self):
+        data = lines(512)
+        assert np.array_equal(zeros_in_bytes(data), _reference_zeros(data))
+
+    def test_all_byte_values(self):
+        every = np.arange(256, dtype=np.uint8)
+        expected = np.array([bin(v).count("1") for v in range(256)])
+        assert np.array_equal(popcount_bytes(every, axis=0), expected.sum())
+        per_byte = popcount_bytes(every[:, None])
+        assert np.array_equal(per_byte, expected)
+
+    def test_toggle_count(self):
+        before = np.array([0x00, 0xFF, 0xAA], dtype=np.uint8)
+        after = np.array([0xFF, 0xFF, 0x55], dtype=np.uint8)
+        assert toggle_count_bytes(before, after) == 16  # 8 + 0 + 8
+
+    def test_axis_argument(self):
+        data = lines(64)
+        total = popcount_bytes(data, axis=None).sum()
+        assert popcount_bytes(data.ravel(), axis=0) == total
+
+    def test_int_popcount(self):
+        assert int_popcount(0) == 0
+        assert int_popcount(0xFF) == 8
+        assert int_popcount((1 << 200) | 1) == 2
+        with pytest.raises(ValueError):
+            int_popcount(-1)
+
+
+@pytest.mark.skipif(
+    not HAVE_NATIVE_POPCOUNT,
+    reason="np.bitwise_count unavailable; table fallback is faster but "
+           "its margin is not guaranteed",
+)
+class TestSpeedup:
+    def test_at_least_2x_faster_than_unpackbits(self):
+        data = lines(2048)
+        # Same interleaved best-of protocol as the telemetry overhead
+        # guard: take the best ratio over a few attempts so one noisy
+        # sample on a loaded CI machine cannot fail the build.
+        best = 0.0
+        for _ in range(3):
+            fast = measure(lambda: zeros_in_bytes(data),
+                           repeats=5, warmup=1, inner_ops=2048)
+            slow = measure(lambda: _reference_zeros(data),
+                           repeats=5, warmup=1, inner_ops=2048)
+            best = max(best, slow.min_ns / fast.min_ns)
+            if best >= 2.0:
+                break
+        assert best >= 2.0, (
+            f"byte-level popcount only {best:.2f}x faster than the "
+            "unpackbits reference"
+        )

@@ -1,0 +1,83 @@
+"""Baseline comparison: the regression gate."""
+
+import pytest
+
+from repro.bench.compare import compare_reports, format_comparison
+
+
+def _report(entries):
+    return {"results": [
+        {"name": name, "params": params,
+         "ns_per_op": {"min": ns, "median": ns, "mad": 0.0}}
+        for name, ns, params in entries
+    ]}
+
+
+class TestGate:
+    def test_two_x_slowdown_fails_the_gate(self):
+        baseline = _report([("k", 100.0, {})])
+        current = _report([("k", 200.0, {})])
+        cmp = compare_reports(current, baseline, max_regression_pct=20.0)
+        assert not cmp.ok
+        assert cmp.regressions[0].name == "k"
+        assert cmp.regressions[0].ratio == pytest.approx(2.0)
+
+    def test_within_threshold_passes(self):
+        baseline = _report([("k", 100.0, {})])
+        current = _report([("k", 119.0, {})])
+        assert compare_reports(current, baseline, 20.0).ok
+
+    def test_speedup_never_fails(self):
+        baseline = _report([("k", 100.0, {})])
+        current = _report([("k", 10.0, {})])
+        cmp = compare_reports(current, baseline, 0.0)
+        assert cmp.ok
+        assert cmp.improvements[0].ratio == pytest.approx(0.1)
+
+    def test_regressions_sorted_worst_first(self):
+        baseline = _report([("a", 100.0, {}), ("b", 100.0, {})])
+        current = _report([("a", 150.0, {}), ("b", 300.0, {})])
+        cmp = compare_reports(current, baseline, 20.0)
+        assert [d.name for d in cmp.regressions] == ["b", "a"]
+
+    def test_param_mismatch_is_skipped_not_compared(self):
+        baseline = _report([("k", 100.0, {"lines": 1024})])
+        current = _report([("k", 900.0, {"lines": 2048})])
+        cmp = compare_reports(current, baseline, 20.0)
+        assert cmp.ok
+        assert cmp.param_mismatches == ("k",)
+
+    def test_membership_differences_reported(self):
+        baseline = _report([("old", 1.0, {})])
+        current = _report([("new", 1.0, {})])
+        cmp = compare_reports(current, baseline, 20.0)
+        assert cmp.missing_in_baseline == ("new",)
+        assert cmp.missing_in_current == ("old",)
+        assert cmp.ok  # membership drift alone never gates
+
+    def test_zero_baseline_counts_as_regression(self):
+        baseline = _report([("k", 0.0, {})])
+        current = _report([("k", 5.0, {})])
+        assert not compare_reports(current, baseline, 20.0).ok
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(_report([]), _report([]), -1.0)
+
+
+class TestFormatting:
+    def test_failure_text_names_the_regression(self):
+        cmp = compare_reports(
+            _report([("slow.kernel", 200.0, {})]),
+            _report([("slow.kernel", 100.0, {})]),
+            20.0,
+        )
+        text = format_comparison(cmp)
+        assert "REGRESSED" in text and "slow.kernel" in text
+        assert "FAILED" in text and "2.00x" in text
+
+    def test_success_text(self):
+        cmp = compare_reports(
+            _report([("k", 100.0, {})]), _report([("k", 100.0, {})]), 20.0
+        )
+        assert "OK" in format_comparison(cmp)

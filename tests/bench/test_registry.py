@@ -1,0 +1,107 @@
+"""Registry semantics: registration, lookup, selection, collection."""
+
+import pytest
+
+from repro.bench import registry
+from repro.bench.registry import BenchError, BenchmarkDef, benchmark
+
+
+@pytest.fixture
+def scratch_registry(monkeypatch):
+    """An empty registry so tests cannot pollute the real suite."""
+    fresh: dict = {}
+    monkeypatch.setattr(registry, "REGISTRY", fresh)
+    monkeypatch.setattr(registry, "_collected", True)
+    return fresh
+
+
+class TestRegistration:
+    def test_decorator_registers_and_returns_factory(self, scratch_registry):
+        @benchmark("t.one", params={"n": 3}, smoke=True, inner_ops=3,
+                   description="demo")
+        def factory():
+            return lambda: 42
+
+        assert set(scratch_registry) == {"t.one"}
+        defn = scratch_registry["t.one"]
+        assert defn.params == {"n": 3}
+        assert defn.smoke and defn.inner_ops == 3
+        assert defn.build()() == 42
+
+    def test_duplicate_name_rejected(self, scratch_registry):
+        @benchmark("t.dup")
+        def first():
+            return lambda: None
+
+        with pytest.raises(BenchError, match="duplicate"):
+            @benchmark("t.dup")
+            def second():
+                return lambda: None
+
+    def test_inner_ops_must_be_positive(self, scratch_registry):
+        with pytest.raises(BenchError, match="inner_ops"):
+            benchmark("t.bad", inner_ops=0)
+
+    def test_factory_must_return_callable(self, scratch_registry):
+        @benchmark("t.notathunk")
+        def factory():
+            return 7
+
+        with pytest.raises(BenchError, match="not a callable"):
+            scratch_registry["t.notathunk"].build()
+
+    def test_description_falls_back_to_docstring(self, scratch_registry):
+        @benchmark("t.doc")
+        def factory():
+            """From the docstring."""
+            return lambda: None
+
+        assert scratch_registry["t.doc"].description == "From the docstring."
+
+
+class TestSelection:
+    @pytest.fixture(autouse=True)
+    def few(self, scratch_registry):
+        for name, smoke in [("a.x", True), ("a.y", False), ("b.x", True)]:
+            registry.REGISTRY[name] = BenchmarkDef(
+                name=name, factory=lambda: (lambda: None), smoke=smoke
+            )
+
+    def test_substring(self):
+        assert [d.name for d in registry.select("a.")] == ["a.x", "a.y"]
+
+    def test_glob(self):
+        assert [d.name for d in registry.select("*.x")] == ["a.x", "b.x"]
+
+    def test_smoke_only(self):
+        assert [d.name for d in registry.select(smoke_only=True)] == [
+            "a.x", "b.x"
+        ]
+
+    def test_no_pattern_returns_all(self):
+        assert len(registry.select()) == 3
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(BenchError, match="unknown benchmark"):
+            registry.get("nope")
+
+
+class TestRealSuite:
+    def test_collect_is_idempotent_and_nonempty(self):
+        first = registry.collect()
+        second = registry.collect()
+        assert first is second
+        assert len(first) >= 15
+
+    def test_suite_has_a_smoke_subset(self):
+        smoke = registry.select(smoke_only=True)
+        assert len(smoke) >= 8
+        # The CI gate depends on these specific members.
+        names = {d.name for d in smoke}
+        assert {"coding.bitops.popcount", "coding.line_zeros.milc",
+                "campaign.cache_key"} <= names
+
+    def test_every_definition_is_well_formed(self):
+        for defn in registry.collect().values():
+            assert defn.name and defn.inner_ops >= 1
+            assert isinstance(defn.params, dict)

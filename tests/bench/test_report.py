@@ -1,0 +1,114 @@
+"""BENCH_*.json schema: building, validating, writing, loading."""
+
+import json
+import re
+
+import pytest
+
+from repro.bench.registry import BenchError, BenchmarkDef
+from repro.bench.report import (
+    SCHEMA,
+    build_report,
+    default_filename,
+    environment,
+    load_report,
+    result_entry,
+    validate_report,
+    write_report,
+)
+from repro.bench.timing import Measurement
+
+
+def _entry(name="t.bench", **overrides):
+    defn = BenchmarkDef(name=name, factory=lambda: (lambda: None),
+                        params={"n": 1}, smoke=True)
+    m = Measurement(samples_ns=(10.0, 12.0, 11.0), repeats=3, warmup=1,
+                    inner_ops=1, calls_per_sample=2)
+    entry = result_entry(defn, m)
+    entry.update(overrides)
+    return entry
+
+
+class TestBuildAndValidate:
+    def test_round_trip_is_valid(self):
+        doc = build_report([_entry()])
+        assert validate_report(doc) == []
+        assert doc["schema"] == SCHEMA
+        assert doc["results"][0]["name"] == "t.bench"
+        assert doc["protocol"]["stat_for_compare"] == "ns_per_op.min"
+
+    def test_environment_block(self):
+        env = environment()
+        for key in ("git_rev", "python", "platform", "numpy"):
+            assert isinstance(env[key], str) and env[key]
+        assert isinstance(env["native_popcount"], bool)
+
+    def test_created_utc_format(self):
+        doc = build_report([_entry()])
+        assert re.fullmatch(
+            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", doc["created_utc"]
+        )
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(BenchError, match="duplicated"):
+            build_report([_entry(), _entry()])
+
+    def test_rejects_negative_stats(self):
+        bad = _entry()
+        bad["ns_per_op"]["min"] = -1.0
+        problems = validate_report(build_report_unchecked([bad]))
+        assert any("min" in p for p in problems)
+
+    def test_rejects_non_dict_document(self):
+        assert validate_report([1, 2]) == ["document is not a JSON object"]
+
+    def test_rejects_wrong_schema_and_missing_keys(self):
+        problems = validate_report({"schema": "nope"})
+        assert any("schema" in p for p in problems)
+        assert any("results" in p for p in problems)
+
+
+def build_report_unchecked(results):
+    """A structurally complete document bypassing build_report's gate."""
+    return {
+        "schema": SCHEMA,
+        "created_utc": "2026-01-01T00:00:00Z",
+        "environment": environment(),
+        "protocol": {},
+        "results": results,
+    }
+
+
+class TestFiles:
+    def test_default_filename_convention(self):
+        assert re.fullmatch(r"BENCH_\d{8}T\d{6}Z\.json", default_filename())
+
+    def test_write_to_directory_uses_convention(self, tmp_path):
+        path = write_report(tmp_path, build_report([_entry()]))
+        assert path.parent == tmp_path
+        assert path.name.startswith("BENCH_")
+        assert load_report(path)["results"][0]["name"] == "t.bench"
+
+    def test_write_to_explicit_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        path = write_report(target, build_report([_entry()]))
+        assert path == target
+        assert json.loads(target.read_text())["schema"] == SCHEMA
+
+    def test_write_refuses_invalid_document(self, tmp_path):
+        with pytest.raises(BenchError, match="invalid report"):
+            write_report(tmp_path / "x.json", {"schema": SCHEMA})
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(BenchError, match="not valid JSON"):
+            load_report(bad)
+        with pytest.raises(BenchError, match="cannot read"):
+            load_report(tmp_path / "missing.json")
+
+    def test_load_rejects_invalid_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/v9"}))
+        with pytest.raises(BenchError, match="not a valid report"):
+            load_report(bad)

@@ -1,0 +1,83 @@
+"""The timing protocol: sample counts, normalisation, GC handling."""
+
+import gc
+
+import pytest
+
+from repro.bench.timing import Measurement, measure
+
+
+class TestMeasure:
+    def test_sample_count_matches_repeats(self):
+        m = measure(lambda: None, repeats=3, warmup=0)
+        assert len(m.samples_ns) == 3
+        assert m.repeats == 3
+
+    def test_statistics_are_ordered(self):
+        m = measure(lambda: sum(range(100)), repeats=5, warmup=1)
+        assert 0 < m.min_ns <= m.median_ns
+        assert m.mad_ns >= 0
+        assert m.ops_per_sec > 0
+
+    def test_inner_ops_divides_per_op_time(self):
+        def thunk():
+            for _ in range(50):
+                pass
+
+        whole = measure(thunk, repeats=3, warmup=1, inner_ops=1)
+        split = measure(thunk, repeats=3, warmup=1, inner_ops=50)
+        # Not exact (independent runs), but a factor-50 normalisation
+        # must dominate run-to-run noise by a wide margin.
+        assert split.min_ns < whole.min_ns / 10
+
+    def test_gc_state_restored(self):
+        assert gc.isenabled()
+        measure(lambda: None, repeats=1, warmup=0)
+        assert gc.isenabled()
+
+        gc.disable()
+        try:
+            measure(lambda: None, repeats=1, warmup=0)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_gc_restored_when_thunk_raises(self):
+        def boom():
+            raise RuntimeError("kernel exploded")
+
+        with pytest.raises(RuntimeError):
+            measure(boom, repeats=1, warmup=0)
+        assert gc.isenabled()
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=1, warmup=-1)
+
+    def test_slow_thunk_uses_single_call_samples(self):
+        # A thunk longer than the calibration target must not be batched.
+        import time
+
+        m = measure(lambda: time.sleep(0.006), repeats=1, warmup=0)
+        assert m.calls_per_sample == 1
+        assert m.min_ns >= 5e6  # at least ~5 ms in nanoseconds
+
+
+class TestMeasurementStats:
+    def test_known_samples(self):
+        m = Measurement(samples_ns=(10.0, 20.0, 30.0), repeats=3, warmup=0,
+                        inner_ops=1, calls_per_sample=1)
+        assert m.min_ns == 10.0
+        assert m.median_ns == 20.0
+        assert m.mad_ns == 10.0
+        assert m.ops_per_sec == pytest.approx(1e8)
+
+    def test_as_dict_shape(self):
+        m = Measurement(samples_ns=(5.0,), repeats=1, warmup=2,
+                        inner_ops=4, calls_per_sample=8)
+        d = m.as_dict()
+        assert d["ns_per_op"] == {"min": 5.0, "median": 5.0, "mad": 0.0}
+        assert d["repeats"] == 1 and d["warmup"] == 2
+        assert d["inner_ops"] == 4 and d["calls_per_sample"] == 8

@@ -1,0 +1,69 @@
+"""Determinism regression tests: same spec, same bytes, same key.
+
+The campaign cache's whole premise is that a RunSpec plus the model
+source *is* the result.  That only holds if simulation is bit-for-bit
+deterministic — any hidden global (an unseeded RNG, dict-order
+dependence, wall-clock leakage into the payload) silently poisons every
+cached campaign.  These tests re-run identical work and require
+byte-identical output, and pin the benchmark corpus digest so pinned
+performance baselines notice input drift too.
+"""
+
+import json
+
+from repro.bench.corpus import corpus_digest
+from repro.campaign.cache import cache_key
+from repro.campaign.spec import RunSpec
+from repro.core.framework import run_spec
+
+SPEC = RunSpec(benchmark="GUPS", policy="mil", accesses_per_core=200)
+
+# SHA-256 of the default benchmark corpus.  If corpus generation ever
+# changes, every recorded benchmark number measures different inputs:
+# refresh benchmarks/baseline.json in the same PR (docs/BENCHMARKS.md).
+CORPUS_DIGEST = (
+    "6ff72708257f8f71426ac8f5ba95a7ee47c07250728a9b5473fdbafd72225188"
+)
+
+
+def _canonical_summary(spec: RunSpec) -> str:
+    summary = run_spec(spec).to_dict()
+    # `stats` carries orchestration metadata (wall time); everything
+    # else is simulation output and must be reproducible.
+    summary.pop("stats")
+    return json.dumps(summary, sort_keys=True)
+
+
+def test_identical_specs_produce_byte_identical_summaries():
+    assert _canonical_summary(SPEC) == _canonical_summary(SPEC)
+
+
+def test_summary_is_stable_across_policies():
+    for policy in ("dbi", "milc", "mil"):
+        spec = RunSpec(benchmark="MM", policy=policy,
+                       accesses_per_core=150)
+        assert _canonical_summary(spec) == _canonical_summary(spec)
+
+
+def test_cache_key_is_stable():
+    fingerprint = "f" * 16
+    first = cache_key(SPEC, fingerprint)
+    again = cache_key(SPEC, fingerprint)
+    assert first == again
+    # Reconstructing an equal spec must key identically: the key hangs
+    # off canonical content, not object identity.
+    clone = RunSpec(benchmark="GUPS", policy="mil", accesses_per_core=200)
+    assert cache_key(clone, fingerprint) == first
+
+
+def test_cache_key_changes_with_spec_and_fingerprint():
+    fingerprint = "f" * 16
+    base = cache_key(SPEC, fingerprint)
+    other_spec = RunSpec(benchmark="GUPS", policy="mil",
+                         accesses_per_core=201)
+    assert cache_key(other_spec, fingerprint) != base
+    assert cache_key(SPEC, "0" * 16) != base
+
+
+def test_benchmark_corpus_is_pinned():
+    assert corpus_digest(2048) == CORPUS_DIGEST

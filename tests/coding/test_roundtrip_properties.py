@@ -13,10 +13,13 @@ from hypothesis import strategies as st
 
 from repro.coding import (
     BusInvertCode,
+    CAFOCode,
     DBICode,
     MiLCCode,
+    OptimalStaticLWC,
     ThreeLWC,
     TransitionSignaling,
+    codeword_zero_levels,
 )
 from repro.coding.bitops import bytes_to_bits, zeros_in_bits
 
@@ -116,6 +119,97 @@ class TestMiLC:
         assert np.array_equal(
             code.count_zeros(bits), zeros_in_bits(code.encode(bits))
         )
+
+
+class TestCAFO:
+    # CAFO blocks are 64 bits = 8 bytes, arranged as an 8x8 square.
+    blocks = st.lists(st.integers(0, 255), min_size=8, max_size=64).map(
+        lambda xs: xs[: len(xs) - len(xs) % 8]
+    )
+    variants = st.sampled_from([2, 4, None])
+
+    @given(blocks, variants)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_round_trip(self, data, iterations):
+        code = CAFOCode(iterations=iterations)
+        bits = _bits(data, 64)
+        assert np.array_equal(code.decode(code.encode(bits)), bits)
+
+    @given(blocks, variants)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_never_worse_than_uncoded(self, data, iterations):
+        # With no flips the codeword costs exactly the raw zeros (all
+        # sixteen flag wires transmit 1), and each pass only accepts
+        # flips that strictly lower the cost — so CAFO can never lose.
+        code = CAFOCode(iterations=iterations)
+        bits = _bits(data, 64)
+        coded_zeros = zeros_in_bits(code.encode(bits))
+        raw_zeros = 64 - bits.sum(axis=-1)
+        assert (coded_zeros <= raw_zeros).all()
+
+    @given(blocks, variants)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_count_zeros_agrees_with_real_encoding(self, data, iterations):
+        code = CAFOCode(iterations=iterations)
+        bits = _bits(data, 64)
+        assert np.array_equal(
+            code.count_zeros(bits), zeros_in_bits(code.encode(bits))
+        )
+
+    @given(blocks)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_more_iterations_never_hurt(self, data):
+        # Each accepted half-pass strictly improves the objective, so
+        # CAFO4 dominates CAFO2 and convergent CAFO dominates both.
+        bits = _bits(data, 64)
+        z2 = CAFOCode(iterations=2).count_zeros(bits)
+        z4 = CAFOCode(iterations=4).count_zeros(bits)
+        z_conv = CAFOCode(iterations=None).count_zeros(bits)
+        assert (z4 <= z2).all()
+        assert (z_conv <= z4).all()
+
+
+class TestOptimalStaticLWC:
+    widths = st.sampled_from([9, 10, 12, 17])
+
+    @given(byte_seqs, widths)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_round_trip(self, data, n_bits):
+        code = OptimalStaticLWC(n_bits)
+        bits = _bits(data, 8)
+        assert np.array_equal(code.decode(code.encode(bits)), bits)
+
+    @given(byte_seqs, widths)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_weight_bound(self, data, n_bits):
+        # No codeword is worse than the rarest byte's assignment: the
+        # 256th codeword in ascending-zero order bounds every zero count.
+        code = OptimalStaticLWC(n_bits)
+        bits = _bits(data, 8)
+        worst = int(codeword_zero_levels(n_bits).max())
+        assert (zeros_in_bits(code.encode(bits)) <= worst).all()
+
+    @given(byte_seqs, widths)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_count_zeros_agrees_with_real_encoding(self, data, n_bits):
+        code = OptimalStaticLWC(n_bits)
+        bits = _bits(data, 8)
+        assert np.array_equal(
+            code.count_zeros(bits), zeros_in_bits(code.encode(bits))
+        )
+
+    @given(byte_seqs)
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_frequency_fitting_never_increases_expected_cost(self, data):
+        # Fitting the code to the corpus it encodes can only help
+        # relative to the uniform assignment, per-corpus in aggregate.
+        from repro.coding import byte_frequencies
+
+        corpus = np.asarray(data, dtype=np.uint8)
+        fitted = OptimalStaticLWC(9, byte_frequencies(corpus))
+        uniform = OptimalStaticLWC(9)
+        bits = _bits(data, 8)
+        assert fitted.count_zeros(bits).sum() <= uniform.count_zeros(bits).sum()
 
 
 class TestBusInvert:
