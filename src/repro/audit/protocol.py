@@ -1,0 +1,302 @@
+"""Independent re-derivation of the Table 2 DRAM protocol constraints.
+
+:class:`ProtocolAuditor` replays a :class:`~repro.dram.channel.DRAMChannel`
+command log and checks every timing rule again — by a *different*
+algorithm than the channel uses to enforce them.  The channel maintains
+saturating "earliest next cycle" registers (the software dual of
+Figure 11's counters); the auditor instead keeps raw event history and
+checks constraints pairwise:
+
+* tFAW as a post-hoc sliding window over the raw per-rank ACT
+  timestamps (any five consecutive ACTs must span at least tFAW);
+* tRRD_S/L, tCCD_S/L (including the burst-length stretch MiL rides on),
+  and tWTR_S/L against a window of recent per-rank events;
+* tRC/tRAS/tRTP/tWR/tRP/tRCD against the per-bank ACT/column/precharge
+  history of the current row epoch;
+* tRFC and the tREFI postponement budget against the refresh history,
+  with the clamped-debt model of :mod:`repro.dram.refresh` re-walked
+  from the log (a refresh with no accrued obligation — the signature of
+  runaway batch accrual — is an overpay violation).
+
+Because no enforcement state is shared, a bug in the channel's counter
+updates cannot also hide the corresponding audit check.  Bus-level rules
+(burst overlap, tRTRS turnaround bubbles) are delegated to the existing
+independent :class:`~repro.dram.channel.BusAuditor` and surfaced in the
+same :class:`Violation` vocabulary.
+
+The auditor's bounds are, by construction, *no stricter than* the
+channel's (e.g. LPDDR3's tRC exceeds tRAS + tRP, and the channel
+enforces the full tRC): a log the channel accepted always audits clean,
+so any reported violation is a genuine enforcement bug, not auditor
+noise.  Pass the controller's *effective* timing (with codec latency
+folded in via ``with_extra_cl``) so data-end positions match the ones
+the device saw.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..dram.channel import BusTransaction, CommandRecord
+from ..dram.commands import CommandType, Geometry
+from ..dram.refresh import MAX_POSTPONED
+from ..dram.timing import TimingParams
+
+__all__ = ["ProtocolAuditor", "Violation"]
+
+# Recent column/ACT events retained per rank for the pairwise checks.
+# Bounded so the audit stays O(n): anything further back is separated by
+# far more than any column/activate constraint could demand.
+_HISTORY = 16
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One protocol violation found in a command or bus log."""
+
+    constraint: str  # JEDEC name ("tFAW", "tCCD_L", ...) or "structure"
+    cycle: int  # command cycle (-1 for bus-log findings)
+    rank: int  # rank involved (-1 for bus-log findings)
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.constraint}] cycle {self.cycle}: {self.message}"
+
+
+@dataclass(slots=True)
+class _BankTrack:
+    """Raw per-bank event history for the current row epoch."""
+
+    open: bool = False
+    act: int | None = None  # last ACTIVATE cycle
+    pre_time: int | None = None  # when the last precharge took effect
+    last_rd: int | None = None  # last READ cycle since ACT
+    last_wr_end: int | None = None  # last write data-end since ACT
+
+
+@dataclass(slots=True)
+class _RankTrack:
+    """Raw per-rank event history."""
+
+    acts: list = field(default_factory=list)  # every ACT cycle (tFAW)
+    last_act_group: list = field(default_factory=list)
+    # Recent column commands: (cycle, group, bus_cycles, is_write,
+    # data_end) — for tCCD stretch and tWTR.
+    cols: deque = field(default_factory=lambda: deque(maxlen=_HISTORY))
+    last_ref: int | None = None
+    # Clamped refresh-debt walk (see repro.dram.refresh).
+    debt: int = 0
+    next_due: int = 0
+
+
+class ProtocolAuditor:
+    """Re-derives every Table 2 constraint from a recorded command log."""
+
+    def __init__(self, timing: TimingParams, geometry: Geometry):
+        self.timing = timing
+        self.geometry = geometry
+
+    # ------------------------------------------------------------------
+    # Command-log audit
+    # ------------------------------------------------------------------
+    def check(self, commands: list[CommandRecord]) -> list[Violation]:
+        """Audit a command log; return all violations (empty == clean)."""
+        t = self.timing
+        g = self.geometry
+        out: list[Violation] = []
+        banks = {
+            (r, grp, b): _BankTrack()
+            for r in range(g.ranks)
+            for grp in range(g.bank_groups)
+            for b in range(g.banks_per_group)
+        }
+        ranks = [
+            _RankTrack(
+                last_act_group=[None] * g.bank_groups,
+                next_due=t.REFI,
+            )
+            for _ in range(g.ranks)
+        ]
+
+        def flag(constraint: str, cycle: int, rank: int, msg: str) -> None:
+            out.append(Violation(constraint, cycle, rank, msg))
+
+        for cmd in sorted(commands, key=lambda c: c.cycle):
+            c = cmd.cycle
+            rk = ranks[cmd.rank]
+            bk = banks[(cmd.rank, cmd.bank_group, cmd.bank)]
+            where = (
+                f"rank {cmd.rank} group {cmd.bank_group} bank {cmd.bank}"
+            )
+
+            if cmd.cmd is CommandType.ACTIVATE:
+                if bk.open:
+                    flag("structure", c, cmd.rank,
+                         f"ACT on open bank ({where})")
+                if bk.act is not None and c - bk.act < t.RC:
+                    flag("tRC", c, cmd.rank,
+                         f"ACT {c - bk.act} after ACT at {bk.act} ({where})")
+                if bk.pre_time is not None and c - bk.pre_time < t.RP:
+                    flag("tRP", c, cmd.rank,
+                         f"ACT {c - bk.pre_time} after precharge at "
+                         f"{bk.pre_time} ({where})")
+                for g2, ts in enumerate(rk.last_act_group):
+                    if ts is None:
+                        continue
+                    same = g2 == cmd.bank_group
+                    bound = t.RRD_L if same else t.RRD_S
+                    if c - ts < bound:
+                        flag("tRRD_L" if same else "tRRD_S", c, cmd.rank,
+                             f"ACT {c - ts} after ACT at {ts} in group "
+                             f"{g2} ({where})")
+                if rk.last_ref is not None and c - rk.last_ref < t.RFC:
+                    flag("tRFC", c, cmd.rank,
+                         f"ACT {c - rk.last_ref} after REFRESH at "
+                         f"{rk.last_ref}")
+                rk.acts.append(c)
+                rk.last_act_group[cmd.bank_group] = c
+                bk.open = True
+                bk.act = c
+                bk.last_rd = None
+                bk.last_wr_end = None
+
+            elif cmd.cmd is CommandType.PRECHARGE:
+                if not bk.open:
+                    flag("structure", c, cmd.rank,
+                         f"PRE on closed bank ({where})")
+                if bk.act is not None and c - bk.act < t.RAS:
+                    flag("tRAS", c, cmd.rank,
+                         f"PRE {c - bk.act} after ACT at {bk.act} ({where})")
+                if bk.last_rd is not None and c - bk.last_rd < t.RTP:
+                    flag("tRTP", c, cmd.rank,
+                         f"PRE {c - bk.last_rd} after READ at "
+                         f"{bk.last_rd} ({where})")
+                if bk.last_wr_end is not None and c - bk.last_wr_end < t.WR:
+                    flag("tWR", c, cmd.rank,
+                         f"PRE {c - bk.last_wr_end} after write data end "
+                         f"{bk.last_wr_end} ({where})")
+                bk.open = False
+                bk.pre_time = c
+
+            elif cmd.cmd in (CommandType.READ, CommandType.WRITE):
+                is_write = cmd.cmd is CommandType.WRITE
+                if not bk.open:
+                    flag("structure", c, cmd.rank,
+                         f"{cmd.cmd.name} on closed bank ({where})")
+                if bk.act is not None and c - bk.act < t.RCD:
+                    flag("tRCD", c, cmd.rank,
+                         f"{cmd.cmd.name} {c - bk.act} after ACT at "
+                         f"{bk.act} ({where})")
+                for c2, g2, n2, w2, e2 in rk.cols:
+                    same = g2 == cmd.bank_group
+                    # Column spacing stretches with the earlier burst.
+                    ccd = max(t.CCD_L if same else t.CCD_S, n2)
+                    if c - c2 < ccd:
+                        flag("tCCD_L" if same else "tCCD_S", c, cmd.rank,
+                             f"{cmd.cmd.name} {c - c2} after column at "
+                             f"{c2} (BL stretch {n2}, group {g2})")
+                    if w2 and not is_write:
+                        wtr = t.WTR_L if same else t.WTR_S
+                        if c - e2 < wtr:
+                            flag("tWTR_L" if same else "tWTR_S", c,
+                                 cmd.rank,
+                                 f"READ {c - e2} after write data end "
+                                 f"{e2} (group {g2})")
+                latency = t.WL if is_write else t.CL
+                data_end = c + latency + cmd.bus_cycles
+                rk.cols.append(
+                    (c, cmd.bank_group, cmd.bus_cycles, is_write, data_end)
+                )
+                if is_write:
+                    bk.last_wr_end = data_end
+                else:
+                    bk.last_rd = c
+                if cmd.auto_precharge:
+                    # The device precharges itself at the latest of the
+                    # row's precharge bounds — the same instant an
+                    # earliest-legal explicit PRE could have issued.
+                    ipre = bk.act + t.RAS if bk.act is not None else c
+                    if bk.last_rd is not None:
+                        ipre = max(ipre, bk.last_rd + t.RTP)
+                    if bk.last_wr_end is not None:
+                        ipre = max(ipre, bk.last_wr_end + t.WR)
+                    bk.open = False
+                    bk.pre_time = ipre
+
+            elif cmd.cmd is CommandType.REFRESH:
+                for (r2, g2, b2), bb in banks.items():
+                    if r2 != cmd.rank:
+                        continue
+                    if bb.open:
+                        flag("structure", c, cmd.rank,
+                             f"REFRESH with open row (group {g2} "
+                             f"bank {b2})")
+                    if bb.pre_time is not None and c - bb.pre_time < t.RP:
+                        flag("tRP", c, cmd.rank,
+                             f"REFRESH {c - bb.pre_time} after precharge "
+                             f"at {bb.pre_time} (group {g2} bank {b2})")
+                    if bb.act is not None and c - bb.act < t.RC:
+                        flag("tRC", c, cmd.rank,
+                             f"REFRESH {c - bb.act} after ACT at "
+                             f"{bb.act} (group {g2} bank {b2})")
+                if rk.last_ref is not None and c - rk.last_ref < t.RFC:
+                    flag("tRFC", c, cmd.rank,
+                         f"REFRESH {c - rk.last_ref} after REFRESH at "
+                         f"{rk.last_ref}")
+                # Clamped-debt walk: obligations accrue once per tREFI,
+                # capped at the JEDEC postponement budget (long-idle
+                # intervals are forgiven, matching RefreshScheduler).
+                if rk.next_due <= c:
+                    missed = (c - rk.next_due) // t.REFI + 1
+                    rk.debt = min(MAX_POSTPONED, rk.debt + missed)
+                    rk.next_due += missed * t.REFI
+                if rk.debt <= 0:
+                    flag("tREFI", c, cmd.rank,
+                         "REFRESH with no accrued obligation (overpay: "
+                         "debt accrual exceeded the postponement budget)")
+                else:
+                    rk.debt -= 1
+                rk.last_ref = c
+
+            else:  # pragma: no cover - log only holds known commands
+                flag("structure", c, cmd.rank,
+                     f"unknown command {cmd.cmd!r}")
+
+        # tFAW: post-hoc sliding window over the raw ACT timestamps —
+        # any five consecutive ACTs to one rank must span >= tFAW.
+        for rank, rk in enumerate(ranks):
+            acts = rk.acts
+            for i in range(4, len(acts)):
+                if acts[i] - acts[i - 4] < t.FAW:
+                    flag("tFAW", acts[i], rank,
+                         f"5th ACT {acts[i] - acts[i - 4]} cycles after "
+                         f"ACT at {acts[i - 4]} (window "
+                         f"{acts[i - 4:i + 1]})")
+        return out
+
+    # ------------------------------------------------------------------
+    # Bus-log audit
+    # ------------------------------------------------------------------
+    def check_bus(
+        self, transactions: list[BusTransaction]
+    ) -> list[Violation]:
+        """Audit the data-bus log via the independent BusAuditor."""
+        from ..dram.channel import BusAuditor
+
+        out = []
+        for msg in BusAuditor(self.timing).check(transactions):
+            constraint = "bus-overlap" if "overlap" in msg else "tRTRS"
+            out.append(Violation(constraint, -1, -1, msg))
+        return out
+
+    def audit(
+        self,
+        commands: list[CommandRecord],
+        transactions: list[BusTransaction] | None = None,
+    ) -> list[Violation]:
+        """Full audit: command-level constraints plus the bus log."""
+        violations = self.check(commands)
+        if transactions:
+            violations += self.check_bus(transactions)
+        return violations

@@ -15,6 +15,9 @@ Groups:
 ``dram.*`` / ``controller.*`` / ``core.*``
     The cycle-level channel tick loop, FR-FCFS candidate scheduling,
     and the MiL look-ahead decision.
+``audit.*``
+    The protocol auditor's log replay — the cost a run pays only when
+    ``--audit`` is on.
 ``campaign.*``
     Cache fingerprinting and key derivation — the costs every campaign
     pays per run.
@@ -259,6 +262,41 @@ def _decision():
     now = 200
 
     return lambda: policy.choose(controller, victim, now)
+
+
+@benchmark(
+    "audit.protocol.check",
+    params={"schedules": 4, "requests": 24},
+    description="ProtocolAuditor replay of 4 fuzzed controller command "
+                "logs (audit-layer cost, paid only under --audit)",
+)
+def _protocol_audit():
+    from ..audit.fuzz import combo_grid, fuzz_controller
+    from ..audit.protocol import ProtocolAuditor
+
+    # Fixed seeds over the first grid combos; the schedules run during
+    # setup so the thunk measures only the audit replay.
+    logs = []
+    for i, (label, timing, geometry, schemes, page) in enumerate(
+        combo_grid()[:4]
+    ):
+        mc, _done = fuzz_controller(
+            timing, geometry, schemes, requests=24, seed=1000 + i,
+            page_policy=page,
+        )
+        logs.append((
+            ProtocolAuditor(mc.timing, geometry),
+            list(mc.channel.command_log),
+            list(mc.channel.transactions),
+        ))
+
+    def check():
+        total = 0
+        for auditor, commands, transactions in logs:
+            total += len(auditor.audit(commands, transactions))
+        return total
+
+    return check
 
 
 # ----------------------------------------------------------------------

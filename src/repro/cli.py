@@ -23,6 +23,11 @@ Commands
     JSON-lines, and re-audit the dump against the DDRx protocol rules.
 ``telemetry PATH.metrics.jsonl``
     Pretty-print a saved telemetry metrics dump.
+``fuzz [--schedules N] [--seed S] [--requests R]``
+    Drive the controller with seeded adversarial schedules across the
+    timing × burst-length × rank × page-policy grid and replay every
+    command log through the independent protocol auditor (see
+    ``docs/VALIDATION.md``).
 ``bench [-k PAT] [--smoke] [--list] [--out PATH] [--compare BASE]
 [--max-regression PCT] [--update-baseline] [--profile BACKEND]``
     Run the registered wall-clock benchmark suite (see
@@ -33,7 +38,10 @@ Commands
 ``--jobs`` (or the ``REPRO_JOBS`` environment variable) sets the
 process-pool width for campaign-backed commands; ``-j1`` stays serial.
 
-``run`` and ``campaign`` accept ``--telemetry`` (record metrics and a
+``run`` and ``campaign`` accept ``--audit`` (record each run's DRAM
+command log and re-derive every Table 2 constraint from it post-run;
+rides outside the run's identity, so cache keys are unchanged) and
+``--telemetry`` (record metrics and a
 cycle/wall-clock event trace; see ``docs/OBSERVABILITY.md``) and
 ``--trace-out PATH`` (write ``PATH.trace.json`` in Chrome trace-event
 format — open it at https://ui.perfetto.dev — plus
@@ -132,7 +140,14 @@ def cmd_run(args) -> int:
     session = _telemetry_session(
         args, f"run-{bench}-{args.policy}", time_unit="cycles"
     )
-    summary = run_spec(_spec(args, bench, args.policy), telemetry=session)
+    report = None
+    if args.audit:
+        from .audit import AuditReport
+
+        report = AuditReport()
+    summary = run_spec(
+        _spec(args, bench, args.policy), telemetry=session, audit=report
+    )
     rows = [
         ["cycles", summary.cycles],
         ["seconds", f"{summary.seconds:.6f}"],
@@ -168,6 +183,10 @@ def cmd_run(args) -> int:
     ))
     if session is not None and args.trace_out:
         _write_telemetry(args.trace_out, session)
+    if report is not None:
+        print(report.render(), file=sys.stderr)
+        if not report.clean:
+            return 1
     return 0
 
 
@@ -230,7 +249,24 @@ def cmd_campaign(args) -> int:
     runner = CampaignRunner(
         jobs=args.jobs, sink=sink, strict=False, telemetry=session
     )
-    runner.run(specs)
+    # --audit rides on an environment opt-in so worker processes inherit
+    # it and cache keys stay byte-identical (tests call main()
+    # in-process, so the previous value is restored either way).
+    import os
+
+    from .audit import AUDIT_ENV
+
+    previous_audit = os.environ.get(AUDIT_ENV)
+    if args.audit:
+        os.environ[AUDIT_ENV] = "1"
+    try:
+        runner.run(specs)
+    finally:
+        if args.audit:
+            if previous_audit is None:
+                os.environ.pop(AUDIT_ENV, None)
+            else:
+                os.environ[AUDIT_ENV] = previous_audit
     sink.close()
     c = runner.counters
     print(
@@ -420,6 +456,33 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .audit.fuzz import combo_grid, run_corpus
+
+    grid = len(combo_grid())
+    dirty = 0
+    commands = 0
+    for i, res in enumerate(
+        run_corpus(args.schedules, requests=args.requests,
+                   base_seed=args.seed)
+    ):
+        commands += res.commands
+        if not res.clean:
+            dirty += 1
+            print(f"VIOLATIONS in schedule {i} ({res.label}, "
+                  f"seed {res.seed}):", file=sys.stderr)
+            for v in res.violations[:10]:
+                print(f"  {v}", file=sys.stderr)
+    verdict = "clean" if not dirty else f"{dirty} DIRTY"
+    print(
+        f"fuzz: {args.schedules} schedules over {grid} combos "
+        f"(timing x burst lengths x ranks x page policy), "
+        f"{commands} commands audited, {verdict}",
+        file=sys.stderr,
+    )
+    return 1 if dirty else 0
+
+
 def cmd_telemetry(args) -> int:
     from .analysis.telemetry_view import render_metrics
     from .telemetry import load_metrics_jsonl
@@ -463,6 +526,9 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--scale", type=int, default=DEFAULT_SCALE)
     p_run.add_argument("--baseline", action="store_true",
                        help="also run and compare against DBI")
+    p_run.add_argument("--audit", action="store_true",
+                       help="record the command log and re-derive every "
+                            "DRAM protocol constraint post-run")
     add_telemetry_flags(p_run, "traces/run")
 
     p_exp = sub.add_parser("experiment", help="regenerate a table/figure")
@@ -482,6 +548,9 @@ def main(argv: list[str] | None = None) -> int:
     p_camp.add_argument("--scale", type=int, default=None)
     p_camp.add_argument("--no-report", action="store_true",
                         help="only warm the cache; skip printing figures")
+    p_camp.add_argument("--audit", action="store_true",
+                        help="audit every executed run's command log "
+                             "(cache hits are not re-simulated)")
     add_telemetry_flags(p_camp, "traces/campaign")
 
     p_suite = sub.add_parser("suite", help="run all 11 benchmarks")
@@ -504,6 +573,19 @@ def main(argv: list[str] | None = None) -> int:
         "telemetry", help="pretty-print a saved telemetry metrics dump"
     )
     p_tele.add_argument("path", help="a *.metrics.jsonl file")
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz the controller with seeded schedules and audit "
+             "every command log (see docs/VALIDATION.md)",
+    )
+    p_fuzz.add_argument("--schedules", type=int, default=96,
+                        help="schedules to run (default 96; the grid "
+                             "has 48 combos)")
+    p_fuzz.add_argument("--requests", type=int, default=24,
+                        help="requests per schedule (default 24)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="corpus base seed (default 0)")
 
     p_bench = sub.add_parser(
         "bench", help="run the wall-clock benchmark suite"
@@ -564,6 +646,7 @@ def main(argv: list[str] | None = None) -> int:
         "suite": cmd_suite,
         "trace": cmd_trace,
         "telemetry": cmd_telemetry,
+        "fuzz": cmd_fuzz,
         "bench": cmd_bench,
     }[args.command]
     return handler(args)

@@ -68,6 +68,7 @@ class ChannelController:
         drain_high: int = 60,
         drain_low: int = 50,
         keep_log: bool = True,
+        keep_cmd_log: bool = False,
         refresh_enabled: bool = True,
         page_policy: str = "open",
     ):
@@ -77,7 +78,10 @@ class ChannelController:
         self.policy = policy if policy is not None else AlwaysScheme("dbi")
         self.timing = timing.with_extra_cl(self.policy.extra_cl)
         self.geometry = geometry
-        self.channel = DRAMChannel(self.timing, geometry, keep_log=keep_log)
+        self.channel = DRAMChannel(
+            self.timing, geometry, keep_log=keep_log,
+            keep_cmd_log=keep_cmd_log,
+        )
         self.scheduler = FRFCFSScheduler(self.channel)
         self.refresh = (
             RefreshScheduler(self.timing, geometry.ranks)
@@ -125,6 +129,23 @@ class ChannelController:
         self.channel.probe = probe
         if hasattr(self.policy, "probe"):
             self.policy.probe = probe
+
+    # ------------------------------------------------------------------
+    # Protocol audit
+    # ------------------------------------------------------------------
+    def audit(self):
+        """Replay this controller's logs through the independent auditor.
+
+        Requires ``keep_cmd_log=True``; returns the list of
+        :class:`~repro.audit.protocol.Violation` (empty == clean).  The
+        auditor gets the controller's *effective* timing (codec latency
+        folded in), matching what the channel enforced.
+        """
+        from ..audit.protocol import ProtocolAuditor
+
+        return ProtocolAuditor(self.timing, self.geometry).audit(
+            self.channel.command_log, self.channel.transactions
+        )
 
     # ------------------------------------------------------------------
     # Front end

@@ -185,6 +185,7 @@ def run(
     seed: int = 0,
     mil_overrides: dict | None = None,
     telemetry=None,
+    audit=None,
 ) -> RunSummary:
     """Execute one benchmark under one policy and summarise it.
 
@@ -196,7 +197,23 @@ def run(
     observe, so the summary is identical with or without one; the
     session's aggregate table lands in ``RunSummary.stats`` (which the
     cache strips before hashing), never in the simulated results.
+
+    ``audit`` is an optional :class:`~repro.audit.AuditReport` to fill
+    with a post-run protocol audit (see :mod:`repro.audit`); like
+    telemetry, it rides outside the run's identity.  When the
+    ``REPRO_AUDIT`` environment opt-in is set and no report was passed
+    (the campaign-worker path), a failed audit raises
+    :class:`~repro.audit.ProtocolViolationError` instead, so the
+    campaign runner collects it as a per-run failure.
     """
+    from ..audit import (
+        AuditReport,
+        ProtocolViolationError,
+        audit_enabled,
+        audit_simulation,
+    )
+
+    want_audit = audit is not None or audit_enabled()
     trace = build_trace(
         benchmark, config, seed=seed, accesses_per_core=accesses_per_core
     )
@@ -205,7 +222,10 @@ def run(
         policy, zeros_by_scheme, lookahead, mil_overrides
     )
 
-    result = simulate(trace, config, factory, telemetry=telemetry)
+    result = simulate(
+        trace, config, factory, telemetry=telemetry,
+        record_commands=want_audit,
+    )
 
     # Energy: only defined for policies whose schemes have codecs.
     has_energy = policy not in ("bl12", "bl14")
@@ -291,16 +311,23 @@ def run(
     )
     if telemetry is not None:
         summary.stats["telemetry"] = telemetry.stats_table()
+    if want_audit:
+        report = audit if audit is not None else AuditReport()
+        audit_simulation(result, config, report)
+        summary.stats["audit"] = report.to_table()
+        if audit is None and not report.clean:
+            raise ProtocolViolationError(report)
     return summary
 
 
-def run_spec(spec, telemetry=None) -> RunSummary:
+def run_spec(spec, telemetry=None, audit=None) -> RunSummary:
     """Execute one :class:`~repro.campaign.spec.RunSpec`.
 
     Duck-typed on purpose: the campaign layer depends on this module,
     so importing the spec class here would be circular.  ``telemetry``
-    deliberately lives *outside* the spec: observing a run must not
-    change its identity, so cache keys are the same with it on or off.
+    and ``audit`` deliberately live *outside* the spec: observing a run
+    must not change its identity, so cache keys are the same with them
+    on or off.
     """
     return run(
         spec.benchmark,
@@ -311,4 +338,5 @@ def run_spec(spec, telemetry=None) -> RunSummary:
         seed=spec.seed,
         mil_overrides=dict(spec.mil_overrides) or None,
         telemetry=telemetry,
+        audit=audit,
     )

@@ -8,7 +8,13 @@ than be assumed.
 """
 
 from .address import AddressMapper, MappedAddress
-from .channel import BankState, BusAuditor, BusTransaction, DRAMChannel
+from .channel import (
+    BankState,
+    BusAuditor,
+    BusTransaction,
+    CommandRecord,
+    DRAMChannel,
+)
 from .commands import (
     DDR4_GEOMETRY,
     LPDDR3_GEOMETRY,
@@ -24,6 +30,7 @@ __all__ = [
     "BankState",
     "BusAuditor",
     "BusTransaction",
+    "CommandRecord",
     "DRAMChannel",
     "CommandType",
     "Geometry",

@@ -23,7 +23,11 @@ spacing to ``max(tCCD, bus_cycles)``.
 Every data-bus transaction is appended to :attr:`transactions`; the
 analysis layer derives Figures 4-6 from that log, and the test suite
 replays it through :class:`BusAuditor` to prove no overlaps or missing
-turnaround bubbles ever occur.
+turnaround bubbles ever occur.  With ``keep_cmd_log`` enabled, every
+*command* is additionally appended to :attr:`command_log` as a
+:class:`CommandRecord`, which is what the independent
+:class:`~repro.audit.protocol.ProtocolAuditor` re-derives the full
+Table 2 constraint set from (see ``docs/VALIDATION.md``).
 """
 
 from __future__ import annotations
@@ -33,7 +37,13 @@ from dataclasses import dataclass, field
 from .commands import CommandType, Geometry
 from .timing import TimingParams
 
-__all__ = ["BankState", "BusTransaction", "DRAMChannel", "BusAuditor"]
+__all__ = [
+    "BankState",
+    "BusTransaction",
+    "CommandRecord",
+    "DRAMChannel",
+    "BusAuditor",
+]
 
 
 @dataclass(slots=True)
@@ -66,6 +76,25 @@ class BusTransaction:
         return self.end - self.start
 
 
+@dataclass(frozen=True, slots=True)
+class CommandRecord:
+    """One committed command, as the protocol audit layer sees it.
+
+    This is the raw material for :class:`repro.audit.ProtocolAuditor`:
+    nothing derived, just what issued when.  ``bus_cycles`` is zero for
+    non-column commands; ``row`` is only meaningful for ACTIVATE.
+    """
+
+    cycle: int
+    cmd: CommandType
+    rank: int
+    bank_group: int
+    bank: int
+    row: int | None = None
+    bus_cycles: int = 0
+    auto_precharge: bool = False
+
+
 @dataclass(slots=True)
 class _RankState:
     """Per-rank constraint registers."""
@@ -79,10 +108,18 @@ class _RankState:
     group_next_wr: list = field(default_factory=list)
     # Row-buffer occupancy accounting (IDD3N vs IDD2N standby classes):
     # how many banks hold an open row, when the rank last transitioned
-    # to "some bank open", and the accumulated open time.
+    # to "some bank open", and the accumulated open time.  Auto-
+    # precharged banks close at the *internal* precharge cycle (tRTP /
+    # write-recovery bound), not at the column command, so the close of
+    # the last open bank is deferred: ``close_at`` is the cycle the
+    # rank's current open interval actually ends (None while a bank is
+    # open or the rank was never opened), and ``auto_horizon`` is the
+    # latest internal-precharge completion seen so far.
     open_banks: int = 0
     open_since: int = 0
     open_cycles: int = 0
+    close_at: int | None = None
+    auto_horizon: int = 0
 
 
 class DRAMChannel:
@@ -93,10 +130,15 @@ class DRAMChannel:
         timing: TimingParams,
         geometry: Geometry,
         keep_log: bool = True,
+        keep_cmd_log: bool = False,
     ):
         self.timing = timing
         self.geometry = geometry
         self.keep_log = keep_log
+        # Full per-command log for the protocol audit layer.  Off by
+        # default: the bus-transaction log is what the figures need;
+        # the command log exists to be replayed through an auditor.
+        self.keep_cmd_log = keep_cmd_log
         # Telemetry probe (repro.telemetry.probes.ChannelProbe), attached
         # by the wiring layer only when a session is active; None keeps
         # every instrumentation site a single identity test.
@@ -134,6 +176,7 @@ class DRAMChannel:
         self.write_beats = 0
 
         self.transactions: list[BusTransaction] = []
+        self.command_log: list[CommandRecord] = []
 
     # ------------------------------------------------------------------
     # Helpers
@@ -141,6 +184,35 @@ class DRAMChannel:
     def bank(self, rank: int, group: int, bank: int) -> BankState:
         """Access one bank's state."""
         return self.banks[rank][group][bank]
+
+    def _rank_open(self, r: _RankState, cycle: int) -> None:
+        """A bank in the rank gained an open row at ``cycle``."""
+        if r.open_banks == 0:
+            if r.close_at is not None and cycle <= r.close_at:
+                # An internal precharge was still draining: the rank
+                # never actually went all-closed, so the open interval
+                # simply continues.
+                r.close_at = None
+            else:
+                if r.close_at is not None:
+                    r.open_cycles += r.close_at - r.open_since
+                    r.close_at = None
+                r.open_since = cycle
+        r.open_banks += 1
+
+    def _rank_close(self, r: _RankState, closes_at: int) -> None:
+        """A bank in the rank loses its open row, effective ``closes_at``.
+
+        For an explicit PRECHARGE ``closes_at`` is the command cycle;
+        for auto-precharge it is the *internal* precharge cycle, which
+        lies after the column command.  The open interval is only
+        credited once a later event proves it really ended (a reopening
+        ACTIVATE, or :meth:`rank_open_cycles` closing the books).
+        """
+        r.auto_horizon = max(r.auto_horizon, closes_at)
+        r.open_banks -= 1
+        if r.open_banks == 0:
+            r.close_at = r.auto_horizon
 
     def _bus_gap(self, rank: int, is_write: bool) -> int:
         """Required idle bubble before a new burst may start.
@@ -202,13 +274,20 @@ class DRAMChannel:
             return earliest
 
         if cmd is CommandType.REFRESH:
-            # All banks in the rank must be precharged and past tRP.
+            # All banks in the rank must be precharged and past tRP.  An
+            # open row does not make the query invalid — this is a pure
+            # query, and the controller's refresh path probes it
+            # speculatively — so an open bank contributes the earliest
+            # cycle its required precharge could complete instead.
             earliest = now
             for grp in self.banks[rank]:
                 for bb in grp:
                     if bb.open_row is not None:
-                        raise ValueError("refresh requires all banks closed")
-                    earliest = max(earliest, bb.next_act)
+                        earliest = max(
+                            earliest, max(now, bb.next_pre) + t.RP
+                        )
+                    else:
+                        earliest = max(earliest, bb.next_act)
             return earliest
 
         raise ValueError(f"unknown command {cmd}")
@@ -245,20 +324,45 @@ class DRAMChannel:
                 f"{cmd.name} at cycle {cycle} violates timing "
                 f"(earliest legal: {legal})"
             )
+        # Structural legality, checked before anything is logged so the
+        # command log only ever holds committed commands.
+        open_row = self.banks[rank][group][bank].open_row
+        if cmd is CommandType.ACTIVATE:
+            if open_row is not None:
+                raise ValueError("activate on a bank with an open row")
+            if row is None:
+                raise ValueError("activate needs a row")
+        elif cmd is CommandType.PRECHARGE:
+            if open_row is None:
+                raise ValueError("precharge on an already-closed bank")
+        elif cmd.is_column:
+            if open_row is None:
+                raise ValueError("column command on a closed bank")
+        elif cmd is CommandType.REFRESH:
+            if not self.all_banks_closed(rank):
+                raise ValueError("refresh requires all banks closed")
+        if self.keep_cmd_log:
+            is_column = cmd.is_column
+            self.command_log.append(
+                CommandRecord(
+                    cycle=cycle,
+                    cmd=cmd,
+                    rank=rank,
+                    bank_group=group,
+                    bank=bank,
+                    row=row,
+                    bus_cycles=bus_cycles if is_column else 0,
+                    auto_precharge=auto_precharge and is_column,
+                )
+            )
 
         t = self.timing
         b = self.banks[rank][group][bank]
         r = self.ranks[rank]
 
         if cmd is CommandType.ACTIVATE:
-            if b.open_row is not None:
-                raise ValueError("activate on a bank with an open row")
-            if row is None:
-                raise ValueError("activate needs a row")
             b.open_row = row
-            if r.open_banks == 0:
-                r.open_since = cycle
-            r.open_banks += 1
+            self._rank_open(r, cycle)
             b.next_rd = max(b.next_rd, cycle + t.RCD)
             b.next_wr = max(b.next_wr, cycle + t.RCD)
             b.next_pre = max(b.next_pre, cycle + t.RAS)
@@ -275,12 +379,8 @@ class DRAMChannel:
             return cycle + t.RCD
 
         if cmd is CommandType.PRECHARGE:
-            if b.open_row is None:
-                raise ValueError("precharge on an already-closed bank")
             b.open_row = None
-            r.open_banks -= 1
-            if r.open_banks == 0:
-                r.open_cycles += cycle - r.open_since
+            self._rank_close(r, cycle)
             b.next_act = max(b.next_act, cycle + t.RP)
             if self.probe is not None:
                 self.probe.precharge(cycle, rank)
@@ -288,8 +388,6 @@ class DRAMChannel:
 
         if cmd in (CommandType.READ, CommandType.WRITE):
             is_write = cmd is CommandType.WRITE
-            if b.open_row is None:
-                raise ValueError("column command on a closed bank")
             latency = self._data_latency(is_write)
             data_start = cycle + latency
             data_end = data_start + bus_cycles
@@ -319,13 +417,16 @@ class DRAMChannel:
 
             if auto_precharge:
                 # RDA/WRA: the device precharges itself once the column
-                # access completes; the bank is closed as of now and may
-                # re-activate after the internal precharge finishes.
+                # access completes — tRTP after a read, write recovery
+                # after write data for a write; ``b.next_pre`` holds
+                # exactly that bound after the bumps above.  The bank is
+                # closed for scheduling purposes as of now, but the row
+                # stays open (drawing IDD3N) until the internal
+                # precharge, so occupancy closes at ``pre_at``.
+                pre_at = b.next_pre
                 b.open_row = None
-                r.open_banks -= 1
-                if r.open_banks == 0:
-                    r.open_cycles += cycle - r.open_since
-                b.next_act = max(b.next_act, b.next_pre + t.RP)
+                self._rank_close(r, pre_at)
+                b.next_act = max(b.next_act, pre_at + t.RP)
                 self.auto_precharges += 1
 
             self.bus_free_at = data_end
@@ -387,6 +488,11 @@ class DRAMChannel:
         total = r.open_cycles
         if r.open_banks > 0:
             total += max(0, now - r.open_since)
+        elif r.close_at is not None:
+            # All banks auto-precharged; the open interval runs until
+            # the last internal precharge, clipped to ``now`` if that
+            # precharge is still in the future.
+            total += max(0, min(now, r.close_at) - r.open_since)
         return total
 
 
@@ -404,20 +510,27 @@ class BusAuditor:
     def check(self, transactions: list[BusTransaction]) -> list[str]:
         """Return a list of violation descriptions (empty == clean)."""
         problems = []
-        ordered = sorted(transactions, key=lambda tr: tr.start)
-        for prev, cur in zip(ordered, ordered[1:]):
-            if cur.start < prev.end:
-                problems.append(
-                    f"overlap: [{prev.start},{prev.end}) then "
-                    f"[{cur.start},{cur.end})"
+        # ``last`` is the burst with the running-max ``end`` seen so
+        # far, not merely the previous burst in start order: a long
+        # burst can overlap (or demand a turnaround bubble from) a
+        # transaction several entries later, and an overlapping pair
+        # still owes a bubble check against whatever came before it.
+        last: BusTransaction | None = None
+        for cur in sorted(transactions, key=lambda tr: (tr.start, tr.end)):
+            if last is not None:
+                if cur.start < last.end:
+                    problems.append(
+                        f"overlap: [{last.start},{last.end}) then "
+                        f"[{cur.start},{cur.end})"
+                    )
+                switch = (
+                    last.rank != cur.rank or last.is_write != cur.is_write
                 )
-                continue
-            switch = (
-                prev.rank != cur.rank or prev.is_write != cur.is_write
-            )
-            if switch and cur.start - prev.end < self.timing.RTRS:
-                problems.append(
-                    f"missing turnaround bubble between {prev.end} and "
-                    f"{cur.start} (rank/direction switch)"
-                )
+                if switch and cur.start - last.end < self.timing.RTRS:
+                    problems.append(
+                        f"missing turnaround bubble between {last.end} "
+                        f"and {cur.start} (rank/direction switch)"
+                    )
+            if last is None or cur.end > last.end:
+                last = cur
         return problems

@@ -29,13 +29,26 @@ class RefreshScheduler:
         self._min_due = timing.REFI  # cheap gate for the hot path
 
     def accrue(self, now: int) -> None:
-        """Convert elapsed time into refresh debt."""
+        """Convert elapsed time into refresh debt.
+
+        Debt is clamped to :data:`MAX_POSTPONED`: the JEDEC budget is 8
+        postponed refreshes, and a long event-skip over an empty queue
+        must not batch-accrue an unbounded backlog that the controller
+        then burns down in one urgent refresh storm.  Intervals beyond
+        the budget are forgiven — a rank idle that long is the regime
+        real systems cover with self-refresh, and what matters to the
+        model is that refresh *spacing* stays honest once traffic
+        resumes.
+        """
         if now < self._min_due:
             return
+        refi = self.timing.REFI
         for rank in range(self.ranks):
-            while self._next_due[rank] <= now:
-                self._debt[rank] += 1
-                self._next_due[rank] += self.timing.REFI
+            if self._next_due[rank] > now:
+                continue
+            missed = (now - self._next_due[rank]) // refi + 1
+            self._debt[rank] = min(MAX_POSTPONED, self._debt[rank] + missed)
+            self._next_due[rank] += missed * refi
         self._min_due = min(self._next_due)
 
     def debt(self, rank: int) -> int:

@@ -105,6 +105,7 @@ def simulate(
     policy_factory=None,
     max_cycles: int = 200_000_000,
     telemetry=None,
+    record_commands: bool = False,
 ) -> SimulationResult:
     """Run ``trace`` on ``config`` under a coding policy.
 
@@ -113,7 +114,10 @@ def simulate(
     :class:`~repro.telemetry.session.TelemetrySession`; when given, one
     probe per channel is wired into the controller, its DRAM channel,
     and its policy (the default ``None`` leaves the fast path exactly as
-    it was).  Returns a :class:`SimulationResult`.
+    it was).  ``record_commands`` makes every channel keep the full
+    per-command log the protocol audit layer replays (off by default:
+    the log costs memory and buys nothing unless something audits it).
+    Returns a :class:`SimulationResult`.
     """
     if policy_factory is None:
         policy_factory = lambda: AlwaysScheme("dbi")  # noqa: E731
@@ -131,6 +135,7 @@ def simulate(
             write_queue_size=config.write_queue,
             drain_high=config.drain_high,
             drain_low=config.drain_low,
+            keep_cmd_log=record_commands,
             page_policy=config.page_policy,
         )
         for _ in range(config.channels)

@@ -1,0 +1,270 @@
+"""Injected-violation matrix: prove the auditor catches every class.
+
+Each test hand-builds a *legal* command log (asserted clean first, so
+the baseline itself is validated), then mutates exactly one command to
+violate one Table 2 constraint and asserts the auditor names it.  This
+is the test of the auditor itself — the fuzz corpus only proves
+channel and auditor agree, which they also would if both were wrong.
+
+DDR4-3200 numbers used throughout (tRC is isolated on LPDDR3, the one
+timing set where tRC exceeds tRAS + tRP):
+
+    RCD=20 RAS=52 RC=72 RP=20 RTP=12 WR=4 CL=20 WL=16
+    CCD_S=4 CCD_L=8 RRD_S=9 RRD_L=11 FAW=48 WTR_S=4 WTR_L=12
+    RFC=416 REFI=12480 RTRS=2
+"""
+
+from repro.audit.protocol import ProtocolAuditor
+from repro.dram import (
+    DDR4_3200,
+    DDR4_GEOMETRY,
+    LPDDR3_1600,
+    LPDDR3_GEOMETRY,
+    CommandRecord,
+    CommandType,
+)
+from repro.dram.channel import BusTransaction
+
+ACT = CommandType.ACTIVATE
+PRE = CommandType.PRECHARGE
+RD = CommandType.READ
+WR = CommandType.WRITE
+REF = CommandType.REFRESH
+
+T = DDR4_3200
+
+
+def rec(cycle, cmd, rank=0, group=0, bank=0, row=1, bus=0, ap=False):
+    return CommandRecord(
+        cycle=cycle, cmd=cmd, rank=rank, bank_group=group, bank=bank,
+        row=row if cmd is ACT else None,
+        bus_cycles=bus if cmd.is_column else 0,
+        auto_precharge=ap and cmd.is_column,
+    )
+
+
+def auditor(timing=T, geometry=DDR4_GEOMETRY):
+    return ProtocolAuditor(timing, geometry)
+
+
+def constraints(log, timing=T, geometry=DDR4_GEOMETRY):
+    return {v.constraint for v in auditor(timing, geometry).check(log)}
+
+
+def assert_catches(legal, mutated, constraint, timing=T,
+                   geometry=DDR4_GEOMETRY):
+    assert constraints(legal, timing, geometry) == set(), (
+        "baseline log must be clean"
+    )
+    assert constraint in constraints(mutated, timing, geometry)
+
+
+class TestActivateConstraints:
+    def test_tfaw(self):
+        # 4 ACTs at 0/12/24/36 (alternating groups, distinct banks);
+        # the 5th is legal at 48, violates tFAW at 47.
+        base = [
+            rec(0, ACT, group=0, bank=0),
+            rec(12, ACT, group=1, bank=0),
+            rec(24, ACT, group=0, bank=1),
+            rec(36, ACT, group=1, bank=1),
+        ]
+        legal = base + [rec(48, ACT, group=0, bank=2)]
+        mutated = base + [rec(47, ACT, group=0, bank=2)]
+        assert_catches(legal, mutated, "tFAW")
+
+    def test_trrd_s(self):
+        legal = [rec(0, ACT, group=0), rec(T.RRD_S, ACT, group=1)]
+        mutated = [rec(0, ACT, group=0), rec(T.RRD_S - 1, ACT, group=1)]
+        assert_catches(legal, mutated, "tRRD_S")
+        assert "tRRD_L" not in constraints(mutated)
+
+    def test_trrd_l(self):
+        legal = [rec(0, ACT, bank=0), rec(T.RRD_L, ACT, bank=1)]
+        mutated = [rec(0, ACT, bank=0), rec(T.RRD_L - 1, ACT, bank=1)]
+        assert_catches(legal, mutated, "tRRD_L")
+        assert "tRRD_S" not in constraints(mutated)
+
+    def test_trp(self):
+        # PRE at 60 (> tRAS); re-ACT legal at 80, tRP-short at 78
+        # (tRC bound is 72, already satisfied, so tRP is isolated).
+        base = [rec(0, ACT), rec(20, RD, bus=4), rec(60, PRE)]
+        legal = base + [rec(60 + T.RP, ACT, row=2)]
+        mutated = base + [rec(60 + T.RP - 2, ACT, row=2)]
+        assert_catches(legal, mutated, "tRP")
+        assert "tRC" not in constraints(mutated)
+
+    def test_trc(self):
+        # LPDDR3: tRC (51) > tRAS + tRP (50), so an ACT-to-ACT gap of
+        # 50 satisfies tRP after an earliest-legal PRE but not tRC.
+        lt = LPDDR3_1600
+        base = [
+            rec(0, ACT),
+            rec(lt.RCD, RD, bus=4),
+            rec(lt.RAS, PRE),
+        ]
+        legal = base + [rec(lt.RC, ACT, row=2)]
+        mutated = base + [rec(lt.RC - 1, ACT, row=2)]
+        assert_catches(legal, mutated, "tRC",
+                       timing=lt, geometry=LPDDR3_GEOMETRY)
+        assert "tRP" not in constraints(mutated, lt, LPDDR3_GEOMETRY)
+
+
+class TestColumnConstraints:
+    def test_trcd(self):
+        legal = [rec(0, ACT), rec(T.RCD, RD, bus=4)]
+        mutated = [rec(0, ACT), rec(T.RCD - 1, RD, bus=4)]
+        assert_catches(legal, mutated, "tRCD")
+
+    def test_tccd_s(self):
+        base = [rec(0, ACT, group=0), rec(9, ACT, group=1)]
+        first = rec(29, RD, group=0, bus=4)
+        legal = base + [first, rec(29 + T.CCD_S, RD, group=1, bus=4)]
+        mutated = base + [first, rec(29 + T.CCD_S - 1, RD, group=1, bus=4)]
+        assert_catches(legal, mutated, "tCCD_S")
+
+    def test_tccd_l(self):
+        base = [rec(0, ACT, bank=0), rec(11, ACT, bank=1)]
+        first = rec(31, RD, bank=0, bus=4)
+        legal = base + [first, rec(31 + T.CCD_L, RD, bank=1, bus=4)]
+        mutated = base + [first, rec(31 + T.CCD_L - 1, RD, bank=1, bus=4)]
+        assert_catches(legal, mutated, "tCCD_L")
+
+    def test_tccd_burst_stretch(self):
+        # A BL16 burst (8 bus cycles) stretches the effective column
+        # spacing past tCCD_S: 5 cycles satisfies the plain tCCD_S=4
+        # but not the stretch, so only the stretch check can catch it.
+        base = [rec(0, ACT, group=0), rec(9, ACT, group=1)]
+        first = rec(29, RD, group=0, bus=8)
+        legal = base + [first, rec(29 + 8, RD, group=1, bus=4)]
+        mutated = base + [first, rec(29 + T.CCD_S + 1, RD, group=1, bus=4)]
+        assert_catches(legal, mutated, "tCCD_S")
+
+    def test_twtr_s(self):
+        base = [rec(0, ACT, group=0), rec(9, ACT, group=1)]
+        wr = rec(20, WR, group=0, bus=4)
+        data_end = 20 + T.WL + 4  # 40
+        legal = base + [wr, rec(data_end + T.WTR_S, RD, group=1, bus=4)]
+        mutated = base + [wr, rec(data_end + T.WTR_S - 2, RD, group=1,
+                                  bus=4)]
+        assert_catches(legal, mutated, "tWTR_S")
+
+    def test_twtr_l(self):
+        base = [rec(0, ACT, bank=0), rec(11, ACT, bank=1)]
+        wr = rec(20, WR, bank=0, bus=4)
+        data_end = 20 + T.WL + 4  # 40
+        legal = base + [wr, rec(data_end + T.WTR_L, RD, bank=1, bus=4)]
+        # 6 cycles after data end: tWTR_S (4) holds, tWTR_L (12) broken.
+        mutated = base + [wr, rec(data_end + 6, RD, bank=1, bus=4)]
+        assert_catches(legal, mutated, "tWTR_L")
+        assert "tWTR_S" not in constraints(mutated)
+
+
+class TestPrechargeConstraints:
+    def test_tras(self):
+        base = [rec(0, ACT), rec(20, RD, bus=4)]
+        legal = base + [rec(T.RAS, PRE)]
+        mutated = base + [rec(T.RAS - 2, PRE)]
+        assert_catches(legal, mutated, "tRAS")
+        assert "tRTP" not in constraints(mutated)
+
+    def test_trtp(self):
+        # Read late enough that its tRTP bound (57) exceeds tRAS (52).
+        base = [rec(0, ACT), rec(45, RD, bus=4)]
+        legal = base + [rec(45 + T.RTP, PRE)]
+        mutated = base + [rec(45 + T.RTP - 2, PRE)]
+        assert_catches(legal, mutated, "tRTP")
+        assert "tRAS" not in constraints(mutated)
+
+    def test_twr(self):
+        # Write data ends at 40+WL+4 = 60; write recovery dominates
+        # tRAS, so a PRE at 62 breaks only tWR.
+        base = [rec(0, ACT), rec(40, WR, bus=4)]
+        data_end = 40 + T.WL + 4  # 60
+        legal = base + [rec(data_end + T.WR, PRE)]
+        mutated = base + [rec(data_end + T.WR - 2, PRE)]
+        assert_catches(legal, mutated, "tWR")
+        assert "tRAS" not in constraints(mutated)
+
+
+class TestRefreshConstraints:
+    def test_trfc_between_refreshes(self):
+        # Idle two tREFI so two obligations accrue, then refresh twice.
+        t0 = 2 * T.REFI
+        legal = [rec(t0, REF), rec(t0 + T.RFC, REF)]
+        mutated = [rec(t0, REF), rec(t0 + T.RFC - 16, REF)]
+        assert_catches(legal, mutated, "tRFC")
+
+    def test_trfc_blocks_activate(self):
+        t0 = T.REFI
+        legal = [rec(t0, REF), rec(t0 + T.RFC, ACT)]
+        mutated = [rec(t0, REF), rec(t0 + T.RFC - 1, ACT)]
+        assert_catches(legal, mutated, "tRFC")
+
+    def test_trefi_overpay(self):
+        # Two refreshes but only one accrued obligation: the second is
+        # an overpay — the observable signature of debt accrual racing
+        # past the postponement budget (the pre-fix RefreshScheduler
+        # bug, which batch-accrued unbounded debt over long idles).
+        t0 = T.REFI
+        mutated = [rec(t0, REF), rec(t0 + T.RFC, REF)]
+        assert "tREFI" in constraints(mutated)
+
+    def test_refresh_needs_precharged_banks(self):
+        mutated = [rec(2 * T.REFI - 60, ACT), rec(2 * T.REFI, REF)]
+        assert "structure" in constraints(mutated)
+
+
+class TestStructure:
+    def test_activate_on_open_bank(self):
+        mutated = [rec(0, ACT), rec(T.RC, ACT, row=2)]
+        assert "structure" in constraints(mutated)
+
+    def test_column_on_closed_bank(self):
+        mutated = [rec(100, RD, bus=4)]
+        assert "structure" in constraints(mutated)
+
+    def test_auto_precharge_closes_for_audit(self):
+        # RDA closes the bank: a follow-up column command is structural,
+        # and a re-ACT must respect tRP from the *internal* precharge.
+        base = [rec(0, ACT), rec(20, RD, bus=4, ap=True)]
+        ipre = T.RAS  # max(0+tRAS, 20+tRTP) = 52
+        legal = base + [rec(ipre + T.RP, ACT, row=2)]
+        mutated = base + [rec(ipre + T.RP - 2, ACT, row=2)]
+        assert_catches(legal, mutated, "tRP")
+
+
+class TestBusConstraints:
+    def _tr(self, start, end, rank=0, is_write=False):
+        return BusTransaction(
+            start=start, end=end, issue_cycle=start - T.CL,
+            is_write=is_write, rank=rank, bank_group=0, bank=0,
+            scheme="dbi", request_id=-1,
+        )
+
+    def test_bus_overlap(self):
+        log = [self._tr(100, 104), self._tr(102, 106)]
+        found = {v.constraint for v in auditor().check_bus(log)}
+        assert "bus-overlap" in found
+
+    def test_trtrs(self):
+        log = [self._tr(100, 104, rank=0),
+               self._tr(105, 109, rank=1)]
+        found = {v.constraint for v in auditor().check_bus(log)}
+        assert "tRTRS" in found
+
+    def test_clean_bus(self):
+        log = [self._tr(100, 104, rank=0),
+               self._tr(104 + T.RTRS, 110, rank=1)]
+        assert auditor().check_bus(log) == []
+
+
+class TestAuditCombined:
+    def test_audit_merges_command_and_bus_findings(self):
+        cmds = [rec(0, ACT), rec(T.RCD - 1, RD, bus=4)]
+        bus = [
+            BusTransaction(100, 104, 80, False, 0, 0, 0, "dbi", -1),
+            BusTransaction(103, 107, 83, False, 0, 0, 0, "dbi", -1),
+        ]
+        found = {v.constraint for v in auditor().audit(cmds, bus)}
+        assert "tRCD" in found and "bus-overlap" in found

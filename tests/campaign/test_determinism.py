@@ -67,3 +67,40 @@ def test_cache_key_changes_with_spec_and_fingerprint():
 
 def test_benchmark_corpus_is_pinned():
     assert corpus_digest(2048) == CORPUS_DIGEST
+
+
+class TestAuditOutsideRunIdentity:
+    """--audit observes a run; it must never change what the run *is*.
+
+    The audit digest lands in ``stats`` (stripped by
+    :func:`_canonical_summary`, exactly like telemetry's wall-clock
+    entries), and the opt-in travels via environment variable rather
+    than a RunSpec field — so summaries stay byte-identical and cache
+    keys are untouched whether auditing is off, on via ``audit=``, or
+    on via ``REPRO_AUDIT``.
+    """
+
+    def test_env_opt_in_leaves_summary_bytes_unchanged(self, monkeypatch):
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        plain = _canonical_summary(SPEC)
+        monkeypatch.setenv("REPRO_AUDIT", "1")
+        assert _canonical_summary(SPEC) == plain
+
+    def test_report_mode_leaves_summary_bytes_unchanged(self, monkeypatch):
+        from repro.audit import AuditReport
+
+        monkeypatch.delenv("REPRO_AUDIT", raising=False)
+        plain = _canonical_summary(SPEC)
+        report = AuditReport()
+        summary = run_spec(SPEC, audit=report).to_dict()
+        assert summary.pop("stats")["audit"]["violations"] == 0
+        assert report.clean and report.commands > 0
+        assert json.dumps(summary, sort_keys=True) == plain
+
+    def test_audit_cannot_enter_the_cache_key(self):
+        # RunSpec has no audit field at all — the opt-in physically
+        # cannot reach cache_key.  Pin that so a future "just add a
+        # spec flag" refactor trips here first.
+        assert "audit" not in RunSpec.__dataclass_fields__
+        fingerprint = "f" * 16
+        assert cache_key(SPEC, fingerprint) == cache_key(SPEC, fingerprint)

@@ -157,10 +157,26 @@ class TestColumnPath:
 
 class TestRefreshPath:
     def test_refresh_requires_closed_banks(self):
+        # issue() must reject a refresh while a row is open ...
         ch = fresh_channel()
         open_bank(ch, at=0)
         with pytest.raises(ValueError):
-            ch.earliest_issue(REF, 0, 0, 0, 100)
+            ch.issue(REF, 0, 0, 0, 100_000)
+
+    def test_earliest_refresh_is_a_pure_query_with_open_rows(self):
+        # ... but earliest_issue is a pure query the controller probes
+        # speculatively: with a row open it returns the earliest cycle
+        # a refresh could follow the required precharge, not an error.
+        ch = fresh_channel()
+        open_bank(ch, at=0)
+        bound = ch.earliest_issue(REF, 0, 0, 0, 100)
+        b = ch.banks[0][0][0]
+        assert bound == max(100, b.next_pre) + DDR4_3200.RP
+        # And the bound is achievable: precharge at the earliest legal
+        # cycle, then refresh exactly at the returned cycle.
+        pre_at = ch.earliest_issue(PRE, 0, 0, 0, 100)
+        ch.issue(PRE, 0, 0, 0, pre_at)
+        ch.issue(REF, 0, 0, 0, bound)
 
     def test_refresh_blocks_rank_for_rfc(self):
         ch = fresh_channel()
@@ -204,6 +220,35 @@ class TestAuditor:
         ]
         problems = BusAuditor(DDR4_3200).check(log)
         assert any("turnaround" in p for p in problems)
+
+    def test_overlapping_pair_still_checked_for_bubble(self):
+        # Pre-fix, an overlap short-circuited the turnaround check for
+        # the same pair; both violations must be reported.
+        from repro.dram.channel import BusTransaction
+
+        log = [
+            BusTransaction(10, 18, 0, False, 0, 0, 0, "dbi", 1),
+            BusTransaction(16, 20, 2, False, 1, 0, 0, "dbi", 2),
+        ]
+        problems = BusAuditor(DDR4_3200).check(log)
+        assert any("overlap" in p for p in problems)
+        assert any("turnaround" in p for p in problems)
+
+    def test_overlap_with_non_adjacent_burst_detected(self):
+        # A long burst can overlap a transaction two entries later in
+        # start order; the auditor must compare against the running max
+        # end, not just the immediate predecessor.
+        from repro.dram.channel import BusTransaction
+
+        log = [
+            BusTransaction(10, 30, 0, False, 0, 0, 0, "3lwc", 1),
+            BusTransaction(12, 16, 2, False, 0, 0, 1, "dbi", 2),
+            BusTransaction(20, 24, 4, False, 0, 0, 2, "dbi", 3),
+        ]
+        problems = BusAuditor(DDR4_3200).check(log)
+        # Burst 3 starts inside burst 1 even though burst 2 already
+        # ended; pre-fix only the (1,2) overlap was caught.
+        assert sum("overlap" in p for p in problems) >= 2
 
 
 class TestLPDDR3Channel:

@@ -39,12 +39,74 @@ class TestOpenCycles:
         assert ch.rank_open_cycles(0, 10_000) == t2
 
     def test_auto_precharge_closes_rank(self):
+        # RDA closes the bank for scheduling immediately, but the row
+        # keeps drawing active-standby current until the *internal*
+        # precharge at max(tACT+tRAS, tRD+tRTP).
         ch = channel()
         ch.issue(ACT, 0, 0, 0, 0, row=1)
         t = max(DDR4_3200.RCD, DDR4_3200.RAS - DDR4_3200.RTP)
         ch.issue(RD, 0, 0, 0, t, auto_precharge=True)
         assert ch.ranks[0].open_banks == 0
-        assert ch.rank_open_cycles(0, 10_000) == t
+        internal_pre = max(DDR4_3200.RAS, t + DDR4_3200.RTP)
+        assert ch.rank_open_cycles(0, 10_000) == internal_pre
+
+    def test_auto_precharge_matches_explicit_precharge(self):
+        # Occupancy under RDA must equal an explicit RD followed by a
+        # PRE at the earliest legal cycle — the internal precharge is
+        # the same event, just issued by the device.
+        ch_auto = channel()
+        ch_auto.issue(ACT, 0, 0, 0, 0, row=1)
+        ch_auto.issue(RD, 0, 0, 0, DDR4_3200.RCD, auto_precharge=True)
+
+        ch_exp = channel()
+        ch_exp.issue(ACT, 0, 0, 0, 0, row=1)
+        ch_exp.issue(RD, 0, 0, 0, DDR4_3200.RCD)
+        pre_at = ch_exp.earliest_issue(PRE, 0, 0, 0, DDR4_3200.RCD)
+        ch_exp.issue(PRE, 0, 0, 0, pre_at)
+
+        assert (
+            ch_auto.rank_open_cycles(0, 10_000)
+            == ch_exp.rank_open_cycles(0, 10_000)
+        )
+
+    def test_auto_precharge_write_matches_explicit(self):
+        # Same equivalence for WRA: internal precharge waits for
+        # write-data end + tWR.
+        WR = CommandType.WRITE
+        ch_auto = channel()
+        ch_auto.issue(ACT, 0, 0, 0, 0, row=1)
+        ch_auto.issue(WR, 0, 0, 0, DDR4_3200.RCD, auto_precharge=True)
+
+        ch_exp = channel()
+        ch_exp.issue(ACT, 0, 0, 0, 0, row=1)
+        ch_exp.issue(WR, 0, 0, 0, DDR4_3200.RCD)
+        pre_at = ch_exp.earliest_issue(PRE, 0, 0, 0, DDR4_3200.RCD)
+        ch_exp.issue(PRE, 0, 0, 0, pre_at)
+
+        assert (
+            ch_auto.rank_open_cycles(0, 10_000)
+            == ch_exp.rank_open_cycles(0, 10_000)
+        )
+
+    def test_auto_precharge_open_interval_clips_to_now(self):
+        # Query *before* the internal precharge completes: the open
+        # interval is still running and must clip at ``now``.
+        ch = channel()
+        ch.issue(ACT, 0, 0, 0, 0, row=1)
+        ch.issue(RD, 0, 0, 0, DDR4_3200.RCD, auto_precharge=True)
+        probe = DDR4_3200.RCD + 2  # before max(tRAS, tRCD + tRTP)
+        assert ch.rank_open_cycles(0, probe) == probe
+
+    def test_reopen_before_internal_precharge_merges_interval(self):
+        # ACT on another bank while an auto-precharge is still draining:
+        # the rank never goes all-closed, so the interval is continuous.
+        ch = channel()
+        ch.issue(ACT, 0, 0, 0, 0, row=1)
+        ch.issue(RD, 0, 0, 0, DDR4_3200.RCD, auto_precharge=True)
+        t2 = DDR4_3200.RRD_L  # well before the internal precharge
+        ch.issue(ACT, 0, 0, 1, t2, row=1)
+        ch.issue(PRE, 0, 0, 1, t2 + DDR4_3200.RAS)
+        assert ch.rank_open_cycles(0, 10_000) == t2 + DDR4_3200.RAS
 
     def test_ranks_independent(self):
         ch = channel()

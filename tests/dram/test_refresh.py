@@ -25,6 +25,27 @@ class TestAccrual:
         rs.accrue(DDR4_3200.REFI)
         assert rs.debt(0) == 1
 
+    def test_debt_clamped_to_postponement_budget(self):
+        # A long event-skip (empty queue) must not batch-accrue debt
+        # past the 8-postponement JEDEC budget; pre-fix this reached 50.
+        rs = RefreshScheduler(DDR4_3200, ranks=2)
+        rs.accrue(DDR4_3200.REFI * 50)
+        assert rs.debt(0) == MAX_POSTPONED
+        assert rs.debt(1) == MAX_POSTPONED
+
+    def test_clamp_keeps_due_schedule_aligned(self):
+        # Forgiven intervals still advance the due clock: after the
+        # clamp, new debt accrues on the normal tREFI grid.
+        rs = RefreshScheduler(DDR4_3200, ranks=1)
+        rs.accrue(DDR4_3200.REFI * 50)
+        assert rs.next_event() == DDR4_3200.REFI * 51
+        rs.accrue(DDR4_3200.REFI * 51)
+        assert rs.debt(0) == MAX_POSTPONED  # still clamped
+        for _ in range(MAX_POSTPONED):
+            rs.paid(0)
+        rs.accrue(DDR4_3200.REFI * 52)
+        assert rs.debt(0) == 1
+
 
 class TestUrgency:
     def test_urgent_after_postponement_budget(self):
