@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, replace
 
-from ..coding.pipeline import BURST_FORMATS
+from ..coding.registry import scheme_info
 from ..controller.controller import ChannelController
 from ..controller.request import MemoryRequest
 from ..dram.address import MappedAddress
@@ -69,7 +69,7 @@ class ShuffledScheme:
     def __init__(self, schemes: tuple[str, ...], seed: int):
         self.schemes = tuple(schemes)
         self.extra_cl = max(
-            BURST_FORMATS[s].extra_latency for s in self.schemes
+            scheme_info(s).extra_latency for s in self.schemes
         )
         self._rng = random.Random(seed)
 
@@ -78,7 +78,7 @@ class ShuffledScheme:
 
     @property
     def max_bus_cycles(self) -> int:
-        return max(BURST_FORMATS[s].bus_cycles for s in self.schemes)
+        return max(scheme_info(s).bus_cycles for s in self.schemes)
 
 
 @dataclass(frozen=True)

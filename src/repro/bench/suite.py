@@ -66,6 +66,55 @@ for _scheme in _HEAVY_SCHEMES:
 
 
 @benchmark(
+    "coding.zero_table_cache",
+    params={"lines": _LINES, "schemes": len(_SMOKE_SCHEMES), "repeats": 4},
+    smoke=True,
+    inner_ops=4 * len(_SMOKE_SCHEMES),
+    description="precompute_line_zeros x4 on one trace via the "
+                "campaign-wide zero-table cache (3 encodes + 9 hits)",
+)
+def _zero_table_cache():
+    from ..coding.pipeline import precompute_line_zeros
+    from ..coding.zerocache import ZeroTableCache, lines_digest
+
+    data = corpus.lines(_LINES)
+    digest = lines_digest(data)
+
+    def cached_campaign():
+        # A fresh private cache per call: the first precompute pays the
+        # encodes, the next three (the other policies of a campaign
+        # replaying the same trace) are pure hits.
+        cache = ZeroTableCache()
+        for _ in range(4):
+            tables = precompute_line_zeros(
+                data, _SMOKE_SCHEMES, digest=digest, cache=cache
+            )
+        return tables
+
+    return cached_campaign
+
+
+@benchmark(
+    "coding.zero_table_uncached",
+    params={"lines": _LINES, "schemes": len(_SMOKE_SCHEMES), "repeats": 4},
+    inner_ops=4 * len(_SMOKE_SCHEMES),
+    description="the same 4-policy campaign with the cache bypassed "
+                "(the pre-cache cost; regression reference)",
+)
+def _zero_table_uncached():
+    from ..coding.pipeline import precompute_line_zeros
+
+    data = corpus.lines(_LINES)
+
+    def uncached_campaign():
+        for _ in range(4):
+            tables = precompute_line_zeros(data, _SMOKE_SCHEMES, cache=False)
+        return tables
+
+    return uncached_campaign
+
+
+@benchmark(
     "coding.bitops.popcount",
     params={"lines": _LINES},
     smoke=True,

@@ -76,6 +76,17 @@ class RunSpec:
             raise KeyError(
                 f"unknown system {self.system!r}; known: {sorted(SYSTEMS)}"
             )
+        # Validated against the live policy registry, so specs naming a
+        # program-registered policy (examples/custom_codec.py) pass.
+        # Imported lazily: the core package imports the campaign layer's
+        # consumers, and unpickling in workers skips __post_init__
+        # anyway — validation happens where specs are *built*.
+        from ..core.policies import known_policy, policy_names
+
+        if not known_policy(self.policy):
+            raise KeyError(
+                f"unknown policy {self.policy!r}; known: {policy_names()}"
+            )
         if self.accesses_per_core <= 0:
             raise ValueError("accesses_per_core must be positive")
         if self.lookahead is not None and self.lookahead < 0:

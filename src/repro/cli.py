@@ -58,7 +58,8 @@ import sys
 from . import __version__
 from .analysis.report import format_table
 from .campaign import CampaignRunner, ProgressLine, RunSpec
-from .core.framework import POLICIES, run_spec
+from .core.framework import run_spec
+from .core.policies import policy_names
 from .system.machine import SYSTEMS
 from .workloads.benchmarks import BENCHMARK_ORDER, BENCHMARKS
 
@@ -126,8 +127,17 @@ def cmd_list(_args) -> int:
         cfg = SYSTEMS[name]
         print(f"  {name:14s} {cfg.cores} cores @ {cfg.cpu_ghz} GHz, "
               f"{cfg.timing.name}")
+    from .coding.registry import scheme_items
+    from .core.policies import get_policy
+
+    print("\nCoding schemes:")
+    for name, info in scheme_items():
+        codec = "codec" if info.has_codec else "format-only"
+        print(f"  {name:10s} BL{info.burst_length:<3d} "
+              f"+{info.extra_latency}CL  {codec:11s} {info.description}")
     print("\nCoding policies:")
-    print("  " + ", ".join(POLICIES))
+    for name in policy_names():
+        print(f"  {name:14s} {get_policy(name).description}")
     from .experiments import ALL_EXPERIMENTS
 
     print("\nExperiments:")
@@ -343,6 +353,7 @@ def cmd_trace(args) -> int:
         dump_transactions_jsonl,
     )
     from .coding.pipeline import precompute_line_zeros
+    from .coding.registry import real_schemes
     from .core.framework import make_policy_factory
     from .system.simulator import simulate
     from .workloads.benchmarks import build_trace
@@ -351,8 +362,7 @@ def cmd_trace(args) -> int:
     trace = build_trace(args.benchmark.upper(), config,
                         accesses_per_core=args.scale)
     zeros = precompute_line_zeros(
-        trace.line_data, ("raw", "dbi", "milc", "3lwc", "lwc12",
-                          "cafo2", "cafo4"),
+        trace.line_data, real_schemes(), digest=trace.line_digest
     )
     result = simulate(trace, config,
                       make_policy_factory(args.policy, zeros))
@@ -505,6 +515,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Resolved at parser-build time, not import time, so policies
+    # registered by the calling program (examples/custom_codec.py) are
+    # accepted by --policy.
+    policies = policy_names()
+
     sub.add_parser("list", help="show benchmarks/systems/policies")
 
     def add_telemetry_flags(p, default_stem):
@@ -522,7 +537,7 @@ def main(argv: list[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="simulate one benchmark")
     p_run.add_argument("benchmark")
     p_run.add_argument("--system", default="ddr4-server")
-    p_run.add_argument("--policy", default="mil", choices=POLICIES)
+    p_run.add_argument("--policy", default="mil", choices=policies)
     p_run.add_argument("--scale", type=int, default=DEFAULT_SCALE)
     p_run.add_argument("--baseline", action="store_true",
                        help="also run and compare against DBI")
@@ -555,7 +570,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_suite = sub.add_parser("suite", help="run all 11 benchmarks")
     p_suite.add_argument("--system", default="ddr4-server")
-    p_suite.add_argument("--policy", default="mil", choices=POLICIES)
+    p_suite.add_argument("--policy", default="mil", choices=policies)
     p_suite.add_argument("--scale", type=int, default=DEFAULT_SCALE)
     p_suite.add_argument("--jobs", "-j", type=int, default=None,
                          help="worker processes (default: REPRO_JOBS or 1)")
@@ -566,7 +581,7 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("benchmark")
     p_trace.add_argument("output", help=".csv or .jsonl path")
     p_trace.add_argument("--system", default="ddr4-server")
-    p_trace.add_argument("--policy", default="mil", choices=POLICIES)
+    p_trace.add_argument("--policy", default="mil", choices=policies)
     p_trace.add_argument("--scale", type=int, default=DEFAULT_SCALE)
 
     p_tele = sub.add_parser(

@@ -13,6 +13,12 @@ This package implements every code the paper uses or compares against:
 * :class:`~repro.coding.cafo.CAFOCode` — the CAFO comparison point.
 * :class:`~repro.coding.optimal_lwc.OptimalStaticLWC` — frequency-optimal
   static codes for the Figure 7 potential study.
+
+Scheme knowledge (burst lengths, latencies, layouts, zero-count paths)
+lives in :mod:`~repro.coding.registry`; new codecs self-register with
+:func:`~repro.coding.registry.register_codec` and every downstream
+surface picks them up automatically.  Zero tables for repeated traces
+are served by the campaign-wide :mod:`~repro.coding.zerocache`.
 """
 
 from .base import BlockShapeError, CodingScheme
@@ -39,7 +45,21 @@ from .pipeline import (
     raw_line_zeros,
     scheme_for,
 )
+from .registry import (
+    CodecInfo,
+    NoCodecError,
+    codec_for,
+    codec_schemes,
+    real_schemes,
+    register_burst_format,
+    register_codec,
+    scheme_info,
+    scheme_items,
+    scheme_names,
+    unregister_scheme,
+)
 from .transition import TransitionSignaling
+from .zerocache import ZeroTableCache, global_cache, reset_global_cache
 
 __all__ = [
     "BlockShapeError",
@@ -68,4 +88,18 @@ __all__ = [
     "precompute_line_zeros",
     "raw_line_zeros",
     "scheme_for",
+    "CodecInfo",
+    "NoCodecError",
+    "codec_for",
+    "codec_schemes",
+    "real_schemes",
+    "register_burst_format",
+    "register_codec",
+    "scheme_info",
+    "scheme_items",
+    "scheme_names",
+    "unregister_scheme",
+    "ZeroTableCache",
+    "global_cache",
+    "reset_global_cache",
 ]

@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import CodingScheme
+from .registry import register_codec
 
 __all__ = ["CAFOCode"]
 
@@ -151,3 +152,15 @@ class CAFOCode(CodingScheme):
         bits = np.unpackbits(data, axis=-1)
         blocks = bits.reshape(bits.shape[:-1] + (data.shape[-1] // 8, 64))
         return self.count_zeros(blocks).sum(axis=-1)
+
+
+# The two deterministic-latency design points the paper evaluates
+# (Section 7.2): k half-passes cost k extra cycles of tCL.
+register_codec(
+    "cafo2", burst_length=10, extra_latency=2, layout="beat", pins=64,
+    description="CAFO with two fixed iterations, under the MiL framework",
+)(lambda: CAFOCode(iterations=2))
+register_codec(
+    "cafo4", burst_length=10, extra_latency=4, layout="beat", pins=64,
+    description="CAFO with four fixed iterations",
+)(lambda: CAFOCode(iterations=4))

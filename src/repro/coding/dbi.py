@@ -17,6 +17,7 @@ import numpy as np
 
 from .base import CodingScheme
 from .bitops import byte_popcount_table, bytes_to_bits
+from .registry import register_codec
 
 __all__ = ["DBICode", "dbi_zero_table"]
 
@@ -36,6 +37,10 @@ def dbi_zero_table() -> np.ndarray:
 _DBI_ZEROS = dbi_zero_table()
 
 
+@register_codec(
+    "dbi", burst_length=8, extra_latency=0, layout="line", pins=72,
+    description="DDR4's native DBI at burst length 8 (the baseline)",
+)
 class DBICode(CodingScheme):
     """The (8, 9) data bus inversion code from the DDR4 standard.
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import CodingScheme
+from .registry import register_codec
 
 __all__ = ["ThreeLWC", "lwc_zero_table", "MAX_ZEROS_PER_CODEWORD"]
 
@@ -83,6 +84,11 @@ def lwc_zero_table() -> np.ndarray:
 _LWC_ZEROS = lwc_zero_table()
 
 
+@register_codec(
+    "3lwc", burst_length=16, extra_latency=1, layout="line", pins=72,
+    description="always-on (8, 17) 3-LWC: 64 codewords over the 72 "
+                "data+DBI pins, 64 pad bits sent as 1s",
+)
 class ThreeLWC(CodingScheme):
     """The improved (8, 17) 3-LWC used as MiL's opportunistic long code."""
 

@@ -31,6 +31,7 @@ from math import comb
 import numpy as np
 
 from .base import CodingScheme
+from .registry import register_codec
 
 __all__ = [
     "KLimitedWeightCode",
@@ -209,3 +210,13 @@ class PerfectThreeLWC(CodingScheme):
         values = self._to_ints(words)
         syndromes = golay_syndrome(values)
         return self._to_bits(syndromes, 11).reshape(lead + (11,))
+
+
+# The Section 7.5.3 intermediate design point: an (8, 12) 3-LWC fills
+# exactly 12 beats over the 64 data pins, between MiLC (BL10) and the
+# (8, 17) 3-LWC (BL16).
+register_codec(
+    "lwc12", burst_length=12, extra_latency=1, layout="line", pins=64,
+    description="intermediate (8, 12) 3-LWC at burst length 12 "
+                "(Section 7.5.3)",
+)(lambda: KLimitedWeightCode(8, 12, 3))

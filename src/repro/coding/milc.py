@@ -39,6 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import CodingScheme
+from .registry import register_codec
 
 __all__ = ["MiLCCode"]
 
@@ -48,6 +49,10 @@ __all__ = ["MiLCCode"]
 _MODE_ZERO_COST = np.array([2, 1, 1, 0], dtype=np.int64)
 
 
+@register_codec(
+    "milc", burst_length=10, extra_latency=1, layout="beat", pins=64,
+    description="the paper's (64, 80) base code: 8 blocks over 64 pins",
+)
 class MiLCCode(CodingScheme):
     """The (64, 80) MiLC block code."""
 

@@ -1,10 +1,11 @@
 """Burst-level coding pipeline: cache lines -> bus beats and zero counts.
 
-The DRAM simulator moves 64-byte cache lines.  This module knows how
-each coding scheme packs a line onto the DDR4 data pins (Figure 12 of
-the paper), what burst length that implies, and how many 0s end up on
-the wires — the quantity the pseudo-open-drain IO energy model charges
-for (and, via transition signaling, the LPDDR3 flip count).
+The DRAM simulator moves 64-byte cache lines.  This module turns the
+:mod:`~repro.coding.registry` — the single source of truth for how each
+coding scheme packs a line onto the DDR4 data pins (Figure 12 of the
+paper), what burst length that implies, and how many 0s end up on the
+wires — into the zero tables the pseudo-open-drain IO energy model
+charges for (and, via transition signaling, the LPDDR3 flip count).
 
 Burst formats (Section 4.4):
 
@@ -20,26 +21,41 @@ cafo2/4   10            8 x (64 -> 80) blocks over 64 pins
 
 ``precompute_line_zeros`` is the hot path: it evaluates every scheme
 over an entire trace of lines with vectorised numpy so the simulator
-only ever does table lookups.
+only ever does table lookups — and serves repeated traces from the
+campaign-wide :mod:`~repro.coding.zerocache`, so a campaign that
+replays one trace under many policies encodes each (trace, scheme)
+pair exactly once per process.
+
+``BURST_FORMATS``, ``scheme_for`` and ``line_zeros`` are kept as thin
+derived views of the registry for backward compatibility; new code
+should use :mod:`repro.coding.registry` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import MutableMapping
 
 import numpy as np
 
+# Importing the codec modules is what populates the registry; pipeline
+# guarantees the built-in schemes are present regardless of how it was
+# reached.
+from . import cafo, dbi, lwc, lwc_family, milc  # noqa: F401
+from . import registry, zerocache
 from .bitops import zeros_in_bytes
-from .cafo import CAFOCode
-from .dbi import DBICode
-from .lwc import ThreeLWC
-from .lwc_family import KLimitedWeightCode
-from .milc import MiLCCode
+from .registry import (
+    LINE_BYTES,
+    BurstFormat,
+    NoCodecError,
+    beat_layout,
+    check_lines,
+)
 
 __all__ = [
     "LINE_BYTES",
     "BurstFormat",
     "BURST_FORMATS",
+    "NoCodecError",
     "beat_layout",
     "scheme_for",
     "line_zeros",
@@ -47,79 +63,7 @@ __all__ = [
     "raw_line_zeros",
 ]
 
-LINE_BYTES = 64
-
-_DBI = DBICode()
-_MILC = MiLCCode()
-_LWC = ThreeLWC()
-_CAFO2 = CAFOCode(iterations=2)
-_CAFO4 = CAFOCode(iterations=4)
-# The Section 7.5.3 intermediate design point: an (8, 12) 3-LWC fills
-# the gap between MiLC (BL10) and the (8, 17) 3-LWC (BL16).
-_LWC12 = KLimitedWeightCode(8, 12, 3)
-
-
-@dataclass(frozen=True)
-class BurstFormat:
-    """How one coding scheme occupies the data bus for a 64-byte line.
-
-    Attributes
-    ----------
-    scheme:
-        Short scheme name.
-    burst_length:
-        Beats per transaction (two beats per DRAM clock).
-    extra_latency:
-        Codec cycles added to tCL/tWL while this scheme is active.
-    """
-
-    scheme: str
-    burst_length: int
-    extra_latency: int
-
-    @property
-    def bus_cycles(self) -> int:
-        """DRAM clock cycles of data-bus occupancy (DDR: 2 beats/cycle)."""
-        return (self.burst_length + 1) // 2
-
-
-BURST_FORMATS: dict[str, BurstFormat] = {
-    # Uncoded transfer: the only option for x4 devices, which have no
-    # DBI pins (Section 2.1.1) - and MiL's fallback tier.
-    "raw": BurstFormat("raw", burst_length=8, extra_latency=0),
-    "dbi": BurstFormat("dbi", burst_length=8, extra_latency=0),
-    "milc": BurstFormat("milc", burst_length=10, extra_latency=1),
-    "3lwc": BurstFormat("3lwc", burst_length=16, extra_latency=1),
-    "cafo2": BurstFormat("cafo2", burst_length=10, extra_latency=2),
-    "cafo4": BurstFormat("cafo4", burst_length=10, extra_latency=4),
-    # Intermediate-length code (Section 7.5.3's suggestion): 64 x
-    # (8 -> 12) codewords fill exactly 12 beats over the 64 data pins.
-    "lwc12": BurstFormat("lwc12", burst_length=12, extra_latency=1),
-    # Hypothetical intermediate lengths for the Figure 20 fixed-burst
-    # sensitivity sweep (the paper evaluates BL 10/12/14/16 regardless
-    # of any specific code occupying them).
-    "bl12": BurstFormat("bl12", burst_length=12, extra_latency=1),
-    "bl14": BurstFormat("bl14", burst_length=14, extra_latency=1),
-}
-
-_SCHEMES = {
-    "dbi": _DBI,
-    "milc": _MILC,
-    "3lwc": _LWC,
-    "lwc12": _LWC12,
-    "cafo2": _CAFO2,
-    "cafo4": _CAFO4,
-}
-
-
-def scheme_for(name: str):
-    """Return the codec object registered under ``name``."""
-    try:
-        return _SCHEMES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown coding scheme {name!r}; known: {sorted(_SCHEMES)}"
-        ) from None
+_check_lines = check_lines  # historical private alias
 
 
 def raw_line_zeros(lines: np.ndarray) -> np.ndarray:
@@ -128,34 +72,78 @@ def raw_line_zeros(lines: np.ndarray) -> np.ndarray:
     Counted straight on the byte values (popcount), never via an 8x
     bit-array expansion — this runs once per line per campaign run.
     """
-    lines = _check_lines(lines)
-    return zeros_in_bytes(lines)
+    return zeros_in_bytes(check_lines(lines))
 
 
-def _check_lines(lines: np.ndarray) -> np.ndarray:
-    lines = np.asarray(lines, dtype=np.uint8)
-    if lines.ndim == 1:
-        lines = lines[None, :]
-    if lines.shape[-1] != LINE_BYTES:
-        raise ValueError(f"expected {LINE_BYTES}-byte lines, got {lines.shape[-1]}")
-    return lines
+# Uncoded transfer: the only option for x4 devices, which have no DBI
+# pins (Section 2.1.1) — and MiL's fallback tier.  It has no codec
+# object, but its zero-count path is the raw popcount.
+registry.register_burst_format(
+    "raw", burst_length=8, extra_latency=0,
+    count_fn=raw_line_zeros,
+    description="uncoded bursts (the only option on x4 devices)",
+)
+# Hypothetical intermediate lengths for the Figure 20 fixed-burst
+# sensitivity sweep (the paper evaluates BL 10/12/14/16 regardless of
+# any specific code occupying them).  No codec: asking them for zero
+# counts raises NoCodecError.
+registry.register_burst_format(
+    "bl12", burst_length=12, extra_latency=1,
+    description="fixed burst length 12 (Figure 20 sweep; no codec)",
+)
+registry.register_burst_format(
+    "bl14", burst_length=14, extra_latency=1,
+    description="fixed burst length 14 (Figure 20 sweep; no codec)",
+)
 
 
-def beat_layout(lines: np.ndarray) -> np.ndarray:
-    """Rearrange lines into bus-beat order (Figure 12(a)).
+class _BurstFormatView(MutableMapping):
+    """Live dict-shaped view of the registry (legacy ``BURST_FORMATS``).
 
-    A x8 rank ships one byte per chip per beat and chip ``j`` stores
-    byte ``j`` of every 64-bit word, so beat ``p`` carries byte ``p`` of
-    words 0..7 — the same byte position across eight consecutive words.
-    MiLC and CAFO operate on those 64-bit beats as 8x8 squares, which is
-    exactly where the spatial correlation they exploit lives (adjacent
-    doubles share exponent bytes, adjacent ints share zero bytes).
+    Reads reflect every registration, including ones made after import
+    (the one-file custom-codec path).  Writes forward to the registry
+    so the historical ``BURST_FORMATS["nzc"] = BurstFormat(...)`` recipe
+    keeps working.
     """
-    lines = _check_lines(lines)
-    n = lines.shape[0]
-    return (
-        lines.reshape(n, 8, 8).transpose(0, 2, 1).reshape(n, LINE_BYTES)
-    )
+
+    def __getitem__(self, name: str) -> BurstFormat:
+        try:
+            return registry.scheme_info(name).as_burst_format()
+        except KeyError:
+            raise KeyError(name) from None
+
+    def __setitem__(self, name: str, fmt: BurstFormat) -> None:
+        registry.register_burst_format(
+            name, burst_length=fmt.burst_length,
+            extra_latency=fmt.extra_latency,
+        )
+
+    def __delitem__(self, name: str) -> None:
+        if name not in registry.scheme_names():
+            raise KeyError(name)
+        registry.unregister_scheme(name)
+
+    def __iter__(self):
+        return iter(registry.scheme_names())
+
+    def __len__(self) -> int:
+        return len(registry.scheme_names())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BURST_FORMATS({dict(self)!r})"
+
+
+BURST_FORMATS: MutableMapping = _BurstFormatView()
+
+
+def scheme_for(name: str):
+    """Return the codec object registered under ``name``.
+
+    Raises ``KeyError`` for unknown schemes and :class:`NoCodecError`
+    (a ``KeyError`` subclass) for burst-format-only entries such as
+    ``bl12``/``bl14`` or ``raw``.
+    """
+    return registry.codec_for(name)
 
 
 def line_zeros(scheme: str, lines: np.ndarray) -> np.ndarray:
@@ -163,33 +151,54 @@ def line_zeros(scheme: str, lines: np.ndarray) -> np.ndarray:
 
     Accepts ``(n, 64)`` uint8 lines (or a single line) and returns an
     ``(n,)`` int64 count that already includes flag/mode/pad bits.
+    Burst-format-only schemes raise :class:`NoCodecError`.
     """
-    lines = _check_lines(lines)
-    if scheme == "dbi":
-        return _DBI.count_zeros_bytes(lines)
-    if scheme == "3lwc":
-        # 64 pad bits per line are driven to 1 and contribute no zeros.
-        return _LWC.count_zeros_bytes(lines)
-    if scheme == "milc":
-        return _MILC.count_zeros_bytes(beat_layout(lines))
-    if scheme == "cafo2":
-        return _CAFO2.count_zeros_bytes(beat_layout(lines))
-    if scheme == "cafo4":
-        return _CAFO4.count_zeros_bytes(beat_layout(lines))
-    if scheme == "lwc12":
-        return _LWC12.count_zeros_bytes(lines)
-    if scheme == "raw":
-        return raw_line_zeros(lines)
-    raise KeyError(f"unknown coding scheme {scheme!r}")
+    return registry.scheme_info(scheme).line_zeros(lines)
 
 
 def precompute_line_zeros(
-    lines: np.ndarray, schemes: tuple[str, ...] = ("dbi", "milc", "3lwc")
+    lines: np.ndarray,
+    schemes: tuple[str, ...] = ("dbi", "milc", "3lwc"),
+    digest: str | None = None,
+    cache=True,
 ) -> dict[str, np.ndarray]:
     """Evaluate several schemes over a whole trace of lines at once.
 
     The simulator calls this once per workload and then charges IO
     energy with O(1) lookups per transferred burst.
+
+    Tables are served from the campaign-wide
+    :class:`~repro.coding.zerocache.ZeroTableCache`, keyed on
+    ``(trace digest, scheme)``, so replaying one trace under many
+    policies encodes each pair once per process.  ``digest`` lets the
+    caller supply a precomputed content digest of ``lines`` (e.g.
+    :attr:`~repro.workloads.trace.MemoryTrace.line_digest`); ``cache``
+    may be ``False`` (bypass), ``True`` (the process-global cache), or
+    a private :class:`~repro.coding.zerocache.ZeroTableCache`.  Cached
+    tables are read-only arrays.
     """
-    lines = _check_lines(lines)
-    return {scheme: line_zeros(scheme, lines) for scheme in schemes}
+    lines = check_lines(lines)
+    if cache is True:
+        cache = zerocache.global_cache() if zerocache.cache_enabled() else None
+    elif cache is False:
+        cache = None
+    if cache is None:
+        return {scheme: line_zeros(scheme, lines) for scheme in schemes}
+    if digest is None:
+        digest = zerocache.lines_digest(lines)
+    tables: dict[str, np.ndarray] = {}
+    for scheme in schemes:
+        table = cache.get(digest, scheme)
+        if table is None:
+            table = cache.put(digest, scheme, line_zeros(scheme, lines))
+        tables[scheme] = table
+    return tables
+
+
+def __getattr__(name: str):
+    # Legacy private surface, derived live from the registry so old
+    # call sites (and tests) keep seeing every registered codec.
+    if name == "_SCHEMES":
+        return {n: registry.scheme_info(n).codec
+                for n in registry.codec_schemes()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -19,7 +19,7 @@ The baseline :class:`AlwaysScheme` policy always answers ``"dbi"``.
 
 from __future__ import annotations
 
-from ..coding.pipeline import BURST_FORMATS
+from ..coding.registry import scheme_info
 from ..dram.channel import DRAMChannel
 from ..dram.commands import CommandType, Geometry
 from ..dram.refresh import RefreshScheduler
@@ -38,12 +38,9 @@ class AlwaysScheme:
     probe = None  # telemetry slot; set by ChannelController.attach_probe
 
     def __init__(self, scheme: str = "dbi", extra_cl: int | None = None):
-        if scheme not in BURST_FORMATS:
-            raise KeyError(f"unknown scheme {scheme!r}")
+        info = scheme_info(scheme)
         self.scheme = scheme
-        self.extra_cl = (
-            BURST_FORMATS[scheme].extra_latency if extra_cl is None else extra_cl
-        )
+        self.extra_cl = info.extra_latency if extra_cl is None else extra_cl
 
     def choose(self, controller: "ChannelController", request, now: int) -> str:
         if self.probe is not None:
@@ -52,7 +49,7 @@ class AlwaysScheme:
 
     @property
     def max_bus_cycles(self) -> int:
-        return BURST_FORMATS[self.scheme].bus_cycles
+        return scheme_info(self.scheme).bus_cycles
 
 
 class ChannelController:
@@ -382,7 +379,7 @@ class ChannelController:
         if pick.cmd.is_column:
             req = pick.request
             scheme = self.policy.choose(self, req, now)
-            fmt = BURST_FORMATS[scheme]
+            fmt = scheme_info(scheme)
             auto_pre = (
                 self.page_policy == "closed"
                 and not self._row_has_more_hits(req)

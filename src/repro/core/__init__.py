@@ -3,12 +3,21 @@
 from .config import MiLConfig
 from .decision import MiLCOnlyPolicy, MiLPolicy
 from .framework import (
-    POLICIES,
     RunSummary,
     energy_params_for,
     make_policy_factory,
     run,
     system_energy_params_for,
+)
+from .policies import (
+    PolicyContext,
+    PolicyInfo,
+    get_policy,
+    known_policy,
+    policy_names,
+    policy_table,
+    register_policy,
+    unregister_policy,
 )
 
 __all__ = [
@@ -16,9 +25,24 @@ __all__ = [
     "MiLCOnlyPolicy",
     "MiLPolicy",
     "POLICIES",
+    "PolicyContext",
+    "PolicyInfo",
     "RunSummary",
     "energy_params_for",
+    "get_policy",
+    "known_policy",
     "make_policy_factory",
+    "policy_names",
+    "policy_table",
+    "register_policy",
     "run",
     "system_energy_params_for",
+    "unregister_policy",
 ]
+
+
+def __getattr__(name: str):
+    # Live view: policies registered after import stay visible.
+    if name == "POLICIES":
+        return policy_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..coding.pipeline import BURST_FORMATS
+from ..coding.registry import scheme_info
 
 __all__ = ["MiLConfig"]
 
@@ -59,13 +59,11 @@ class MiLConfig:
     count_prefetches: bool = False
 
     def __post_init__(self) -> None:
-        for scheme in (self.base_scheme, self.long_scheme, self.fallback_scheme):
-            if scheme not in BURST_FORMATS:
-                raise KeyError(f"unknown scheme {scheme!r}")
+        base = scheme_info(self.base_scheme)
+        long = scheme_info(self.long_scheme)
+        scheme_info(self.fallback_scheme)
         if self.short_lookahead is not None and self.short_lookahead < 0:
             raise ValueError("short_lookahead must be non-negative")
-        base = BURST_FORMATS[self.base_scheme]
-        long = BURST_FORMATS[self.long_scheme]
         if long.bus_cycles < base.bus_cycles:
             raise ValueError(
                 "long scheme must occupy at least as many bus cycles as "
@@ -79,12 +77,12 @@ class MiLConfig:
         """The X actually used by the decision logic."""
         if self.lookahead is not None:
             return self.lookahead
-        return BURST_FORMATS[self.long_scheme].bus_cycles
+        return scheme_info(self.long_scheme).bus_cycles
 
     @property
     def extra_cl(self) -> int:
         """Codec latency folded into the column path (Section 7.1)."""
         return max(
-            BURST_FORMATS[self.base_scheme].extra_latency,
-            BURST_FORMATS[self.long_scheme].extra_latency,
+            scheme_info(self.base_scheme).extra_latency,
+            scheme_info(self.long_scheme).extra_latency,
         )

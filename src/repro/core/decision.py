@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..coding.pipeline import BURST_FORMATS
+from ..coding.registry import scheme_info
 from .config import MiLConfig
 
 __all__ = ["MiLPolicy", "MiLCOnlyPolicy"]
@@ -36,10 +36,8 @@ class MiLCOnlyPolicy:
     probe = None  # telemetry slot; set by ChannelController.attach_probe
 
     def __init__(self, scheme: str = "milc"):
-        if scheme not in BURST_FORMATS:
-            raise KeyError(f"unknown scheme {scheme!r}")
         self.scheme = scheme
-        self.extra_cl = BURST_FORMATS[scheme].extra_latency
+        self.extra_cl = scheme_info(scheme).extra_latency
 
     def choose(self, controller, request, now: int) -> str:
         if self.probe is not None:

@@ -7,22 +7,9 @@ execution time, zero counts, scheme mix, energy breakdowns, and the
 Figures 4-6 bus statistics.  The experiment modules and the benchmark
 harness are thin loops around it.
 
-Policy names:
+Policy names (this table is generated from :mod:`repro.core.policies`
+at import time, so it always matches the registered set):
 
-========== =========================================================
-``raw``     uncoded bursts (the only option on x4 devices, which
-            lack DBI pins)
-``dbi``     baseline: DDR4's native DBI at burst length 8
-``milc``    MiLC-only (always the base code)
-``mil``     the full opportunistic framework (MiLC + 3-LWC + rdyX)
-``mil-adaptive`` mil plus an uncoded fallback tier under saturation
-            (the Section 7.5.2 "more sophisticated decision logic")
-``cafo2``   CAFO with two fixed iterations, under the MiL framework
-``cafo4``   CAFO with four fixed iterations
-``3lwc``    always-on 3-LWC (the Figure 2 strawman)
-``bl12``    fixed burst length 12 (Figure 20 sweep; no energy model)
-``bl14``    fixed burst length 14 (Figure 20 sweep; no energy model)
-========== =========================================================
 """
 
 from __future__ import annotations
@@ -37,7 +24,7 @@ from ..analysis.metrics import (
     slack_histogram,
 )
 from ..coding.pipeline import precompute_line_zeros, raw_line_zeros
-from ..controller.controller import AlwaysScheme
+from ..coding.registry import real_schemes
 from ..energy.constants import (
     DDR4_ENERGY,
     LPDDR3_ENERGY,
@@ -49,20 +36,23 @@ from ..energy.system_power import SystemEnergyModel
 from ..system.machine import NIAGARA_SERVER, SNAPDRAGON_MOBILE, SystemConfig
 from ..system.simulator import simulate
 from ..workloads.benchmarks import DEFAULT_ACCESSES_PER_CORE, build_trace
-from .config import MiLConfig
-from .decision import MiLCOnlyPolicy, MiLPolicy
+from .decision import MiLPolicy
+from .policies import get_policy, make_factory, policy_names, policy_table
 
 __all__ = ["POLICIES", "RunSummary", "run", "run_spec",
            "make_policy_factory", "energy_params_for",
            "system_energy_params_for"]
 
-POLICIES = (
-    "raw", "dbi", "milc", "mil", "mil-adaptive", "mil-lwc12", "cafo2",
-    "cafo4", "3lwc", "bl12", "bl14",
-)
+__doc__ = (__doc__ or "") + policy_table() + "\n"
 
-# Coding schemes with real codecs (zero tables exist for these).
-_REAL_SCHEMES = ("raw", "dbi", "milc", "3lwc", "lwc12", "cafo2", "cafo4")
+
+def __getattr__(name: str):
+    # ``POLICIES`` is a live view of the policy registry, so policies
+    # registered after import (one-file extensions) are visible to
+    # legacy consumers of the tuple too.
+    if name == "POLICIES":
+        return policy_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def energy_params_for(config: SystemConfig):
@@ -96,40 +86,10 @@ def make_policy_factory(
 ):
     """Build a per-channel policy factory for :func:`simulate`.
 
-    ``mil_overrides`` are extra :class:`MiLConfig` fields applied on
-    top of the policy's canonical configuration; only the ``mil``
-    family has a configuration, so overrides on other policies are an
-    error rather than a silent no-op.
+    Thin alias of :func:`repro.core.policies.make_factory`, kept under
+    its historical name.
     """
-    def mil_config(**kwargs) -> MiLConfig:
-        if mil_overrides:
-            kwargs.update(mil_overrides)
-        return MiLConfig(**kwargs)
-
-    if mil_overrides and policy not in ("mil", "mil-lwc12", "mil-adaptive"):
-        raise ValueError(
-            f"policy {policy!r} has no MiLConfig to override"
-        )
-    if policy == "dbi":
-        return lambda: AlwaysScheme("dbi")
-    if policy == "milc":
-        return lambda: MiLCOnlyPolicy("milc")
-    if policy == "mil":
-        config = mil_config(lookahead=lookahead)
-        return lambda: MiLPolicy(config, zeros_by_scheme)
-    if policy == "mil-lwc12":
-        # Section 7.5.3's intermediate long code: (8,12) 3-LWC at BL12
-        # captures shorter idle windows than the (8,17) code's BL16.
-        config = mil_config(lookahead=lookahead, long_scheme="lwc12")
-        return lambda: MiLPolicy(config, zeros_by_scheme)
-    if policy == "mil-adaptive":
-        # The Section 7.5.2 extension: a third, uncoded tier engaged
-        # under bus saturation (see MiLConfig.short_lookahead).
-        config = mil_config(lookahead=lookahead, short_lookahead=12)
-        return lambda: MiLPolicy(config, zeros_by_scheme)
-    if policy in ("raw", "cafo2", "cafo4", "3lwc", "bl12", "bl14"):
-        return lambda: AlwaysScheme(policy)
-    raise KeyError(f"unknown policy {policy!r}; known: {POLICIES}")
+    return make_factory(policy, zeros_by_scheme, lookahead, mil_overrides)
 
 
 @dataclass
@@ -217,7 +177,9 @@ def run(
     trace = build_trace(
         benchmark, config, seed=seed, accesses_per_core=accesses_per_core
     )
-    zeros_by_scheme = precompute_line_zeros(trace.line_data, _REAL_SCHEMES)
+    zeros_by_scheme = precompute_line_zeros(
+        trace.line_data, real_schemes(), digest=trace.line_digest
+    )
     factory = make_policy_factory(
         policy, zeros_by_scheme, lookahead, mil_overrides
     )
@@ -228,7 +190,7 @@ def run(
     )
 
     # Energy: only defined for policies whose schemes have codecs.
-    has_energy = policy not in ("bl12", "bl14")
+    has_energy = get_policy(policy).has_energy
     dram_energy: dict = {}
     system_energy: dict = {}
     total_zeros = 0

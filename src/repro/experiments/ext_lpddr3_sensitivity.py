@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..campaign import RunSpec
+from ..coding.registry import scheme_info
 from ..system.machine import SNAPDRAGON_MOBILE
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
@@ -20,7 +21,10 @@ from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
 __all__ = ["run_experiment", "plan"]
 
-BURST_POLICIES = (("milc", 10), ("bl12", 12), ("bl14", 14), ("3lwc", 16))
+BURST_POLICIES = tuple(
+    (policy, scheme_info(policy).burst_length)
+    for policy in ("milc", "bl12", "bl14", "3lwc")
+)
 LOOKAHEADS = (0, 4, 8, 14)
 
 _MOBILE = SNAPDRAGON_MOBILE.name

@@ -42,7 +42,8 @@ def run_experiment(
     for bench in BENCHMARK_ORDER:
         trace = build_trace(bench, NIAGARA_SERVER,
                             accesses_per_core=accesses_per_core)
-        zeros = precompute_line_zeros(trace.line_data, _SCHEMES)
+        zeros = precompute_line_zeros(trace.line_data, _SCHEMES,
+                                      digest=trace.line_digest)
         base = simulate(trace, NIAGARA_SERVER,
                         make_policy_factory("dbi", zeros))
         mil = simulate(trace, NIAGARA_SERVER,

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..campaign import RunSpec
+from ..coding.registry import scheme_info
 from ..system.machine import NIAGARA_SERVER
 from ..workloads.benchmarks import BENCHMARK_ORDER
 from .base import ExperimentResult
@@ -20,8 +21,12 @@ from .runner import EXPERIMENT_ACCESSES_PER_CORE, gather
 
 __all__ = ["run_experiment", "plan", "BURST_POLICIES"]
 
-# Policy name -> burst length it pins the bus to.
-BURST_POLICIES = (("milc", 10), ("bl12", 12), ("bl14", 14), ("3lwc", 16))
+# Policy name -> burst length it pins the bus to (from the registry, so
+# the sweep labels can never drift from the simulated burst lengths).
+BURST_POLICIES = tuple(
+    (policy, scheme_info(policy).burst_length)
+    for policy in ("milc", "bl12", "bl14", "3lwc")
+)
 
 PAPER_MEAN_SLOWDOWN = {10: 1.03, 12: 1.06, 14: 1.065, 16: 1.093}
 

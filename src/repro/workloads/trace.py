@@ -58,6 +58,21 @@ class MemoryTrace:
             )
 
     @property
+    def line_digest(self) -> str:
+        """Content digest of ``line_data`` (zero-table cache key).
+
+        Hashed once per trace object; ``build_trace`` caches and reuses
+        traces within a process, so every policy replaying this trace
+        shares the digest — and therefore the cached zero tables.
+        """
+        digest = getattr(self, "_line_digest", None)
+        if digest is None:
+            from ..coding.zerocache import lines_digest
+
+            digest = self._line_digest = lines_digest(self.line_data)
+        return digest
+
+    @property
     def total_records(self) -> int:
         return sum(len(recs) for recs in self.records_by_core)
 

@@ -9,6 +9,7 @@ byte-identical output, and pin the benchmark corpus digest so pinned
 performance baselines notice input drift too.
 """
 
+import hashlib
 import json
 
 from repro.bench.corpus import corpus_digest
@@ -67,6 +68,66 @@ def test_cache_key_changes_with_spec_and_fingerprint():
 
 def test_benchmark_corpus_is_pinned():
     assert corpus_digest(2048) == CORPUS_DIGEST
+
+
+class TestRegistryRefactorIdentity:
+    """Golden pins proving the registry refactor changed no bytes.
+
+    These values were captured on the pre-registry tree (BURST_FORMATS
+    dict, POLICIES tuple, make_policy_factory if-chain).  The registry,
+    the derived views, and the zero-table cache must reproduce them
+    exactly: same cache keys (same canonical spec encoding) and same
+    summary bytes (same simulation and energy arithmetic).  The model
+    fingerprint is pinned because it hashes source files and changes
+    with any edit — the *keying scheme*, not the fingerprint, is under
+    test.
+    """
+
+    FINGERPRINT = "f" * 16
+
+    GOLDEN_KEYS = {
+        RunSpec(benchmark="GUPS", policy="mil", accesses_per_core=200):
+            "GUPS-ddr4-server-mil-xauto-n200-s0-c0b4ea98fe7c",
+        RunSpec(benchmark="MM", policy="dbi", accesses_per_core=150):
+            "MM-ddr4-server-dbi-xauto-n150-s0-db0eb8ad6265",
+        RunSpec(benchmark="OCEAN", system="lpddr3-mobile",
+                policy="mil-adaptive", accesses_per_core=150, seed=2):
+            "OCEAN-lpddr3-mobile-mil-adaptive-xauto-n150-s2-58a8de5a5b53",
+        RunSpec(benchmark="CG", policy="bl14", accesses_per_core=150):
+            "CG-ddr4-server-bl14-xauto-n150-s0-ff7fa24bf460",
+        RunSpec(benchmark="FFT", policy="mil-lwc12", lookahead=9,
+                accesses_per_core=150):
+            "FFT-ddr4-server-mil-lwc12-x9-n150-s0-36a1996a30d3",
+        RunSpec(benchmark="GUPS", policy="cafo2", accesses_per_core=150):
+            "GUPS-ddr4-server-cafo2-xauto-n150-s0-c83348fc2d67",
+    }
+
+    GOLDEN_SUMMARIES = {
+        RunSpec(benchmark="GUPS", policy="mil", accesses_per_core=200):
+            "b5d7ca8c7ac14b0db7115e507a8985fa"
+            "a567193b01215d9b8f1ddc35c39b4c4f",
+        RunSpec(benchmark="MM", policy="dbi", accesses_per_core=150):
+            "179671d6efda2996b8107764e90b3c2b"
+            "33681aafdbae8aec257108abfcb7c600",
+        RunSpec(benchmark="OCEAN", system="lpddr3-mobile",
+                policy="mil-adaptive", accesses_per_core=150, seed=2):
+            "4155a80cc13c02d811bc58c41d2c2eb9"
+            "17d970f7244625ed2da788e8c88b044b",
+        RunSpec(benchmark="CG", policy="bl14", accesses_per_core=150):
+            "481ea5f399041d93ee6f03be9624a158"
+            "e9f2b746a055d523bc28dc023c8083b9",
+    }
+
+    def test_cache_keys_are_unchanged(self):
+        for spec, expected in self.GOLDEN_KEYS.items():
+            assert cache_key(spec, self.FINGERPRINT) == expected
+
+    def test_summary_bytes_are_unchanged(self):
+        for spec, expected in self.GOLDEN_SUMMARIES.items():
+            digest = hashlib.sha256(
+                _canonical_summary(spec).encode()
+            ).hexdigest()
+            assert digest == expected, spec.slug
 
 
 class TestAuditOutsideRunIdentity:

@@ -1,0 +1,43 @@
+"""examples/custom_codec.py completes a real run — in its own process.
+
+The example registers a new scheme (``lwc14``) and policy
+(``mil-lwc14``) at program level and drives the stock CLI; running it
+in a subprocess keeps those registrations out of this test session's
+registries, and proves the one-file extension story works from a cold
+interpreter (registration order, CLI choices, RunSpec validation,
+energy accounting — the whole path).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+EXAMPLE = REPO_ROOT / "examples" / "custom_codec.py"
+
+
+def test_example_runs_end_to_end():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLE), "--fast"],
+        capture_output=True, text=True, timeout=600, env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    # The run must actually grant the new long code some bursts and
+    # model its energy (an unknown scheme would have raised instead).
+    assert "mil-lwc14" in out
+    assert "lwc14" in out
+    assert "DRAM energy" in out
+    assert "vs DBI" in out
+
+
+def test_registrations_do_not_leak_into_this_session():
+    from repro.coding.registry import scheme_names
+    from repro.core.policies import policy_names
+
+    assert "lwc14" not in scheme_names()
+    assert "mil-lwc14" not in policy_names()

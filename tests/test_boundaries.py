@@ -1,0 +1,50 @@
+"""The registry boundary holds: nothing outside repro.coding touches
+the legacy BURST_FORMATS/_SCHEMES views (see tools/lint_boundaries.py,
+which CI runs as a standalone step)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINTER = REPO_ROOT / "tools" / "lint_boundaries.py"
+
+
+def _load_linter():
+    spec = importlib.util.spec_from_file_location("lint_boundaries", LINTER)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("lint_boundaries", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBoundaryLint:
+    def test_tree_is_clean(self):
+        lint = _load_linter()
+        assert lint.check_tree() == []
+
+    def test_catches_legacy_import(self):
+        lint = _load_linter()
+        bad = "from ..coding.pipeline import BURST_FORMATS\n"
+        problems = lint.check_source(bad, "fake.py")
+        assert len(problems) == 1
+        assert "BURST_FORMATS" in problems[0]
+        assert "registry" in problems[0]
+
+    def test_catches_attribute_spelling(self):
+        lint = _load_linter()
+        bad = (
+            "from repro.coding import pipeline\n"
+            "x = pipeline.BURST_FORMATS['dbi']\n"
+        )
+        problems = lint.check_source(bad, "fake.py")
+        assert any("BURST_FORMATS" in p for p in problems)
+
+    def test_allows_local_tuples_and_registry(self):
+        lint = _load_linter()
+        good = (
+            "_SCHEMES = ('raw', 'dbi')\n"
+            "from ..coding.registry import scheme_info, real_schemes\n"
+            "bl = scheme_info('dbi').burst_length\n"
+        )
+        assert lint.check_source(good, "fake.py") == []

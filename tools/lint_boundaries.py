@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Boundary lint: the coding registry is the only sanctioned surface.
+
+``BURST_FORMATS`` and ``_SCHEMES`` are backward-compatibility views kept
+inside ``repro.coding``; modules elsewhere in the package must go
+through :mod:`repro.coding.registry` (``scheme_info``, ``real_schemes``,
+...) so that scheme knowledge cannot fragment again.  This linter walks
+every module under ``src/repro`` outside ``repro/coding`` and flags:
+
+* ``from ...coding.pipeline import BURST_FORMATS`` (any coding module,
+  any of the legacy names), and
+* attribute access spelling one of the legacy names on an imported
+  module (``pipeline.BURST_FORMATS``).
+
+A module defining its *own* local name (e.g. an experiment's private
+``_SCHEMES`` tuple of strings) is fine — the lint only polices imports
+from ``repro.coding``.
+
+Run from the repository root (CI does)::
+
+    python tools/lint_boundaries.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+LEGACY_NAMES = frozenset({"BURST_FORMATS", "_SCHEMES"})
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+EXEMPT = "coding"  # the package that owns (and may use) the legacy views
+
+
+def _is_coding_module(module: str) -> bool:
+    """True for ``repro.coding`` / ``..coding.pipeline`` style modules."""
+    parts = module.split(".")
+    return "coding" in parts
+
+
+def check_source(source: str, filename: str) -> list[str]:
+    """Return ``file:line: message`` strings for every violation."""
+    problems = []
+    tree = ast.parse(source, filename=filename)
+    coding_aliases = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if not (_is_coding_module(module) or node.level and not module):
+                continue
+            for alias in node.names:
+                if alias.name in LEGACY_NAMES and _is_coding_module(module):
+                    problems.append(
+                        f"{filename}:{node.lineno}: imports {alias.name} "
+                        f"from {module!r}; use repro.coding.registry"
+                    )
+                # Track `from .. import coding` / submodule aliases so
+                # attribute spellings can be attributed to them.
+                if _is_coding_module(module) or alias.name == "coding":
+                    coding_aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_coding_module(alias.name):
+                    coding_aliases.add(
+                        alias.asname or alias.name.split(".")[0]
+                    )
+        elif isinstance(node, ast.Attribute):
+            if node.attr in LEGACY_NAMES:
+                problems.append(
+                    f"{filename}:{node.lineno}: accesses .{node.attr}; "
+                    "use repro.coding.registry"
+                )
+    return problems
+
+
+def check_tree(root: Path = SRC_ROOT) -> list[str]:
+    problems = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if rel.parts and rel.parts[0] == EXEMPT:
+            continue
+        problems.extend(
+            check_source(path.read_text(encoding="utf-8"), str(path))
+        )
+    return problems
+
+
+def main() -> int:
+    problems = check_tree()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(
+            f"boundary lint: {len(problems)} violation(s); scheme "
+            "knowledge belongs behind repro.coding.registry",
+            file=sys.stderr,
+        )
+        return 1
+    print("boundary lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
