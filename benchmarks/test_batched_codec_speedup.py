@@ -1,0 +1,53 @@
+"""Gate: the batched numpy kernels actually beat the reference oracle.
+
+The backend slot exists so the pure-Python reference implementations
+can serve as the correctness oracle while the vectorised numpy kernels
+carry the hot path.  That division of labour is only honest if the
+fast path is actually fast: for each gated scheme, the registered pair
+``coding.encode_trace.<scheme>`` / ``coding.encode_trace_reference.
+<scheme>`` (see ``repro.bench.suite``) times the same batched
+``encode_lines`` workload — same corpus, same layout — through both
+backends, and the numpy median must come out at least 3x ahead.
+
+The observed margins are 15-200x; 3x leaves generous head-room for
+slow CI machines while still catching a silent fall-back to
+per-element Python in a rewritten kernel.
+"""
+
+import pytest
+
+from repro.bench import get, measure
+
+MIN_SPEEDUP = 3.0
+ATTEMPTS = 3  # whole-comparison retries before failing
+GATED_SCHEMES = ("milc", "cafo2", "3lwc")
+
+
+@pytest.mark.parametrize("scheme", GATED_SCHEMES)
+def test_numpy_kernel_beats_reference(scheme):
+    fast = get(f"coding.encode_trace.{scheme}")
+    oracle = get(f"coding.encode_trace_reference.{scheme}")
+
+    best = 0.0
+    for _ in range(ATTEMPTS):
+        t_fast = measure(fast.build(), repeats=5, warmup=1,
+                         inner_ops=fast.inner_ops).median_ns
+        t_oracle = measure(oracle.build(), repeats=3, warmup=1,
+                           inner_ops=oracle.inner_ops).median_ns
+        speedup = t_oracle / t_fast
+        best = max(best, speedup)
+        if speedup >= MIN_SPEEDUP:
+            return
+    pytest.fail(
+        f"{scheme}: numpy encode_trace speedup {best:.2f}x over the "
+        f"reference backend is below the {MIN_SPEEDUP}x gate"
+    )
+
+
+@pytest.mark.parametrize("scheme", GATED_SCHEMES)
+def test_gated_backends_agree(scheme):
+    # The benchmarks time the same computation; prove it IS the same.
+    fast_bits = get(f"coding.encode_trace.{scheme}").build()()
+    oracle_bits = get(f"coding.encode_trace_reference.{scheme}").build()()
+    assert fast_bits.shape == oracle_bits.shape
+    assert (fast_bits == oracle_bits).all()

@@ -38,6 +38,13 @@ Commands
 ``--jobs`` (or the ``REPRO_JOBS`` environment variable) sets the
 process-pool width for campaign-backed commands; ``-j1`` stays serial.
 
+``--codec-impl {reference,numpy,native}`` (or the ``REPRO_CODEC_IMPL``
+environment variable) selects the codec backend for every command:
+``numpy`` is the vectorised default, ``reference`` the pure-Python
+oracle, ``native`` an optional accelerated slot that falls back per
+scheme.  All backends are bit-identical, so results never change —
+only wall-clock does.
+
 ``run`` and ``campaign`` accept ``--audit`` (record each run's DRAM
 command log and re-derive every Table 2 constraint from it post-run;
 rides outside the run's identity, so cache keys are unchanged) and
@@ -53,6 +60,7 @@ value).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import __version__
@@ -71,6 +79,11 @@ DEFAULT_SCALE = 4000
 # argument parser does not import numpy and the whole bench package.
 _BENCH_REPEATS = 7
 _BENCH_WARMUP = 2
+
+# Mirrors repro.coding.registry (IMPL_ENV / KNOWN_IMPLS) for the same
+# reason; registry validates the value again when codecs are built.
+_IMPL_ENV = "REPRO_CODEC_IMPL"
+_KNOWN_IMPLS = ("reference", "numpy", "native")
 
 
 def _system(name: str):
@@ -513,6 +526,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}",
     )
+    parser.add_argument(
+        "--codec-impl", default=None, choices=_KNOWN_IMPLS,
+        help="codec backend for this invocation (overrides the "
+             f"{_IMPL_ENV} environment variable); every backend is "
+             "bit-identical, so this only affects wall-clock",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     # Resolved at parser-build time, not import time, so policies
@@ -664,7 +683,20 @@ def main(argv: list[str] | None = None) -> int:
         "fuzz": cmd_fuzz,
         "bench": cmd_bench,
     }[args.command]
-    return handler(args)
+    if args.codec_impl is None:
+        return handler(args)
+    # Publish the choice through the environment so worker processes
+    # (campaign pools) inherit it, and restore afterwards: tests call
+    # main() in-process and must not leak backend selection.
+    saved = os.environ.get(_IMPL_ENV)
+    os.environ[_IMPL_ENV] = args.codec_impl
+    try:
+        return handler(args)
+    finally:
+        if saved is None:
+            os.environ.pop(_IMPL_ENV, None)
+        else:
+            os.environ[_IMPL_ENV] = saved
 
 
 if __name__ == "__main__":

@@ -19,13 +19,20 @@ lives in :mod:`~repro.coding.registry`; new codecs self-register with
 :func:`~repro.coding.registry.register_codec` and every downstream
 surface picks them up automatically.  Zero tables for repeated traces
 are served by the campaign-wide :mod:`~repro.coding.zerocache`.
+
+Every registered codec additionally carries a *backend slot*: the
+vectorised batched kernels (``impl="numpy"``, the default) are
+cross-validated bit-for-bit against the pure-Python oracle in
+:mod:`~repro.coding.reference` (``impl="reference"``), selected
+process-wide via ``REPRO_CODEC_IMPL`` or per call via
+:func:`~repro.coding.registry.codec_for`'s ``impl`` argument.
 """
 
 from .base import BlockShapeError, CodingScheme
 from .businvert import BusInvertCode
 from .cafo import CAFOCode
 from .dbi import DBICode, dbi_zero_table
-from .lwc import ThreeLWC, lwc_zero_table
+from .lwc import ThreeLWC, lwc_mode_table, lwc_zero_table
 from .lwc_family import (
     GOLAY_POLY,
     KLimitedWeightCode,
@@ -40,22 +47,29 @@ from .pipeline import (
     LINE_BYTES,
     BurstFormat,
     beat_layout,
+    encode_trace,
     line_zeros,
     precompute_line_zeros,
     raw_line_zeros,
     scheme_for,
 )
 from .registry import (
+    DEFAULT_IMPL,
+    IMPL_ENV,
+    KNOWN_IMPLS,
     CodecInfo,
     NoCodecError,
+    active_impl,
     codec_for,
     codec_schemes,
     real_schemes,
+    register_backend,
     register_burst_format,
     register_codec,
     scheme_info,
     scheme_items,
     scheme_names,
+    unregister_backend,
     unregister_scheme,
 )
 from .transition import TransitionSignaling
@@ -69,6 +83,7 @@ __all__ = [
     "DBICode",
     "dbi_zero_table",
     "ThreeLWC",
+    "lwc_mode_table",
     "lwc_zero_table",
     "GOLAY_POLY",
     "KLimitedWeightCode",
@@ -84,20 +99,27 @@ __all__ = [
     "LINE_BYTES",
     "BurstFormat",
     "beat_layout",
+    "encode_trace",
     "line_zeros",
     "precompute_line_zeros",
     "raw_line_zeros",
     "scheme_for",
     "CodecInfo",
+    "DEFAULT_IMPL",
+    "IMPL_ENV",
+    "KNOWN_IMPLS",
     "NoCodecError",
+    "active_impl",
     "codec_for",
     "codec_schemes",
     "real_schemes",
+    "register_backend",
     "register_burst_format",
     "register_codec",
     "scheme_info",
     "scheme_items",
     "scheme_names",
+    "unregister_backend",
     "unregister_scheme",
     "ZeroTableCache",
     "global_cache",

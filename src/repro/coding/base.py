@@ -7,7 +7,7 @@ memory controller must know, at scheduling time, exactly how many extra
 data-bus cycles a coded burst will occupy.  That constraint is captured
 here by ``data_bits``/``code_bits`` being class-level constants.
 
-Two views of each code are provided:
+Three views of each code are provided:
 
 * ``encode_blocks`` / ``decode_blocks`` — the real bit-level transform,
   used by round-trip tests and by anything that needs actual codewords.
@@ -15,6 +15,15 @@ Two views of each code are provided:
   only the number of 0s each encoded block would put on the bus, which is
   all the energy model needs.  The default implementation derives it from
   ``encode_blocks``; subclasses override it with lookup tables.
+* ``encode_lines`` / ``line_zeros`` / ``count_zeros_bytes`` — the
+  *batched kernel contract*: whole traces enter as ``(n_lines, k)``
+  uint8 byte arrays (64-byte cache lines in practice) and are encoded
+  or costed in one vectorised shot, without ever dropping into
+  per-element Python.  The defaults here derive everything from
+  ``encode_blocks``/``count_zeros``, so a minimal codec (or a
+  pure-Python reference backend) is automatically trace-capable;
+  production codecs override ``count_zeros_bytes`` with byte-table
+  kernels that never unpack to bits at all.
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from .bitops import zeros_in_bits
+from .bitops import bytes_to_bits, zeros_in_bits
 
 __all__ = ["CodingScheme", "BlockShapeError"]
 
@@ -93,6 +102,64 @@ class CodingScheme(ABC):
         with cheap closed forms (per-byte lookup tables) override this.
         """
         return zeros_in_bits(self.encode(data_bits))
+
+    # ------------------------------------------------------------------
+    # Batched kernel contract (trace-level, byte-domain)
+    # ------------------------------------------------------------------
+    def _check_lines(self, lines: np.ndarray) -> np.ndarray:
+        lines = np.asarray(lines, dtype=np.uint8)
+        if lines.ndim == 1:
+            lines = lines[None, :]
+        if lines.ndim != 2:
+            raise BlockShapeError(
+                f"{self.name}: expected (n_lines, bytes), got shape "
+                f"{lines.shape}"
+            )
+        if (lines.shape[-1] * 8) % self.data_bits != 0:
+            raise BlockShapeError(
+                f"{self.name}: {lines.shape[-1]} bytes per line is not a "
+                f"whole number of {self.data_bits}-bit blocks"
+            )
+        return lines
+
+    def encode_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Encode a whole trace of byte rows in one vectorised shot.
+
+        ``(n_lines, k)`` uint8 *bytes* in (``k = 64`` for cache lines),
+        ``(n_lines, blocks * code_bits)`` uint8 *bits* out — every
+        codeword of every line, concatenated in transmission order.
+        The default splits each row into ``data_bits``-bit blocks and
+        defers to :meth:`encode_blocks`, which all shipped codecs
+        implement as whole-array kernels, so no per-line Python runs.
+        """
+        lines = self._check_lines(lines)
+        bits = bytes_to_bits(lines)
+        blocks = bits.reshape(lines.shape[0], -1, self.data_bits)
+        coded = self.encode_blocks(blocks)
+        return coded.reshape(lines.shape[0], -1)
+
+    def count_zeros_bytes(self, data: np.ndarray) -> np.ndarray:
+        """Zeros on the bus per row of a ``(..., k)`` uint8 byte array.
+
+        The byte-domain hot path the zero-table precompute runs on.
+        The default unpacks to bits and sums :meth:`count_zeros` per
+        block; production codecs override it with byte-indexed lookup
+        tables that never materialise a bit array.
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        bits = bytes_to_bits(data)
+        blocks = bits.reshape(bits.shape[:-1] + (-1, self.data_bits))
+        return self.count_zeros(blocks).sum(axis=-1, dtype=np.int64)
+
+    def line_zeros(self, lines: np.ndarray) -> np.ndarray:
+        """Zeros per line for ``(n_lines, k)`` byte rows (kernel alias).
+
+        Canonical kernel-contract name; dispatches to
+        :meth:`count_zeros_bytes` so codecs that already ship a fast
+        byte-table counter serve the trace path automatically.  Note the
+        registry applies the beat/line layout *before* calling this.
+        """
+        return self.count_zeros_bytes(self._check_lines(lines))
 
     # ------------------------------------------------------------------
     # Derived properties

@@ -22,6 +22,7 @@ __all__ = [
     "popcount_bits",
     "zeros_in_bits",
     "popcount_bytes",
+    "popcount_per_byte",
     "zeros_in_bytes",
     "toggle_count_bytes",
     "int_popcount",
@@ -130,6 +131,18 @@ def _per_byte_popcount(data: np.ndarray) -> np.ndarray:
     if HAVE_NATIVE_POPCOUNT:
         return np.bitwise_count(data)
     return _BYTE_POPCOUNT[data]
+
+
+def popcount_per_byte(data: np.ndarray) -> np.ndarray:
+    """Element-wise popcount of a uint8 array (same shape, uint8 out).
+
+    The building block the batched codec kernels use to cost candidate
+    rows without reducing: each byte is replaced by its number of 1
+    bits.  Native ``np.bitwise_count`` when available, byte table
+    otherwise.
+    """
+    data = np.asarray(data, dtype=np.uint8)
+    return _per_byte_popcount(data)
 
 
 def popcount_bytes(data: np.ndarray, axis: int = -1) -> np.ndarray:

@@ -103,18 +103,38 @@ class BusInvertCode:
         bits = data if data.ndim >= 2 else bytes_to_bits(
             data.astype(np.uint8)
         ).reshape(-1, 8)
+        bits = bits.astype(np.uint8)
         n = bits.shape[0]
         wire = (
             np.zeros(9, dtype=np.uint8)
             if initial_wire is None
-            else np.asarray(initial_wire, dtype=np.uint8).copy()
+            else np.asarray(initial_wire, dtype=np.uint8)
         )
-        codes = np.empty((n, 9), dtype=np.uint8)
-        trans = np.empty(n, dtype=np.int64)
-        for i in range(n):
-            wire, t = self.encode_step(bits[i], wire)
-            codes[i] = wire
-            trans[i] = t
+        if n == 0:
+            return np.empty((0, 9), dtype=np.uint8), np.empty(0, np.int64)
+
+        # The sequential greedy choice has a closed form.  Let
+        # ``h_i = popcount(d_i ^ d_{i-1})`` on the *raw* data (with a
+        # virtual ``d_{-1}`` = the initial body un-inverted by the
+        # initial BI state).  Whatever the current BI state is, the BI
+        # wire toggles exactly when ``h_i >= 5`` (flips_plain +
+        # flips_inv = 9 is odd, so there are no ties), which makes the
+        # BI state a XOR-prefix-scan of those toggles — the whole
+        # sequence encodes in one vectorised shot, bit-identical to
+        # iterating :meth:`encode_step`.
+        prev_bi = wire[8]
+        virtual_prev = wire[:8] ^ prev_bi
+        prev_rows = np.vstack([virtual_prev[None, :], bits[:-1]])
+        h = (bits ^ prev_rows).sum(axis=1, dtype=np.int64)
+        toggles = (h >= 5).astype(np.uint8)
+        state = np.bitwise_xor.accumulate(toggles) ^ prev_bi
+        codes = np.concatenate(
+            [bits ^ state[:, None], state[:, None]], axis=1
+        ).astype(np.uint8)
+        # A toggled beat sends the complement: 9 - h_i wire flips
+        # (including the BI wire's own flip); an untoggled beat flips
+        # exactly the h_i data wires that changed.
+        trans = np.where(toggles == 1, 9 - h, h).astype(np.int64)
         return codes, trans
 
     def decode_sequence(self, codes: np.ndarray) -> np.ndarray:

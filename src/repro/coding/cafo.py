@@ -35,6 +35,35 @@ from .registry import register_codec
 __all__ = ["CAFOCode"]
 
 
+def _row_pass(square: np.ndarray, rf: np.ndarray, cf: np.ndarray) -> np.ndarray:
+    """One synchronised row pass over ``(n, 8, 8)`` squares, in place.
+
+    A row flips when doing so strictly lowers its cost (its transmitted
+    zeros, counting the flag wire).  Returns the per-square changed
+    mask, shape ``(n,)``.
+    """
+    eff = square ^ rf[:, :, None] ^ cf[:, None, :]
+    zeros = 8 - eff.sum(axis=2, dtype=np.int64)  # (n, 8)
+    # Current cost of each row: its zeros plus 1 if its flag is
+    # transmitted as 0 (i.e. the row is flipped).
+    cur = zeros + rf
+    alt = (8 - zeros) + (1 - rf)
+    flip = alt < cur
+    rf ^= flip.astype(np.uint8)
+    return flip.any(axis=1)
+
+
+def _col_pass(square: np.ndarray, rf: np.ndarray, cf: np.ndarray) -> np.ndarray:
+    """One synchronised column pass; mirror of :func:`_row_pass`."""
+    eff = square ^ rf[:, :, None] ^ cf[:, None, :]
+    zeros = 8 - eff.sum(axis=1, dtype=np.int64)  # (n, 8)
+    cur = zeros + cf
+    alt = (8 - zeros) + (1 - cf)
+    flip = alt < cur
+    cf ^= flip.astype(np.uint8)
+    return flip.any(axis=1)
+
+
 class CAFOCode(CodingScheme):
     """(64, 80) iterative two-dimensional bus-invert code.
 
@@ -63,45 +92,40 @@ class CAFOCode(CodingScheme):
     # Core flip search
     # ------------------------------------------------------------------
     def _solve(self, square: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Choose row/column flip indicators for ``(n, 8, 8)`` squares."""
+        """Choose row/column flip indicators for ``(n, 8, 8)`` squares.
+
+        Both variants run the passes as whole-array reductions across
+        every square at once; the convergent variant additionally keeps
+        an *active set*, dropping squares as soon as a full row+column
+        sweep leaves them unchanged (a fixed point of the deterministic
+        passes — they can never change again).
+        """
         n = square.shape[0]
         rf = np.zeros((n, 8), dtype=np.uint8)
         cf = np.zeros((n, 8), dtype=np.uint8)
 
-        def row_pass() -> bool:
-            eff = square ^ rf[:, :, None] ^ cf[:, None, :]
-            zeros = 8 - eff.sum(axis=2, dtype=np.int64)  # (n, 8)
-            # Current cost of each row: its zeros plus 1 if its flag is
-            # transmitted as 0 (i.e. the row is flipped).
-            cur = zeros + rf
-            alt = (8 - zeros) + (1 - rf)
-            flip = alt < cur
-            rf[flip] ^= 1
-            return bool(flip.any())
-
-        def col_pass() -> bool:
-            eff = square ^ rf[:, :, None] ^ cf[:, None, :]
-            zeros = 8 - eff.sum(axis=1, dtype=np.int64)  # (n, 8)
-            cur = zeros + cf
-            alt = (8 - zeros) + (1 - cf)
-            flip = alt < cur
-            cf[flip] ^= 1
-            return bool(flip.any())
-
         if self.iterations is not None:
             for i in range(self.iterations):
                 if i % 2 == 0:
-                    row_pass()
+                    _row_pass(square, rf, cf)
                 else:
-                    col_pass()
+                    _col_pass(square, rf, cf)
         else:
             # Original CAFO: iterate row+column sweeps to a fixed point.
-            # Each sweep strictly reduces total zeros or stops, so this
-            # terminates (the objective is bounded below by 0).
+            # Each accepted flip strictly reduces total zeros, so this
+            # terminates (the objective is bounded below by 0); 64
+            # sweeps is a generous safety bound.
+            active = np.arange(n)
             for _ in range(64):
-                changed = row_pass()
-                changed |= col_pass()
-                if not changed:
+                sq = square[active]
+                r = rf[active]
+                c = cf[active]
+                changed = _row_pass(sq, r, c)
+                changed |= _col_pass(sq, r, c)
+                rf[active] = r
+                cf[active] = c
+                active = active[changed]
+                if active.size == 0:
                     break
         return rf, cf
 

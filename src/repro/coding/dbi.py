@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import CodingScheme
-from .bitops import byte_popcount_table, bytes_to_bits
+from .bitops import byte_popcount_table
 from .registry import register_codec
 
 __all__ = ["DBICode", "dbi_zero_table"]
@@ -35,6 +35,24 @@ def dbi_zero_table() -> np.ndarray:
 
 
 _DBI_ZEROS = dbi_zero_table()
+
+
+def _build_codeword_table() -> np.ndarray:
+    """(256, 9) table: byte value -> transmitted ``[d7..d0, dbi]`` bits.
+
+    Like the zero table, the whole code fits in 256 entries, so the
+    batched encode kernel is a single gather.
+    """
+    values = np.arange(256, dtype=np.uint8)
+    bits = np.unpackbits(values[:, None], axis=-1)
+    zeros = 8 - bits.sum(axis=-1)
+    invert = (zeros > 4)[:, None]
+    body = np.where(invert, 1 - bits, bits)
+    flag = np.where(invert, 0, 1).astype(np.uint8)
+    return np.concatenate([body, flag], axis=-1).astype(np.uint8)
+
+
+_DBI_CODEWORDS = _build_codeword_table()
 
 
 @register_codec(
@@ -58,11 +76,9 @@ class DBICode(CodingScheme):
 
     def encode_blocks(self, data_bits: np.ndarray) -> np.ndarray:
         data_bits = np.asarray(data_bits, dtype=np.uint8)
-        zeros = 8 - np.count_nonzero(data_bits, axis=-1)
-        invert = (zeros > 4)[..., None]
-        body = np.where(invert, 1 - data_bits, data_bits)
-        flag = np.where(invert[..., 0], 0, 1).astype(np.uint8)
-        return np.concatenate([body, flag[..., None]], axis=-1)
+        lead = data_bits.shape[:-1]
+        byte_vals = np.packbits(data_bits.reshape(-1, 8), axis=-1).ravel()
+        return _DBI_CODEWORDS[byte_vals].reshape(lead + (9,))
 
     def decode_blocks(self, code_bits: np.ndarray) -> np.ndarray:
         code_bits = np.asarray(code_bits, dtype=np.uint8)
@@ -87,6 +103,10 @@ class DBICode(CodingScheme):
 
     def encode_bytes(self, data: np.ndarray) -> np.ndarray:
         """Encode uint8 bytes of shape ``(..., n)`` to ``(..., n, 9)`` bits."""
-        bits = bytes_to_bits(np.asarray(data, dtype=np.uint8))
-        shaped = bits.reshape(bits.shape[:-1] + (bits.shape[-1] // 8, 8))
-        return self.encode_blocks(shaped)
+        data = np.asarray(data, dtype=np.uint8)
+        return _DBI_CODEWORDS[data]
+
+    def encode_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Byte-domain trace kernel: one gather per line, no unpacking."""
+        lines = self._check_lines(lines)
+        return _DBI_CODEWORDS[lines].reshape(lines.shape[0], -1)

@@ -43,7 +43,12 @@ import numpy as np
 from .base import CodingScheme
 from .registry import register_codec
 
-__all__ = ["ThreeLWC", "lwc_zero_table", "MAX_ZEROS_PER_CODEWORD"]
+__all__ = [
+    "ThreeLWC",
+    "lwc_mode_table",
+    "lwc_zero_table",
+    "MAX_ZEROS_PER_CODEWORD",
+]
 
 MAX_ZEROS_PER_CODEWORD = 3
 
@@ -67,6 +72,16 @@ def _classify(left: int, right: int) -> int:
     return _MODE_SWAPPED if left > right else _MODE_ZERO
 
 
+def lwc_mode_table() -> np.ndarray:
+    """256-entry table: byte value -> Table 1 mode (2-bit value).
+
+    ``_classify`` is the per-pair specification; this is its closed form
+    over all 256 byte values, precomputed once at import so the batched
+    encode kernel never classifies pairs one at a time.
+    """
+    return _LWC_MODES.copy()
+
+
 def lwc_zero_table() -> np.ndarray:
     """256-entry table: byte value -> zeros in its transmitted codeword.
 
@@ -81,6 +96,30 @@ def lwc_zero_table() -> np.ndarray:
     return table
 
 
+def _build_mode_and_codeword_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Precompute byte -> mode and byte -> transmitted-codeword tables.
+
+    The whole (8, 17) map is only 256 entries, so the entire codec
+    collapses to one gather: ``codewords[byte_values]``.  Built once at
+    import from the same ``_classify`` specification the docstring
+    table documents.
+    """
+    modes = np.empty(256, dtype=np.uint8)
+    words = np.ones((256, 17), dtype=np.uint8)  # transmitted complement
+    for byte in range(256):
+        left, right = byte >> 4, byte & 0xF
+        mode = _classify(left, right)
+        modes[byte] = mode
+        if left:
+            words[byte, left - 1] = 0
+        if right:
+            words[byte, right - 1] = 0
+        words[byte, 15] = 1 - ((mode >> 1) & 1)
+        words[byte, 16] = 1 - (mode & 1)
+    return modes, words
+
+
+_LWC_MODES, _LWC_CODEWORDS = _build_mode_and_codeword_tables()
 _LWC_ZEROS = lwc_zero_table()
 
 
@@ -100,32 +139,13 @@ class ThreeLWC(CodingScheme):
     extra_latency_cycles = 1
 
     def encode_blocks(self, data_bits: np.ndarray) -> np.ndarray:
+        # The whole code is a 256-entry map, so the batched kernel is a
+        # single table gather: pack each 8-bit block back into its byte
+        # value and look the transmitted codeword up.
         data_bits = np.asarray(data_bits, dtype=np.uint8)
         lead = data_bits.shape[:-1]
-        flat = data_bits.reshape(-1, 8)
-        n = flat.shape[0]
-
-        weights = np.array([8, 4, 2, 1], dtype=np.int64)
-        left = (flat[:, :4] * weights).sum(axis=1)
-        right = (flat[:, 4:] * weights).sum(axis=1)
-
-        code = np.zeros((n, 15), dtype=np.uint8)
-        rows = np.arange(n)
-        nz_l = left > 0
-        nz_r = right > 0
-        code[rows[nz_l], left[nz_l] - 1] = 1
-        code[rows[nz_r], right[nz_r] - 1] = 1
-
-        mode = np.fromiter(
-            (_classify(int(l), int(r)) for l, r in zip(left, right)),
-            dtype=np.uint8,
-            count=n,
-        )
-        mode_bits = np.stack([(mode >> 1) & 1, mode & 1], axis=1).astype(np.uint8)
-
-        word = np.concatenate([code, mode_bits], axis=1)
-        transmitted = (1 - word).astype(np.uint8)
-        return transmitted.reshape(lead + (17,))
+        byte_vals = np.packbits(data_bits.reshape(-1, 8), axis=-1).ravel()
+        return _LWC_CODEWORDS[byte_vals].reshape(lead + (17,))
 
     def decode_blocks(self, code_bits: np.ndarray) -> np.ndarray:
         code_bits = np.asarray(code_bits, dtype=np.uint8)
@@ -171,3 +191,8 @@ class ThreeLWC(CodingScheme):
         """Zero count straight from uint8 byte values (fast path)."""
         data = np.asarray(data, dtype=np.uint8)
         return _LWC_ZEROS[data].sum(axis=-1, dtype=np.int64)
+
+    def encode_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Byte-domain trace kernel: one gather per line, no unpacking."""
+        lines = self._check_lines(lines)
+        return _LWC_CODEWORDS[lines].reshape(lines.shape[0], -1)

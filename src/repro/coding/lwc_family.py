@@ -90,9 +90,13 @@ class KLimitedWeightCode(CodingScheme):
                 produced += 1
             weight += 1
         self._words = words
-        # Reverse lookup via packed integer keys.
+        # Reverse lookup via packed integer keys, held as sorted arrays
+        # so decode is one vectorised searchsorted instead of a
+        # per-codeword dict probe.
         keys = self._pack(words)
-        self._reverse = {int(k): i for i, k in enumerate(keys)}
+        order = np.argsort(keys)
+        self._sorted_keys = keys[order]
+        self._sorted_values = order.astype(np.int64)
         # Transmitted zeros per data value (codeword weight, since the
         # complement is transmitted).
         self._zeros_by_value = words.sum(axis=1).astype(np.int64)
@@ -121,12 +125,11 @@ class KLimitedWeightCode(CodingScheme):
         lead = code_bits.shape[:-1]
         words = (1 - code_bits.reshape(-1, self.code_bits)).astype(np.uint8)
         keys = self._pack(words)
-        try:
-            values = np.array(
-                [self._reverse[int(k)] for k in keys], dtype=np.int64
-            )
-        except KeyError:
-            raise ValueError("word is not a codeword of this LWC") from None
+        slots = np.searchsorted(self._sorted_keys, keys)
+        slots_clipped = np.minimum(slots, self._sorted_keys.size - 1)
+        if not (self._sorted_keys[slots_clipped] == keys).all():
+            raise ValueError("word is not a codeword of this LWC")
+        values = self._sorted_values[slots_clipped]
         shifts = np.arange(self.data_bits - 1, -1, -1, dtype=np.int64)
         bits = ((values[:, None] >> shifts) & 1).astype(np.uint8)
         return bits.reshape(lead + (self.data_bits,))
@@ -139,14 +142,14 @@ def golay_syndrome(words: np.ndarray) -> np.ndarray:
     ``e(x) mod g(x)``; two error patterns share a syndrome iff they
     differ by a codeword.
     """
-    words = np.asarray(words, dtype=np.int64)
-    out = np.zeros_like(words)
-    for i in range(words.shape[0]):
-        reg = int(words[i])
-        for bit in range(22, 10, -1):
-            if reg & (1 << bit):
-                reg ^= GOLAY_POLY << (bit - 11)
-        out[i] = reg
+    out = np.array(words, dtype=np.int64, copy=True)
+    # Long division by g(x) over GF(2), run across the whole array: for
+    # each of the 12 leading bit positions, subtract (xor) the shifted
+    # generator from every word whose bit is set.  Twelve whole-array
+    # iterations replace the old per-word Python loop.
+    for bit in range(22, 10, -1):
+        mask = (out >> bit) & 1
+        out ^= mask * (GOLAY_POLY << (bit - 11))
     return out
 
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import CodingScheme
+from .bitops import popcount_per_byte
 from .registry import register_codec
 
 __all__ = ["MiLCCode"]
@@ -47,6 +48,45 @@ __all__ = ["MiLCCode"]
 # order (original, inverted, xor, inv-xor).  These constants are the
 # "additional constant" inputs of the Figure 14 row encoder.
 _MODE_ZERO_COST = np.array([2, 1, 1, 0], dtype=np.int64)
+
+_ROW0_MASK_COST = np.iinfo(np.int64).max
+
+
+def _candidate_zeros(ones: np.ndarray, xor_ones: np.ndarray) -> np.ndarray:
+    """Per-row candidate body zeros from popcounts alone.
+
+    ``ones``/``xor_ones`` have shape ``(..., 8)`` — the popcount of each
+    row and of each ``row ^ prev_row``.  The result has shape
+    ``(..., 8, 4)`` in candidate order; no candidate *bodies* are
+    materialised (the inverted/xor bodies' zero counts are arithmetic
+    complements), which keeps the batched kernel free of the old
+    ``(n, 8, 4, 8)`` temporary.
+    """
+    ones = np.asarray(ones, dtype=np.int64)
+    xor_ones = np.asarray(xor_ones, dtype=np.int64)
+    return np.stack(
+        [8 - ones, ones, 8 - xor_ones, xor_ones], axis=-1
+    )
+
+
+def _choose_candidates(zeros: np.ndarray) -> np.ndarray:
+    """argmin candidate per row, with row 0 restricted to original/inverted."""
+    cost = zeros + _MODE_ZERO_COST
+    cost[..., 0, 2:] = _ROW0_MASK_COST
+    return cost.argmin(axis=-1)  # ties -> lowest candidate index
+
+
+def _zeros_for_choice(zeros: np.ndarray, choice: np.ndarray) -> np.ndarray:
+    """Total transmitted zeros per block given per-row candidate choices."""
+    body_zeros = np.take_along_axis(
+        zeros, choice[..., None], axis=-1
+    )[..., 0].sum(axis=-1)
+    inv_zeros = (1 - (choice % 2)).sum(axis=-1, dtype=np.int64)
+    tail_ones = (choice[..., 1:] >= 2).sum(axis=-1, dtype=np.int64)
+    # xorbi keeps (zeros = 7 - ones + 0 for the flag's own 1) or flips
+    # (zeros = ones + 1 including the now-0 flag), whichever is sparser.
+    xor_zeros = np.minimum(7 - tail_ones, tail_ones + 1)
+    return body_zeros + inv_zeros + xor_zeros
 
 
 @register_codec(
@@ -64,46 +104,30 @@ class MiLCCode(CodingScheme):
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
-    def _candidates(self, square: np.ndarray) -> np.ndarray:
-        """Build the four candidate bodies for every row.
-
-        ``square`` has shape ``(n, 8, 8)``; the result has shape
-        ``(n, 8, 4, 8)`` indexed by (block, row, candidate, bit).  For
-        row 0 the xor candidates are filled with the plain candidates so
-        they never win (their zero cost is inflated by the caller).
-        """
-        n = square.shape[0]
-        prev = np.empty_like(square)
-        prev[:, 1:] = square[:, :-1]
-        prev[:, 0] = 0  # row 0 has no predecessor; masked out below
-
-        cands = np.empty((n, 8, 4, 8), dtype=np.uint8)
-        cands[:, :, 0] = square
-        cands[:, :, 1] = 1 - square
-        cands[:, :, 2] = square ^ prev
-        cands[:, :, 3] = 1 - (square ^ prev)
-        return cands
-
     def encode_blocks(self, data_bits: np.ndarray) -> np.ndarray:
         data_bits = np.asarray(data_bits, dtype=np.uint8)
         lead = data_bits.shape[:-1]
         square = data_bits.reshape(-1, 8, 8)
         n = square.shape[0]
 
-        cands = self._candidates(square)
-        zeros = 8 - cands.sum(axis=-1, dtype=np.int64)  # (n, 8, 4)
-        cost = zeros + _MODE_ZERO_COST  # include mode-bit zeros
+        prev = np.empty_like(square)
+        prev[:, 1:] = square[:, :-1]
+        prev[:, 0] = 0  # row 0 has no predecessor; masked in the cost
+        xored = square ^ prev
 
-        # Row 0 may only choose original/inverted.
-        cost[:, 0, 2:] = np.iinfo(np.int64).max
-
-        choice = cost.argmin(axis=-1)  # (n, 8); argmin ties -> lowest index
-        rows = np.arange(n)[:, None]
-        row_idx = np.arange(8)[None, :]
-        body = cands[rows, row_idx, choice]  # (n, 8, 8)
+        ones = square.sum(axis=-1, dtype=np.int64)  # (n, 8)
+        xor_ones = xored.sum(axis=-1, dtype=np.int64)
+        zeros = _candidate_zeros(ones, xor_ones)  # (n, 8, 4)
+        choice = _choose_candidates(zeros)  # (n, 8)
 
         inv_col = (choice % 2).astype(np.uint8)  # candidates 1, 3 invert
         xor_col = (choice >= 2).astype(np.uint8)  # candidates 2, 3 xor
+
+        # Select each row's body without materialising all four
+        # candidates: pick the (possibly xored) base, then complementing
+        # is a XOR with the inv flag.
+        base = np.where(xor_col[:, :, None] == 1, xored, square)
+        body = base ^ inv_col[:, :, None]
 
         # xorbi: bus-invert the xor bits of rows 1..7 when that removes 0s.
         tail = xor_col[:, 1:]
@@ -159,34 +183,37 @@ class MiLCCode(CodingScheme):
         data_bits = np.asarray(data_bits, dtype=np.uint8)
         lead = data_bits.shape[:-1]
         square = data_bits.reshape(-1, 8, 8)
-        n = square.shape[0]
 
-        cands = self._candidates(square)
-        zeros = 8 - cands.sum(axis=-1, dtype=np.int64)
-        cost = zeros + _MODE_ZERO_COST
-        cost[:, 0, 2:] = np.iinfo(np.int64).max
-        choice = cost.argmin(axis=-1)
+        prev = np.empty_like(square)
+        prev[:, 1:] = square[:, :-1]
+        prev[:, 0] = 0
 
-        rows = np.arange(n)[:, None]
-        row_idx = np.arange(8)[None, :]
-        body_zeros = zeros[rows, row_idx, choice].sum(axis=1)
-        inv_zeros = (1 - (choice % 2)).sum(axis=1, dtype=np.int64)
-
-        tail_ones = (choice[:, 1:] >= 2).sum(axis=1, dtype=np.int64)
-        xor_zeros = np.minimum(7 - tail_ones, tail_ones + 1)
-
-        total = body_zeros + inv_zeros + xor_zeros
+        ones = square.sum(axis=-1, dtype=np.int64)
+        xor_ones = (square ^ prev).sum(axis=-1, dtype=np.int64)
+        zeros = _candidate_zeros(ones, xor_ones)
+        total = _zeros_for_choice(zeros, _choose_candidates(zeros))
         return total.reshape(lead)
 
     def count_zeros_bytes(self, data: np.ndarray) -> np.ndarray:
         """Zero count from uint8 bytes of shape ``(..., k*8)``.
 
-        Each consecutive group of eight bytes forms one 64-bit block;
-        counts are summed over the trailing axis.
+        Each consecutive group of eight bytes forms one 64-bit block
+        whose rows are exactly the bytes, so the whole cost model runs
+        in the byte domain: per-byte popcounts of the rows and of
+        ``row ^ prev_row`` feed the candidate costs directly — no
+        ``unpackbits``, no candidate bodies.
         """
         data = np.asarray(data, dtype=np.uint8)
         if data.shape[-1] % 8 != 0:
             raise ValueError("MiLC operates on whole 8-byte blocks")
-        bits = np.unpackbits(data, axis=-1)
-        blocks = bits.reshape(bits.shape[:-1] + (data.shape[-1] // 8, 64))
-        return self.count_zeros(blocks).sum(axis=-1)
+        rows = data.reshape(data.shape[:-1] + (-1, 8))  # byte == row
+
+        prev = np.empty_like(rows)
+        prev[..., 1:] = rows[..., :-1]
+        prev[..., 0] = 0
+
+        ones = popcount_per_byte(rows).astype(np.int64)
+        xor_ones = popcount_per_byte(rows ^ prev).astype(np.int64)
+        zeros = _candidate_zeros(ones, xor_ones)
+        per_block = _zeros_for_choice(zeros, _choose_candidates(zeros))
+        return per_block.sum(axis=-1)

@@ -112,6 +112,13 @@ class OptimalStaticLWC(CodingScheme):
                     produced += 1
                 zeros += 1
             self._codewords = words
+            # Packed-integer reverse index: decode is one searchsorted
+            # over 256 keys instead of an O(n x 256) broadcast match.
+            weights = 1 << np.arange(self.code_bits, dtype=np.int64)[::-1]
+            keys = (words.astype(np.int64) * weights).sum(axis=-1)
+            order = np.argsort(keys)
+            self._sorted_keys = keys[order]
+            self._sorted_ranks = order.astype(np.int64)
         return self._codewords
 
     def encode_blocks(self, data_bits: np.ndarray) -> np.ndarray:
@@ -125,13 +132,19 @@ class OptimalStaticLWC(CodingScheme):
         code_bits = np.asarray(code_bits, dtype=np.uint8)
         lead = code_bits.shape[:-1]
         flat = code_bits.reshape(-1, self.code_bits)
-        words = self._build_codewords()
-        # Match each codeword against the table; static codes are a pure
-        # lookup at heart, and this decode path exists for verification.
-        matches = (flat[:, None, :] == words[None, :, :]).all(axis=2)
-        if not matches.any(axis=1).all():
+        self._build_codewords()
+        # Static codes are a pure lookup at heart; this decode path
+        # exists for verification, so a packed-key binary search is all
+        # the "circuit" it needs.
+        weights = 1 << np.arange(self.code_bits, dtype=np.int64)[::-1]
+        keys = (flat.astype(np.int64) * weights).sum(axis=-1)
+        slots = np.minimum(
+            np.searchsorted(self._sorted_keys, keys),
+            self._sorted_keys.size - 1,
+        )
+        if not (self._sorted_keys[slots] == keys).all():
             raise ValueError("codeword not in the static code table")
-        ranks = matches.argmax(axis=1)
+        ranks = self._sorted_ranks[slots]
         byte_for_rank = np.empty(256, dtype=np.uint8)
         byte_for_rank[self._rank_by_byte] = np.arange(256, dtype=np.uint8)
         byte_vals = byte_for_rank[ranks]

@@ -39,8 +39,10 @@ import numpy as np
 
 # Importing the codec modules is what populates the registry; pipeline
 # guarantees the built-in schemes are present regardless of how it was
-# reached.
+# reached.  ``reference`` must come after the codec modules: it attaches
+# the pure-Python oracle backends to the entries they register.
 from . import cafo, dbi, lwc, lwc_family, milc  # noqa: F401
+from . import reference  # noqa: F401
 from . import registry, zerocache
 from .bitops import zeros_in_bytes
 from .registry import (
@@ -58,6 +60,7 @@ __all__ = [
     "NoCodecError",
     "beat_layout",
     "scheme_for",
+    "encode_trace",
     "line_zeros",
     "precompute_line_zeros",
     "raw_line_zeros",
@@ -156,6 +159,25 @@ def line_zeros(scheme: str, lines: np.ndarray) -> np.ndarray:
     return registry.scheme_info(scheme).line_zeros(lines)
 
 
+def encode_trace(
+    scheme: str, lines: np.ndarray, impl: str | None = None
+) -> np.ndarray:
+    """Encode a whole trace of lines under ``scheme`` in one batched shot.
+
+    Applies the scheme's Figure 12 layout (beat squares for MiLC/CAFO,
+    line order for DBI/LWC) and runs the codec's ``encode_lines``
+    kernel: ``(n, 64)`` uint8 lines in, ``(n, code_bits_per_line)``
+    uint8 bit rows out.  ``impl`` selects a specific backend
+    (``"reference"`` | ``"numpy"`` | ``"native"``); ``None`` uses the
+    process-wide :func:`~repro.coding.registry.active_impl`.  This is
+    what the ``coding.encode_trace.*`` benchmarks measure.
+    """
+    info = registry.scheme_info(scheme)
+    lines = check_lines(lines)
+    arranged = beat_layout(lines) if info.layout == "beat" else lines
+    return info.codec_impl(impl).encode_lines(arranged)
+
+
 def precompute_line_zeros(
     lines: np.ndarray,
     schemes: tuple[str, ...] = ("dbi", "milc", "3lwc"),
@@ -176,6 +198,12 @@ def precompute_line_zeros(
     may be ``False`` (bypass), ``True`` (the process-global cache), or
     a private :class:`~repro.coding.zerocache.ZeroTableCache`.  Cached
     tables are read-only arrays.
+
+    Cache keys are ``(trace digest, scheme)`` and deliberately do *not*
+    include the active codec backend: every backend of a scheme is
+    required to be bit-identical (see ``register_backend``), so the
+    tables — and everything downstream, including campaign cache
+    entries — are byte-identical whatever ``REPRO_CODEC_IMPL`` says.
     """
     lines = check_lines(lines)
     if cache is True:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..coding.dbi import DBICode
+from ..coding import codec_for
 from ..coding.optimal_lwc import OptimalStaticLWC, byte_frequencies
 from ..system.machine import NIAGARA_SERVER
 from ..workloads.benchmarks import BENCHMARK_ORDER, build_trace
@@ -27,7 +27,7 @@ CODE_WIDTHS = (9, 10, 11, 13, 17)
 def run_experiment(
     accesses_per_core: int = EXPERIMENT_ACCESSES_PER_CORE,
 ) -> ExperimentResult:
-    dbi = DBICode()
+    dbi = codec_for("dbi")
     rows = []
     at_dbi_overhead = []
     for bench in BENCHMARK_ORDER:

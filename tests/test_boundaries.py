@@ -40,6 +40,30 @@ class TestBoundaryLint:
         problems = lint.check_source(bad, "fake.py")
         assert any("BURST_FORMATS" in p for p in problems)
 
+    def test_catches_codec_class_import(self):
+        lint = _load_linter()
+        bad = "from ..coding.milc import MiLCCode\n"
+        problems = lint.check_source(bad, "fake.py")
+        assert len(problems) == 1
+        assert "MiLCCode" in problems[0]
+        assert "codec_for" in problems[0]
+
+    def test_catches_codec_class_import_from_package(self):
+        lint = _load_linter()
+        bad = "from repro.coding import DBICode, codec_for\n"
+        problems = lint.check_source(bad, "fake.py")
+        assert len(problems) == 1
+        assert "DBICode" in problems[0]
+
+    def test_allows_unregistered_helper_classes(self):
+        lint = _load_linter()
+        good = (
+            "from ..coding.optimal_lwc import OptimalStaticLWC\n"
+            "from ..coding.businvert import BusInvertCode\n"
+            "from ..coding.transition import TransitionSignaling\n"
+        )
+        assert lint.check_source(good, "fake.py") == []
+
     def test_allows_local_tuples_and_registry(self):
         lint = _load_linter()
         good = (

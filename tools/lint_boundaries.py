@@ -8,9 +8,18 @@ through :mod:`repro.coding.registry` (``scheme_info``, ``real_schemes``,
 every module under ``src/repro`` outside ``repro/coding`` and flags:
 
 * ``from ...coding.pipeline import BURST_FORMATS`` (any coding module,
-  any of the legacy names), and
+  any of the legacy names),
 * attribute access spelling one of the legacy names on an imported
-  module (``pipeline.BURST_FORMATS``).
+  module (``pipeline.BURST_FORMATS``), and
+* importing a concrete *registered* codec class (``DBICode``,
+  ``MiLCCode``, ...) from any coding module — consumers must resolve
+  codecs through the registry (``codec_for``/``scheme_info``) so that
+  backend selection (``REPRO_CODEC_IMPL``) and singleton caching are
+  never bypassed.
+
+Unregistered analysis/helper classes (``OptimalStaticLWC``,
+``BusInvertCode``, ``TransitionSignaling``) stay importable: they have
+no registry entry to go through.
 
 A module defining its *own* local name (e.g. an experiment's private
 ``_SCHEMES`` tuple of strings) is fine — the lint only polices imports
@@ -28,6 +37,21 @@ import sys
 from pathlib import Path
 
 LEGACY_NAMES = frozenset({"BURST_FORMATS", "_SCHEMES"})
+# Concrete classes with registry entries (including reference backends);
+# everything outside repro.coding must reach them via codec_for().
+CODEC_CLASS_NAMES = frozenset({
+    "DBICode",
+    "MiLCCode",
+    "ThreeLWC",
+    "CAFOCode",
+    "KLimitedWeightCode",
+    "PerfectThreeLWC",
+    "ReferenceDBI",
+    "ReferenceThreeLWC",
+    "ReferenceMiLC",
+    "ReferenceCAFO",
+    "ReferenceKLWC",
+})
 SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
 EXEMPT = "coding"  # the package that owns (and may use) the legacy views
 
@@ -53,6 +77,15 @@ def check_source(source: str, filename: str) -> list[str]:
                     problems.append(
                         f"{filename}:{node.lineno}: imports {alias.name} "
                         f"from {module!r}; use repro.coding.registry"
+                    )
+                if (
+                    alias.name in CODEC_CLASS_NAMES
+                    and _is_coding_module(module)
+                ):
+                    problems.append(
+                        f"{filename}:{node.lineno}: imports codec class "
+                        f"{alias.name} from {module!r}; resolve codecs "
+                        "through repro.coding.registry (codec_for)"
                     )
                 # Track `from .. import coding` / submodule aliases so
                 # attribute spellings can be attributed to them.
