@@ -31,6 +31,11 @@ Groups:
     runs these two under the same protocol.
 ``sim.*``
     A small end-to-end run, covering the integrated stack.
+``scenario.*`` / ``workloads.*``
+    Scenario-engine hot paths: compiling the whole checked-in
+    ``scenarios/`` corpus into RunSpec matrices (the per-invocation
+    cost every ``repro scenario`` command pays — kept sub-second by the
+    baseline gate) and synthesising one mixed-arrival trace.
 """
 
 from __future__ import annotations
@@ -469,6 +474,47 @@ def _codec_enabled():
 # ----------------------------------------------------------------------
 # sim.* — end-to-end
 # ----------------------------------------------------------------------
+# ----------------------------------------------------------------------
+# scenario.* / workloads.* — scenario-engine hot paths
+# ----------------------------------------------------------------------
+@benchmark(
+    "scenario.compile",
+    smoke=True,
+    description="load + validate + compile the whole checked-in "
+                "scenarios/ corpus into RunSpec matrices",
+)
+def _scenario_compile():
+    from ..scenario import compile_scenario, discover, load_scenario
+
+    paths = discover()
+
+    def compile_corpus():
+        total = 0
+        for path in paths:
+            total += len(compile_scenario(load_scenario(path)))
+        return total
+
+    return compile_corpus
+
+
+@benchmark(
+    "workloads.mixed_trace",
+    params={"accesses_per_core": 500, "components": 2},
+    smoke=True,
+    description="synthesise one mixed-arrival GUPS/CG trace "
+                "(per-core draws, payloads, poisson gaps)",
+)
+def _mixed_trace():
+    from ..system.machine import SYSTEMS
+    from ..workloads.mixed import MixSpec, build_mixed_trace
+
+    config = SYSTEMS["ddr4-server"]
+    mix = MixSpec.make({"GUPS": 0.6, "CG": 0.4}, zero_bias=0.25)
+    return lambda: build_mixed_trace(
+        mix, config, seed=0, accesses_per_core=500
+    )
+
+
 @benchmark(
     "sim.run_spec.gups",
     params={"benchmark": "GUPS", "policy": "mil", "accesses_per_core": 120},

@@ -87,6 +87,22 @@ class RunSpec:
             raise KeyError(
                 f"unknown policy {self.policy!r}; known: {policy_names()}"
             )
+        # Benchmarks get the same spec-build-time treatment: an unknown
+        # name must fail here with the known list, not deep inside trace
+        # building in a worker.  Accepts Table 3 names and canonical
+        # MIX@... traffic-mix names (repro.workloads.mixed).
+        from ..workloads.benchmarks import validate_benchmark
+
+        validate_benchmark(self.benchmark)
+        if self.system_overrides:
+            # Unknown field paths fail at spec build time too; the
+            # values were already checked JSON-primitive above.
+            try:
+                self.resolve_system()
+            except (TypeError, AttributeError) as exc:
+                raise ValueError(
+                    f"bad system override for {self.system!r}: {exc}"
+                ) from None
         if self.accesses_per_core <= 0:
             raise ValueError("accesses_per_core must be positive")
         if self.lookahead is not None and self.lookahead < 0:
@@ -126,12 +142,17 @@ class RunSpec:
         )
 
     def resolve_system(self) -> SystemConfig:
-        """Materialise the (possibly overridden) system configuration."""
+        """Materialise the (possibly overridden) system configuration.
+
+        Override keys may be dotted paths into nested config
+        dataclasses (``geometry.ranks``, ``prefetcher.degree``, ...):
+        each path segment names a field, and the innermost value must
+        still be JSON-primitive.  That is how scenario grids sweep
+        per-channel rank counts without registering system variants.
+        """
         config = SYSTEMS[self.system]
         if self.system_overrides:
-            config = dataclasses.replace(
-                config, **dict(self.system_overrides)
-            )
+            config = _replace_path(config, dict(self.system_overrides))
         return config
 
     def canonical(self) -> dict:
@@ -162,6 +183,22 @@ class RunSpec:
             parts.append(f"o{len(self.system_overrides)}"
                          f"m{len(self.mil_overrides)}")
         return "-".join(parts)
+
+
+def _replace_path(config, overrides: dict):
+    """``dataclasses.replace`` with dotted-path keys, recursively."""
+    direct: dict = {}
+    nested: dict[str, dict] = {}
+    for key, value in overrides.items():
+        head, _, rest = key.partition(".")
+        if rest:
+            nested.setdefault(head, {})[rest] = value
+        else:
+            direct[head] = value
+    for head, sub in nested.items():
+        base = direct.get(head, getattr(config, head))
+        direct[head] = _replace_path(base, sub)
+    return dataclasses.replace(config, **direct)
 
 
 def _decompose_system(config: SystemConfig) -> tuple[str, tuple]:

@@ -28,6 +28,15 @@ Commands
     timing × burst-length × rank × page-policy grid and replay every
     command log through the independent protocol auditor (see
     ``docs/VALIDATION.md``).
+``scenario {list,show,compile,run} [PATH ...] [--dry-run] [--jobs N]
+[--out PATH]``
+    Work with declarative scenario files (``docs/SCENARIOS.md``):
+    ``list`` the checked-in ``scenarios/`` corpus, ``show`` one file's
+    canonical form, ``compile`` (or ``run --dry-run``) to print the
+    expanded RunSpec matrix as byte-stable JSON lines, ``run`` to
+    execute the matrix on the campaign engine and write schema-versioned
+    ``repro.scenario/v1`` JSONL rows (default
+    ``results/scenarios/<NAME>.jsonl``).
 ``bench [-k PAT] [--smoke] [--list] [--out PATH] [--compare BASE]
 [--max-regression PCT] [--update-baseline] [--profile BACKEND]``
     Run the registered wall-clock benchmark suite (see
@@ -155,6 +164,20 @@ def cmd_list(_args) -> int:
 
     print("\nExperiments:")
     print("  " + ", ".join(ALL_EXPERIMENTS))
+    from .scenario import ScenarioError, discover, load_scenario
+
+    paths = discover()
+    if paths:
+        print("\nScenarios (scenarios/):")
+        for path in paths:
+            try:
+                scn = load_scenario(path)
+            except ScenarioError:
+                print(f"  {path.name:24s} INVALID (see 'repro scenario "
+                      f"show {path}')")
+                continue
+            print(f"  {scn.name:18s} {scn.run_count:4d} runs  "
+                  f"{scn.description}")
     return 0
 
 
@@ -518,6 +541,113 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_scenario(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .scenario import (
+        ScenarioError,
+        compile_scenario,
+        discover,
+        load_scenario,
+        normalized,
+        run_scenario,
+        scenario_digest,
+        write_rows,
+    )
+
+    if args.action == "list":
+        paths = discover(args.dir)
+        if not paths:
+            where = args.dir or "scenarios/"
+            print(f"no scenario files under {where}", file=sys.stderr)
+            return 0
+        for path in paths:
+            try:
+                scn = load_scenario(path)
+            except ScenarioError as exc:
+                print(f"{path.name:24s} INVALID: {exc}")
+                continue
+            print(f"{scn.name:18s} {scn.run_count:4d} runs  {path.name:24s} "
+                  f"{scn.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths] or discover(args.dir)
+    if not paths:
+        sys.exit(f"scenario {args.action}: no scenario files given and "
+                 "none found (see 'repro scenario list')")
+    try:
+        scenarios = [load_scenario(p) for p in paths]
+    except (ScenarioError, OSError) as exc:
+        sys.exit(str(exc))
+
+    if args.action == "show":
+        for scn in scenarios:
+            print(json.dumps(normalized(scn), indent=2, sort_keys=True))
+            print(f"# {scn.name}: digest {scenario_digest(scn)}, "
+                  f"{scn.run_count} grid point(s)", file=sys.stderr)
+        return 0
+
+    if args.action == "compile" or args.dry_run:
+        # One sorted-key JSON line per spec in compile order: the output
+        # is byte-stable for a given scenario, so CI and users can diff
+        # expansions across revisions.
+        for scn in scenarios:
+            for spec in compile_scenario(scn):
+                print(json.dumps(
+                    {"scenario": scn.name, "spec": spec.canonical()},
+                    sort_keys=True,
+                ))
+        return 0
+
+    if args.out and len(scenarios) > 1:
+        sys.exit("scenario run: --out only applies to a single scenario "
+                 "(each scenario writes its own JSONL)")
+
+    # run: same environment-scoped --audit plumbing as cmd_campaign so
+    # worker processes inherit the opt-in without touching cache keys.
+    from .audit import AUDIT_ENV
+
+    previous_audit = os.environ.get(AUDIT_ENV)
+    if args.audit:
+        os.environ[AUDIT_ENV] = "1"
+    failed = False
+    try:
+        for scn in scenarios:
+            sink = ProgressLine()
+            result = run_scenario(scn, jobs=args.jobs, sink=sink)
+            sink.close()
+            out = Path(args.out) if args.out else (
+                Path("results") / "scenarios" / f"{scn.name}.jsonl"
+            )
+            write_rows(out, result.rows)
+            c = result.counters
+            print(
+                f"scenario {scn.name}: {c['specs']} runs — "
+                f"{c['cache_hits']} cache hits, {c['executed']} executed "
+                f"({c['wall_s']:.1f}s simulated work, {c['retries']} "
+                f"retries, {c['failed']} failed) -> {out}",
+                file=sys.stderr,
+            )
+            if not result.ok:
+                failed = True
+                from .campaign import cache
+
+                print(f"scenario {scn.name} FAILED: "
+                      f"{len(result.failures)} run(s) died after retries:",
+                      file=sys.stderr)
+                for spec, error in result.failures:
+                    print(f"  {cache.cache_key(spec)}: {error}",
+                          file=sys.stderr)
+    finally:
+        if args.audit:
+            if previous_audit is None:
+                os.environ.pop(AUDIT_ENV, None)
+            else:
+                os.environ[AUDIT_ENV] = previous_audit
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -621,6 +751,32 @@ def main(argv: list[str] | None = None) -> int:
     p_fuzz.add_argument("--seed", type=int, default=0,
                         help="corpus base seed (default 0)")
 
+    p_scn = sub.add_parser(
+        "scenario",
+        help="compile/run declarative scenario files "
+             "(see docs/SCENARIOS.md)",
+    )
+    p_scn.add_argument("action", choices=("list", "show", "compile", "run"),
+                       help="list the corpus, show a file's canonical "
+                            "form, compile the spec matrix, or run it")
+    p_scn.add_argument("paths", nargs="*", metavar="PATH",
+                       help="scenario file(s) for show/compile/run "
+                            "(default: the whole corpus)")
+    p_scn.add_argument("--dir", default=None, metavar="DIR",
+                       help="corpus directory when no PATH is given "
+                            "(default: scenarios/)")
+    p_scn.add_argument("--jobs", "-j", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or 1)")
+    p_scn.add_argument("--out", default=None, metavar="PATH",
+                       help="JSONL output for 'run' with one scenario "
+                            "(default: results/scenarios/<NAME>.jsonl)")
+    p_scn.add_argument("--dry-run", action="store_true",
+                       help="print the expanded spec matrix instead of "
+                            "running")
+    p_scn.add_argument("--audit", action="store_true",
+                       help="audit every executed run's command log "
+                            "(cache hits are not re-simulated)")
+
     p_bench = sub.add_parser(
         "bench", help="run the wall-clock benchmark suite"
     )
@@ -681,6 +837,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "telemetry": cmd_telemetry,
         "fuzz": cmd_fuzz,
+        "scenario": cmd_scenario,
         "bench": cmd_bench,
     }[args.command]
     if args.codec_impl is None:

@@ -1,0 +1,64 @@
+"""Declarative scenario engine: traffic synthesis as checked-in data.
+
+The layer between workload generation (:mod:`repro.workloads`) and
+campaign orchestration (:mod:`repro.campaign`):
+
+* :mod:`~repro.scenario.schema` — the validated YAML/JSON scenario
+  format (``repro.scenario/v1``) and its canonical digest;
+* :mod:`~repro.scenario.compiler` — deterministic expansion into
+  frozen :class:`~repro.campaign.spec.RunSpec` matrices;
+* :mod:`~repro.scenario.runner` — execution on the campaign engine
+  (content-addressed cache, retries, fan-out all inherited);
+* :mod:`~repro.scenario.results` — schema-versioned JSONL rows for
+  time-series tracking;
+* :mod:`~repro.scenario.corpus` — discovery of the checked-in
+  ``scenarios/`` corpus (SYN-* stress sweeps, RL-* realistic mixes).
+
+See ``docs/SCENARIOS.md`` for the schema reference and authoring guide.
+"""
+
+from .compiler import compile_scenario, point_benchmark
+from .corpus import SCENARIO_SUFFIXES, default_corpus_dir, discover
+from .results import (
+    RESULT_SCHEMA,
+    git_rev,
+    render_rows,
+    result_row,
+    write_rows,
+)
+from .runner import ScenarioResult, run_scenario
+from .schema import (
+    GRID_AXES,
+    SCHEMA_VERSION,
+    Arrival,
+    Scenario,
+    ScenarioError,
+    load_scenario,
+    normalized,
+    parse_scenario,
+    scenario_digest,
+)
+
+__all__ = [
+    "GRID_AXES",
+    "RESULT_SCHEMA",
+    "SCENARIO_SUFFIXES",
+    "SCHEMA_VERSION",
+    "Arrival",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioResult",
+    "compile_scenario",
+    "default_corpus_dir",
+    "discover",
+    "git_rev",
+    "load_scenario",
+    "normalized",
+    "parse_scenario",
+    "point_benchmark",
+    "render_rows",
+    "result_row",
+    "run_scenario",
+    "scenario_digest",
+    "write_rows",
+]

@@ -1,0 +1,35 @@
+"""Discovery of the checked-in ``scenarios/`` corpus.
+
+The corpus is the repo's "millions of users" traffic story as data:
+``SYN-*`` files are single-variable stress scenarios (one swept knob,
+everything else pinned), ``RL-*`` files are production-like mixes.
+Naming and authoring conventions live in ``docs/SCENARIOS.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["SCENARIO_SUFFIXES", "default_corpus_dir", "discover"]
+
+SCENARIO_SUFFIXES = (".yaml", ".yml", ".json")
+
+
+def default_corpus_dir() -> Path:
+    """``<repo root>/scenarios`` (may not exist in installed trees)."""
+    return Path(__file__).resolve().parents[3] / "scenarios"
+
+
+def discover(directory=None) -> list[Path]:
+    """Scenario files under ``directory`` (default corpus), sorted.
+
+    Sorted by filename so listings, compile output, and CI validation
+    walk the corpus in one deterministic order.
+    """
+    root = default_corpus_dir() if directory is None else Path(directory)
+    if not root.is_dir():
+        return []
+    return sorted(
+        p for p in root.iterdir()
+        if p.is_file() and p.suffix.lower() in SCENARIO_SUFFIXES
+    )

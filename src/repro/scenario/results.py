@@ -1,0 +1,112 @@
+"""Schema-versioned JSONL result rows for scenario time series.
+
+One row per executed :class:`~repro.campaign.spec.RunSpec`, schema
+``repro.scenario/v1``.  Everything outside the ``timing`` object is a
+pure function of (scenario definition, spec, model source), so running
+the same scenario twice on the same tree produces byte-identical rows
+modulo ``timing`` — the property CI's twice-run cache assertion and any
+longitudinal dashboard lean on.  ``timing`` carries the wall-clock
+facts (timestamp, per-run seconds, cache hit) that *should* drift.
+
+Row layout (keys always serialised sorted)::
+
+    {
+      "schema": "repro.scenario/v1",
+      "scenario": "SYN-ZERO-SWEEP",
+      "scenario_digest": "…",           # sha256 of the canonical doc
+      "git_rev": "…",                   # HEAD at run time, or "unknown"
+      "fingerprint": "…",               # model-source fingerprint
+      "cache_key": "…",                 # content-addressed result key
+      "spec": { …RunSpec.canonical()… },
+      "summary": { cycles, seconds, bus_utilization, … },
+      "timing": {"ts": …, "wall_s": …, "cache_hit": …}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+
+from ..campaign import cache
+from .schema import Scenario, scenario_digest
+
+__all__ = ["RESULT_SCHEMA", "git_rev", "result_row", "render_rows",
+           "write_rows"]
+
+RESULT_SCHEMA = "repro.scenario/v1"
+
+# Summary fields copied into the row verbatim; scalars the time series
+# can chart directly.
+_SUMMARY_FIELDS = (
+    "benchmark", "system", "policy", "lookahead", "cycles", "seconds",
+    "bus_utilization", "mean_read_latency", "demand_reads",
+    "total_zeros", "raw_zeros", "scheme_counts", "write_optimized",
+    "trace_records",
+)
+
+
+def git_rev() -> str:
+    """Short HEAD revision of the working tree, or ``"unknown"``."""
+    root = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(root), "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def result_row(
+    scenario: Scenario,
+    spec,
+    summary,
+    fingerprint: str | None = None,
+    rev: str | None = None,
+    ts: float | None = None,
+) -> dict:
+    """Build one ``repro.scenario/v1`` row for an executed spec."""
+    body = {name: getattr(summary, name) for name in _SUMMARY_FIELDS}
+    # Summed in sorted category order: float addition is order-sensitive
+    # and the cache round-trips dicts with sorted keys, so a cold run
+    # and a cache hit must add the same numbers in the same sequence.
+    body["dram_energy_j"] = sum(
+        summary.dram_energy[k] for k in sorted(summary.dram_energy)
+    )
+    body["system_energy_j"] = summary.system_total_j
+    stats = getattr(summary, "stats", {}) or {}
+    return {
+        "schema": RESULT_SCHEMA,
+        "scenario": scenario.name,
+        "scenario_digest": scenario_digest(scenario),
+        "git_rev": git_rev() if rev is None else rev,
+        "fingerprint": (
+            cache.model_fingerprint() if fingerprint is None else fingerprint
+        ),
+        "cache_key": cache.cache_key(spec, fingerprint),
+        "spec": spec.canonical(),
+        "summary": body,
+        "timing": {
+            "ts": time.time() if ts is None else ts,
+            "wall_s": stats.get("wall_s"),
+            "cache_hit": stats.get("cache_hit"),
+        },
+    }
+
+
+def render_rows(rows) -> str:
+    """Serialise rows as JSON lines (sorted keys, newline-terminated)."""
+    return "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
+
+
+def write_rows(path, rows) -> Path:
+    """Write rows to ``path`` as JSONL, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_rows(rows))
+    return path

@@ -1,0 +1,417 @@
+"""The declarative scenario format: parse, validate, canonicalise.
+
+A scenario is a small YAML or JSON document describing a *family* of
+runs: a traffic description (workload mix weights, arrival process,
+zero-density bias) plus a grid of system/policy/geometry axes that the
+compiler (:mod:`repro.scenario.compiler`) expands into a deterministic
+:class:`~repro.campaign.spec.RunSpec` matrix.  Example::
+
+    schema: repro.scenario/v1
+    name: SYN-ZERO-SWEEP
+    description: zero-density sweep over a GUPS/CG mix
+    seed: 0
+    accesses_per_core: 1200
+    warmup: 0
+    arrival: {kind: poisson, mean_gap: 40}
+    mix: {GUPS: 0.6, CG: 0.4}
+    data: {zero_bias: 0.0}
+    grid:
+      policy: [dbi, mil]
+      zero_bias: [-0.5, 0.0, 0.5]
+
+Validation is strict — unknown keys, unknown benchmarks/systems/
+policies, and out-of-range knobs all fail at parse time with the
+offending path in the message — because scenarios are checked-in CI
+corpus files: a typo must fail schema validation, not silently run the
+wrong experiment.
+
+Everything here is pure data; the canonical form (:func:`normalized`)
+and its digest (:func:`scenario_digest`) are what result rows embed so
+a JSONL time series can detect that a scenario definition changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "GRID_AXES",
+    "Arrival",
+    "Scenario",
+    "ScenarioError",
+    "load_scenario",
+    "parse_scenario",
+    "normalized",
+    "scenario_digest",
+]
+
+SCHEMA_VERSION = "repro.scenario/v1"
+
+# Grid axes in canonical expansion order (outermost first).  ``system``
+# through ``lookahead`` override RunSpec fields; ``channels``/``ranks``
+# become system overrides; ``zero_bias``/``mean_gap``/``burst`` rewrite
+# the synthesised traffic mix.
+GRID_AXES = (
+    "system", "policy", "seed", "channels", "ranks", "lookahead",
+    "zero_bias", "mean_gap", "burst",
+)
+
+_TOP_KEYS = {
+    "schema", "name", "description", "seed", "accesses_per_core",
+    "warmup", "arrival", "mix", "data", "grid",
+}
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class ScenarioError(ValueError):
+    """A scenario document failed validation."""
+
+    def __init__(self, source: str, message: str) -> None:
+        super().__init__(f"{source}: {message}")
+        self.source = source
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """The scenario's arrival process (see ``generators.arrival_gaps``)."""
+
+    kind: str
+    mean_gap: float
+    burst: int = 8
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One parsed, validated scenario document."""
+
+    name: str
+    description: str
+    seed: int
+    accesses_per_core: int
+    warmup: int
+    arrival: Arrival | None
+    mix: tuple  # ((benchmark, weight), ...) sorted by benchmark
+    zero_bias: float
+    grid: tuple  # ((axis, (values, ...)), ...) in GRID_AXES order
+    source: str = "<dict>"
+
+    def grid_values(self, axis: str):
+        for name, values in self.grid:
+            if name == axis:
+                return values
+        return None
+
+    @property
+    def run_count(self) -> int:
+        count = 1
+        for _, values in self.grid:
+            count *= len(values)
+        return count
+
+
+def _want(doc: dict, key: str, types, source: str, default=None):
+    value = doc.get(key, default)
+    if value is default and key not in doc:
+        return default
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise ScenarioError(
+            source, f"'{key}' must be {types} (got {value!r})"
+        )
+    return value
+
+
+def parse_scenario(doc, source: str = "<dict>") -> Scenario:
+    """Validate a scenario document and return the frozen Scenario."""
+    # Registry imports are deferred so this module stays importable
+    # without dragging the whole model stack in for schema-only tools.
+    from ..core.policies import known_policy, policy_names
+    from ..system.machine import SYSTEMS
+    from ..workloads.benchmarks import BENCHMARK_ORDER, BENCHMARKS
+    from ..workloads.generators import ARRIVAL_KINDS
+
+    if not isinstance(doc, dict):
+        raise ScenarioError(source, f"document must be a mapping, got "
+                                    f"{type(doc).__name__}")
+    unknown = set(doc) - _TOP_KEYS
+    if unknown:
+        raise ScenarioError(
+            source,
+            f"unknown top-level key(s) {sorted(unknown)}; "
+            f"known: {sorted(_TOP_KEYS)}",
+        )
+    schema = doc.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ScenarioError(
+            source, f"schema must be {SCHEMA_VERSION!r}, got {schema!r}"
+        )
+    name = _want(doc, "name", str, source)
+    if not name or not _NAME_RE.match(name):
+        raise ScenarioError(
+            source,
+            f"'name' must match {_NAME_RE.pattern} (got {name!r}); "
+            "convention: SYN-* for synthetic stress, RL-* for "
+            "production-like mixes",
+        )
+    description = _want(doc, "description", str, source, default="")
+    seed = _want(doc, "seed", int, source, default=0)
+    accesses = _want(doc, "accesses_per_core", int, source, default=1000)
+    if accesses <= 0:
+        raise ScenarioError(source, "'accesses_per_core' must be positive")
+    warmup = _want(doc, "warmup", int, source, default=0)
+    if warmup < 0:
+        raise ScenarioError(source, "'warmup' must be non-negative")
+
+    # -- arrival -------------------------------------------------------
+    arrival = None
+    if "arrival" in doc:
+        raw = _want(doc, "arrival", dict, source)
+        extra = set(raw) - {"kind", "mean_gap", "burst"}
+        if extra:
+            raise ScenarioError(
+                source, f"unknown arrival key(s) {sorted(extra)}"
+            )
+        kind = str(raw.get("kind", "")).lower()
+        if kind not in ARRIVAL_KINDS:
+            raise ScenarioError(
+                source,
+                f"arrival.kind must be one of {list(ARRIVAL_KINDS)}, "
+                f"got {raw.get('kind')!r}",
+            )
+        mean_gap = raw.get("mean_gap")
+        if not isinstance(mean_gap, (int, float)) or isinstance(
+            mean_gap, bool
+        ) or mean_gap < 0:
+            raise ScenarioError(
+                source, f"arrival.mean_gap must be a non-negative number, "
+                        f"got {mean_gap!r}"
+            )
+        burst = raw.get("burst", 8)
+        if not isinstance(burst, int) or isinstance(burst, bool) or burst < 1:
+            raise ScenarioError(
+                source, f"arrival.burst must be an int >= 1, got {burst!r}"
+            )
+        arrival = Arrival(kind=kind, mean_gap=float(mean_gap), burst=burst)
+
+    # -- mix -----------------------------------------------------------
+    raw_mix = _want(doc, "mix", dict, source)
+    if raw_mix is None or not raw_mix:
+        raise ScenarioError(
+            source, "'mix' must map at least one benchmark to a weight"
+        )
+    mix: dict[str, float] = {}
+    for bench, weight in raw_mix.items():
+        upper = str(bench).upper()
+        if upper not in BENCHMARKS:
+            raise ScenarioError(
+                source,
+                f"mix benchmark {bench!r} unknown; "
+                f"known: {list(BENCHMARK_ORDER)}",
+            )
+        if not isinstance(weight, (int, float)) or isinstance(
+            weight, bool
+        ) or weight <= 0:
+            raise ScenarioError(
+                source, f"mix weight for {bench!r} must be a positive "
+                        f"number, got {weight!r}"
+            )
+        mix[upper] = mix.get(upper, 0.0) + float(weight)
+    mix_tuple = tuple(sorted(mix.items()))
+
+    # -- data ----------------------------------------------------------
+    zero_bias = 0.0
+    if "data" in doc:
+        raw = _want(doc, "data", dict, source)
+        extra = set(raw) - {"zero_bias"}
+        if extra:
+            raise ScenarioError(
+                source, f"unknown data key(s) {sorted(extra)}"
+            )
+        zero_bias = raw.get("zero_bias", 0.0)
+        if not isinstance(zero_bias, (int, float)) or isinstance(
+            zero_bias, bool
+        ) or not -1.0 <= zero_bias <= 1.0:
+            raise ScenarioError(
+                source, f"data.zero_bias must be a number in [-1, 1], "
+                        f"got {zero_bias!r}"
+            )
+        zero_bias = float(zero_bias)
+
+    # -- grid ----------------------------------------------------------
+    raw_grid = _want(doc, "grid", dict, source, default={})
+    grid: list[tuple[str, tuple]] = []
+    for axis in raw_grid or {}:
+        if axis not in GRID_AXES:
+            raise ScenarioError(
+                source, f"unknown grid axis {axis!r}; "
+                        f"known: {list(GRID_AXES)}"
+            )
+    for axis in GRID_AXES:  # canonical order, not document order
+        if axis not in (raw_grid or {}):
+            continue
+        values = raw_grid[axis]
+        if not isinstance(values, list) or not values:
+            raise ScenarioError(
+                source, f"grid.{axis} must be a non-empty list"
+            )
+        checked = []
+        for value in values:
+            checked.append(
+                _check_axis_value(axis, value, source, SYSTEMS,
+                                  known_policy, policy_names)
+            )
+        if len(set(checked)) != len(checked):
+            raise ScenarioError(
+                source, f"grid.{axis} has duplicate values: {values!r}"
+            )
+        grid.append((axis, tuple(checked)))
+
+    scenario = Scenario(
+        name=name,
+        description=description,
+        seed=seed,
+        accesses_per_core=accesses,
+        warmup=warmup,
+        arrival=arrival,
+        mix=mix_tuple,
+        zero_bias=zero_bias,
+        grid=tuple(grid),
+        source=source,
+    )
+
+    # A synthesised mix (multiple components, biased data, or swept
+    # traffic knobs) needs an arrival process to shape it.
+    needs_mix = (
+        len(mix_tuple) > 1
+        or zero_bias != 0.0
+        or any(axis in ("zero_bias", "mean_gap", "burst")
+               for axis, _ in grid)
+    )
+    if needs_mix and arrival is None:
+        raise ScenarioError(
+            source,
+            "scenario synthesises mixed/biased traffic (multi-benchmark "
+            "mix, nonzero zero_bias, or swept traffic knobs) but has no "
+            "'arrival' section to shape it",
+        )
+    if scenario.grid_values("burst") and (
+        arrival is None or arrival.kind != "bursty"
+    ):
+        raise ScenarioError(
+            source, "grid.burst requires arrival.kind == 'bursty'"
+        )
+    return scenario
+
+
+def _check_axis_value(axis, value, source, systems, known_policy,
+                      policy_names):
+    if axis == "system":
+        if value not in systems:
+            raise ScenarioError(
+                source, f"grid.system value {value!r} unknown; "
+                        f"known: {sorted(systems)}"
+            )
+        return value
+    if axis == "policy":
+        if not isinstance(value, str) or not known_policy(value):
+            raise ScenarioError(
+                source, f"grid.policy value {value!r} unknown; "
+                        f"known: {policy_names()}"
+            )
+        return value
+    if axis in ("seed", "channels", "ranks", "lookahead", "burst"):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ScenarioError(
+                source, f"grid.{axis} values must be ints, got {value!r}"
+            )
+        if axis != "seed" and value < 1 and not (
+            axis == "lookahead" and value == 0
+        ):
+            raise ScenarioError(
+                source, f"grid.{axis} value {value!r} out of range"
+            )
+        return value
+    if axis == "zero_bias":
+        if not isinstance(value, (int, float)) or isinstance(
+            value, bool
+        ) or not -1.0 <= value <= 1.0:
+            raise ScenarioError(
+                source, f"grid.zero_bias values must be numbers in "
+                        f"[-1, 1], got {value!r}"
+            )
+        return float(value)
+    if axis == "mean_gap":
+        if not isinstance(value, (int, float)) or isinstance(
+            value, bool
+        ) or value < 0:
+            raise ScenarioError(
+                source, f"grid.mean_gap values must be non-negative "
+                        f"numbers, got {value!r}"
+            )
+        return float(value)
+    raise ScenarioError(source, f"unhandled grid axis {axis!r}")
+
+
+def load_scenario(path) -> Scenario:
+    """Parse and validate a scenario file (.yaml/.yml/.json)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(str(path), f"cannot read: {exc}") from None
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError:
+            raise ScenarioError(
+                str(path),
+                "PyYAML is not installed; use a .json scenario or "
+                "install pyyaml",
+            ) from None
+        try:
+            doc = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(str(path), f"invalid YAML: {exc}") from None
+    elif path.suffix.lower() == ".json":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(str(path), f"invalid JSON: {exc}") from None
+    else:
+        raise ScenarioError(
+            str(path), "scenario files must end in .yaml, .yml, or .json"
+        )
+    return parse_scenario(doc, source=str(path))
+
+
+def normalized(scenario: Scenario) -> dict:
+    """The canonical JSON-safe form of a scenario (digest input)."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "name": scenario.name,
+        "description": scenario.description,
+        "seed": scenario.seed,
+        "accesses_per_core": scenario.accesses_per_core,
+        "warmup": scenario.warmup,
+        "mix": {bench: weight for bench, weight in scenario.mix},
+        "data": {"zero_bias": scenario.zero_bias},
+        "grid": {axis: list(values) for axis, values in scenario.grid},
+    }
+    if scenario.arrival is not None:
+        doc["arrival"] = {
+            "kind": scenario.arrival.kind,
+            "mean_gap": scenario.arrival.mean_gap,
+            "burst": scenario.arrival.burst,
+        }
+    return doc
+
+
+def scenario_digest(scenario: Scenario) -> str:
+    """Short content digest of the canonical scenario definition."""
+    payload = json.dumps(normalized(scenario), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]

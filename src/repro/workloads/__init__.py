@@ -1,4 +1,5 @@
-"""Synthetic versions of the Table 3 benchmark suite."""
+"""Synthetic versions of the Table 3 benchmark suite, plus the
+scenario engine's mixed-arrival traffic synthesis."""
 
 from .benchmarks import (
     BENCHMARK_ORDER,
@@ -9,8 +10,11 @@ from .benchmarks import (
     build_trace,
     clear_trace_cache,
     get_benchmark,
+    known_benchmark,
+    validate_benchmark,
 )
-from .datamodel import DataModel, WORD_CATEGORIES, splitmix64
+from .datamodel import DataModel, WORD_CATEGORIES, biased_mix, splitmix64
+from .mixed import MixNameError, MixSpec, build_mixed_trace, is_mix_name
 from .trace import MemoryTrace, TraceRecord
 
 __all__ = [
@@ -22,9 +26,16 @@ __all__ = [
     "build_trace",
     "clear_trace_cache",
     "get_benchmark",
+    "known_benchmark",
+    "validate_benchmark",
     "DataModel",
     "WORD_CATEGORIES",
+    "biased_mix",
     "splitmix64",
+    "MixNameError",
+    "MixSpec",
+    "build_mixed_trace",
+    "is_mix_name",
     "MemoryTrace",
     "TraceRecord",
 ]

@@ -43,6 +43,8 @@ __all__ = [
     "BENCHMARK_ORDER",
     "MEMORY_INTENSIVE",
     "get_benchmark",
+    "known_benchmark",
+    "validate_benchmark",
     "build_trace",
     "clear_trace_cache",
 ]
@@ -369,6 +371,41 @@ def get_benchmark(name: str) -> BenchmarkSpec:
         ) from None
 
 
+def known_benchmark(name: str) -> bool:
+    """Whether ``name`` is a Table 3 benchmark or a parseable mix name.
+
+    The workload-registry analogue of
+    :func:`repro.core.policies.known_policy`; malformed mix names count
+    as unknown (use :func:`validate_benchmark` for the precise error).
+    """
+    try:
+        validate_benchmark(name)
+    except (KeyError, ValueError):
+        return False
+    return True
+
+
+def validate_benchmark(name: str) -> None:
+    """Raise unless ``name`` builds a trace.
+
+    ``KeyError`` for an unknown plain benchmark (listing the known
+    names, mirroring the policy registry check in
+    :class:`~repro.campaign.spec.RunSpec`), or
+    :class:`~repro.workloads.mixed.MixNameError` for a string that
+    claims the ``MIX@`` grammar but does not parse.
+    """
+    from .mixed import MixSpec, is_mix_name
+
+    if is_mix_name(name):
+        MixSpec.parse(name)  # raises MixNameError / KeyError on bad parts
+        return
+    if name.upper() not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {list(BENCHMARK_ORDER)} "
+            "or a MIX@ARRIVAL:GAP@Z:BIAS@BENCH:WEIGHT+... traffic mix"
+        )
+
+
 _TRACE_CACHE: dict[tuple, MemoryTrace] = {}
 
 DEFAULT_ACCESSES_PER_CORE = 24_000
@@ -388,6 +425,22 @@ def build_trace(
     policy comparison in the experiments replays the *same* trace.
     """
     from ..system.hierarchy import filter_through_hierarchy
+    from .mixed import MixSpec, build_mixed_trace, is_mix_name
+
+    if is_mix_name(name):
+        # Scenario traffic: DRAM-level synthesis, no hierarchy filter.
+        # The trace depends on the mix name, the seed, the scale, and
+        # (of the config) only the core count.
+        mix = MixSpec.parse(name)
+        key = (mix.name, config.cores, seed, int(accesses_per_core))
+        if use_cache and key in _TRACE_CACHE:
+            return _TRACE_CACHE[key]
+        trace = build_mixed_trace(
+            mix, config, seed=seed, accesses_per_core=accesses_per_core
+        )
+        if use_cache:
+            _TRACE_CACHE[key] = trace
+        return trace
 
     spec = get_benchmark(name)
     scaled = max(64, int(accesses_per_core * spec.access_scale))

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["DataModel", "WORD_CATEGORIES", "splitmix64"]
+__all__ = ["DataModel", "WORD_CATEGORIES", "biased_mix", "splitmix64"]
 
 WORD_CATEGORIES = (
     "zero", "int1", "int2", "int4", "fp", "text", "repeat", "random",
@@ -50,6 +50,46 @@ def splitmix64(x: np.ndarray) -> np.ndarray:
     x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
     x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
     return x ^ (x >> np.uint64(31))
+
+
+def biased_mix(mix: dict[str, float], zero_bias: float) -> dict[str, float]:
+    """Shift a category mixture's zero density by ``zero_bias`` in [-1, 1].
+
+    ``+b`` linearly interpolates the mixture toward the all-``zero``
+    line distribution (``b=1`` makes every line zero); ``-b``
+    interpolates the ``zero`` weight away, redistributing it over the
+    other categories in proportion to their existing weights (``b=-1``
+    removes zero lines entirely).  ``0`` returns the mix unchanged.
+    This is the scenario engine's data-content knob: the same address
+    streams replayed across a zero-density sweep isolate how much of a
+    sparse code's win is the data, not the traffic.
+    """
+    if not -1.0 <= zero_bias <= 1.0:
+        raise ValueError("zero_bias must be in [-1, 1]")
+    weights = {c: float(mix.get(c, 0.0)) for c in WORD_CATEGORIES}
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("mixture weights must sum > 0")
+    weights = {c: w / total for c, w in weights.items()}
+    if zero_bias == 0.0:
+        out = weights
+    elif zero_bias > 0:
+        out = {c: w * (1.0 - zero_bias) for c, w in weights.items()}
+        out["zero"] += zero_bias
+    else:
+        freed = weights["zero"] * -zero_bias
+        rest = 1.0 - weights["zero"]
+        out = dict(weights)
+        out["zero"] -= freed
+        if rest > 0:
+            for c in WORD_CATEGORIES:
+                if c != "zero":
+                    out[c] += freed * weights[c] / rest
+        else:
+            # An all-zero mix has nothing to redistribute to: fall back
+            # to uniformly random content for the freed share.
+            out["random"] = out.get("random", 0.0) + freed
+    return {c: w for c, w in out.items() if w > 0.0}
 
 
 class DataModel:

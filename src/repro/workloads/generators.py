@@ -21,6 +21,11 @@ __all__ = [
     "tile_reuse",
     "update_pairs",
     "interleave",
+    "ARRIVAL_KINDS",
+    "poisson_gaps",
+    "uniform_gaps",
+    "bursty_gaps",
+    "arrival_gaps",
 ]
 
 LINE = 64
@@ -149,6 +154,121 @@ def update_pairs(
     addresses = np.repeat(base + idx * element_bytes, 2).astype(np.int64)
     is_write = np.tile(np.array([False, True]), pairs)
     return addresses, is_write
+
+
+# ----------------------------------------------------------------------
+# Arrival processes (think-time gap samplers for synthesized traffic)
+# ----------------------------------------------------------------------
+#
+# The Table 3 benchmarks derive their think times from arithmetic
+# intensity through the cache hierarchy; scenario traffic
+# (repro.workloads.mixed) instead *samples* inter-arrival gaps from an
+# explicit stochastic process.  Every sampler returns ``count`` int64
+# DRAM-cycle gaps with the requested mean, so sweeping the process kind
+# at a fixed ``mean_gap`` isolates the effect of arrival *shape* on bus
+# utilisation and look-ahead windows.
+
+ARRIVAL_KINDS = ("poisson", "uniform", "bursty")
+
+
+def poisson_gaps(
+    rng: np.random.Generator, count: int, mean_gap: float
+) -> np.ndarray:
+    """Memoryless arrivals: geometric gaps with mean ``mean_gap``.
+
+    The discrete-time analogue of a Poisson process — each DRAM cycle
+    independently starts a new arrival with probability
+    ``1 / (mean_gap + 1)`` — so gaps of zero (back-to-back records) are
+    as common as an open-loop "millions of users" aggregate makes them.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    if mean_gap < 0:
+        raise ValueError("mean_gap must be non-negative")
+    if mean_gap == 0:
+        return np.zeros(count, dtype=np.int64)
+    p = 1.0 / (float(mean_gap) + 1.0)
+    # numpy's geometric counts trials (>= 1); gaps count idle cycles.
+    return rng.geometric(p, size=count).astype(np.int64) - 1
+
+
+def uniform_gaps(
+    rng: np.random.Generator,
+    count: int,
+    mean_gap: float,
+    jitter: float = 1.0,
+) -> np.ndarray:
+    """Paced arrivals: gaps uniform in ``mean_gap * [1-jitter, 1+jitter]``.
+
+    ``jitter=0`` degenerates to a fixed-rate clocked stream; the default
+    full jitter keeps the mean while spreading gaps over
+    ``[0, 2*mean_gap]``.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    if mean_gap < 0:
+        raise ValueError("mean_gap must be non-negative")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError("jitter must be in [0, 1]")
+    lo = float(mean_gap) * (1.0 - jitter)
+    hi = float(mean_gap) * (1.0 + jitter)
+    return np.rint(rng.uniform(lo, hi, size=count)).astype(np.int64)
+
+
+def bursty_gaps(
+    rng: np.random.Generator,
+    count: int,
+    mean_gap: float,
+    burst: int = 8,
+) -> np.ndarray:
+    """On/off arrivals: geometric bursts of back-to-back records.
+
+    Records arrive in bursts whose lengths are geometric with mean
+    ``burst``; within a burst gaps are zero, and each burst is preceded
+    by one long idle gap sized so the overall mean stays ``mean_gap``.
+    This is the shape that opens the empty look-ahead windows MiL's
+    long code needs (compare ``CoreAccessStream.burst_lines``), but as
+    an explicit traffic knob instead of a benchmark property.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    if mean_gap < 0:
+        raise ValueError("mean_gap must be non-negative")
+    if burst < 1:
+        raise ValueError("burst must be >= 1")
+    # Geometric burst membership: record i starts a new burst with
+    # probability 1/burst (the first record always does).
+    starts = rng.random(count) < (1.0 / float(burst))
+    starts[0] = True
+    n_bursts = int(starts.sum())
+    # Each burst head carries the idle time of its whole burst: the
+    # expected records per burst is ``count / n_bursts`` exactly, so
+    # scaling by it preserves the configured mean gap.
+    per_burst = float(mean_gap) * count / n_bursts
+    gaps = np.zeros(count, dtype=np.int64)
+    idle = rng.geometric(1.0 / (per_burst + 1.0), size=n_bursts) - 1
+    gaps[starts] = idle.astype(np.int64)
+    return gaps
+
+
+def arrival_gaps(
+    rng: np.random.Generator,
+    count: int,
+    kind: str,
+    mean_gap: float,
+    burst: int = 8,
+) -> np.ndarray:
+    """Dispatch to the named arrival sampler (:data:`ARRIVAL_KINDS`)."""
+    kind = kind.lower()
+    if kind == "poisson":
+        return poisson_gaps(rng, count, mean_gap)
+    if kind == "uniform":
+        return uniform_gaps(rng, count, mean_gap)
+    if kind == "bursty":
+        return bursty_gaps(rng, count, mean_gap, burst=burst)
+    raise ValueError(
+        f"unknown arrival kind {kind!r}; known: {list(ARRIVAL_KINDS)}"
+    )
 
 
 def interleave(

@@ -1,0 +1,334 @@
+"""Synthetic mixed-arrival traffic: the scenario engine's workloads.
+
+The Table 3 suite is a fixed set of single-application traces; scenario
+traffic (:mod:`repro.scenario`) instead *composes* them — a weighted mix
+of benchmark address streams, replayed under an explicit arrival process
+(:func:`~repro.workloads.generators.arrival_gaps`) with a data-content
+knob (:func:`~repro.workloads.datamodel.biased_mix`) that sweeps the
+zero density the sparse codes feed on.
+
+A mix is fully described by its canonical **mix name**, e.g.::
+
+    MIX@POISSON:40@Z:0.25@CG:0.6+GUPS:0.4
+
+which reads: Poisson arrivals with a 40-cycle mean gap, zero-density
+bias +0.25, and a 60/40 CG/GUPS stream mix.  The name is the single
+source of truth: it is what a :class:`~repro.campaign.spec.RunSpec`
+carries in its ``benchmark`` field, it survives ``str.upper()`` (specs
+normalise benchmarks to uppercase), it round-trips through
+:meth:`MixSpec.parse`, and any process can rebuild the identical trace
+from it — so mixes cross campaign worker-pool boundaries and land in
+the content-addressed result cache exactly like Table 3 names do.
+
+Determinism: the trace is derived from ``(seed, core, crc32(name))``
+alone, so the same scenario always produces byte-identical payloads and
+therefore the same ``MemoryTrace.line_digest`` — the property the
+campaign cache and the zero-table cache key on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from .datamodel import DataModel, biased_mix
+from .generators import ARRIVAL_KINDS, arrival_gaps
+from .trace import MemoryTrace, TraceRecord
+
+__all__ = [
+    "MIX_PREFIX",
+    "MixNameError",
+    "MixSpec",
+    "is_mix_name",
+    "build_mixed_trace",
+]
+
+MIX_PREFIX = "MIX@"
+
+# Mixes synthesise DRAM-level records directly (no hierarchy filter), so
+# tiny requests still produce a simulable trace.
+_MIN_RECORDS = 64
+
+
+class MixNameError(ValueError):
+    """A string that looks like a mix name but does not parse."""
+
+
+def _fmt(value: float) -> str:
+    """Canonical float formatting: short, uppercase-stable, re-parsable."""
+    return format(float(value), ".4g").upper()
+
+
+def is_mix_name(name: str) -> bool:
+    """Whether ``name`` claims to be a mix (prefix check only)."""
+    return name.upper().startswith(MIX_PREFIX)
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """One synthesised traffic mix, canonicalised.
+
+    ``components`` is a tuple of ``(benchmark, weight)`` pairs sorted by
+    benchmark name with weights summing to ~1; ``arrival`` is one of
+    :data:`~repro.workloads.generators.ARRIVAL_KINDS`; ``mean_gap`` is
+    the mean think time between a core's records in DRAM cycles;
+    ``burst`` is the mean burst length (bursty arrivals only);
+    ``zero_bias`` shifts every component's data mixture toward (+) or
+    away from (-) all-zero lines.
+
+    Instances are built via :meth:`make` or :meth:`parse`, which store
+    the *formatted* parameter values so ``parse(spec.name) == spec``
+    holds exactly.
+    """
+
+    components: tuple
+    arrival: str = "poisson"
+    mean_gap: float = 40.0
+    burst: int = 8
+    zero_bias: float = 0.0
+
+    @classmethod
+    def make(
+        cls,
+        components: dict,
+        arrival: str = "poisson",
+        mean_gap: float = 40.0,
+        burst: int = 8,
+        zero_bias: float = 0.0,
+    ) -> "MixSpec":
+        """Validate and canonicalise a mix description."""
+        from .benchmarks import BENCHMARK_ORDER, BENCHMARKS
+
+        arrival = str(arrival).lower()
+        if arrival not in ARRIVAL_KINDS:
+            raise MixNameError(
+                f"unknown arrival kind {arrival!r}; "
+                f"known: {list(ARRIVAL_KINDS)}"
+            )
+        if not components:
+            raise MixNameError("a mix needs at least one component")
+        weights: dict[str, float] = {}
+        for bench, weight in components.items():
+            name = str(bench).upper()
+            if name not in BENCHMARKS:
+                raise KeyError(
+                    f"unknown mix component {bench!r}; "
+                    f"known: {list(BENCHMARK_ORDER)}"
+                )
+            weight = float(weight)
+            if weight <= 0:
+                raise MixNameError(
+                    f"mix weight for {name} must be positive, got {weight}"
+                )
+            weights[name] = weights.get(name, 0.0) + weight
+        total = sum(weights.values())
+        if float(mean_gap) < 0:
+            raise MixNameError("mean_gap must be non-negative")
+        if int(burst) < 1:
+            raise MixNameError("burst must be >= 1")
+        if not -1.0 <= float(zero_bias) <= 1.0:
+            raise MixNameError("zero_bias must be in [-1, 1]")
+        # Store the formatted values so the name round-trips exactly.
+        canon = tuple(
+            (name, float(_fmt(weights[name] / total)))
+            for name in sorted(weights)
+        )
+        return cls(
+            components=canon,
+            arrival=arrival,
+            mean_gap=float(_fmt(mean_gap)),
+            burst=int(burst),
+            zero_bias=float(_fmt(zero_bias)),
+        )
+
+    @property
+    def name(self) -> str:
+        """The canonical mix name (uppercase-stable, filename-safe)."""
+        arr = self.arrival.upper() + ":" + _fmt(self.mean_gap)
+        if self.arrival == "bursty":
+            arr += f":{self.burst}"
+        comps = "+".join(
+            f"{bench}:{_fmt(weight)}" for bench, weight in self.components
+        )
+        return f"{MIX_PREFIX}{arr}@Z:{_fmt(self.zero_bias)}@{comps}"
+
+    @classmethod
+    def parse(cls, name: str) -> "MixSpec":
+        """Rebuild a :class:`MixSpec` from its canonical name."""
+        raw = name.upper()
+        if not raw.startswith(MIX_PREFIX):
+            raise MixNameError(f"not a mix name: {name!r}")
+        parts = raw[len(MIX_PREFIX):].split("@")
+        if len(parts) != 3:
+            raise MixNameError(
+                f"mix name {name!r} must have three @-separated sections "
+                "(arrival, zero bias, components)"
+            )
+        arr, zsec, csec = parts
+        arr_fields = arr.split(":")
+        kind = arr_fields[0].lower()
+        try:
+            if kind == "bursty":
+                if len(arr_fields) != 3:
+                    raise MixNameError(
+                        f"bursty arrival in {name!r} needs KIND:GAP:BURST"
+                    )
+                mean_gap, burst = float(arr_fields[1]), int(arr_fields[2])
+            elif len(arr_fields) == 2:
+                mean_gap, burst = float(arr_fields[1]), 8
+            else:
+                raise MixNameError(
+                    f"arrival section of {name!r} must be KIND:GAP"
+                )
+        except ValueError as exc:
+            if isinstance(exc, MixNameError):
+                raise
+            raise MixNameError(
+                f"bad arrival parameters in {name!r}: {exc}"
+            ) from None
+        if not zsec.startswith("Z:"):
+            raise MixNameError(
+                f"second section of {name!r} must be Z:<bias>"
+            )
+        try:
+            zero_bias = float(zsec[2:])
+        except ValueError:
+            raise MixNameError(
+                f"bad zero bias in {name!r}: {zsec[2:]!r}"
+            ) from None
+        components: dict[str, float] = {}
+        for item in csec.split("+"):
+            bench, sep, weight = item.partition(":")
+            if not sep or not bench:
+                raise MixNameError(
+                    f"bad mix component {item!r} in {name!r} "
+                    "(expected BENCH:WEIGHT)"
+                )
+            try:
+                components[bench] = components.get(bench, 0.0) + float(weight)
+            except ValueError:
+                raise MixNameError(
+                    f"bad mix weight {weight!r} in {name!r}"
+                ) from None
+        return cls.make(
+            components,
+            arrival=kind,
+            mean_gap=mean_gap,
+            burst=burst,
+            zero_bias=zero_bias,
+        )
+
+    def weights(self) -> np.ndarray:
+        """Component probabilities, re-normalised after formatting."""
+        w = np.array([weight for _, weight in self.components])
+        return w / w.sum()
+
+
+def build_mixed_trace(
+    mix: "MixSpec | str",
+    config,
+    seed: int = 0,
+    accesses_per_core: int = 1000,
+) -> MemoryTrace:
+    """Synthesise the :class:`MemoryTrace` for a traffic mix.
+
+    Unlike :func:`~repro.workloads.benchmarks.build_trace` for Table 3
+    names, mixes generate DRAM-level records directly: each of the
+    ``config.cores`` cores draws a per-record component from the mix
+    weights, takes that component's next address in its own program
+    order, samples think-time gaps from the arrival process, and fills
+    payloads from the component's data model under the mix's zero-bias.
+    The per-core RNG is seeded with ``(seed, core, crc32(name))`` only,
+    so the same mix name and seed reproduce the trace bit-for-bit in
+    any process.
+    """
+    from .benchmarks import BENCHMARKS
+
+    if isinstance(mix, str):
+        mix = MixSpec.parse(mix)
+    n = max(_MIN_RECORDS, int(accesses_per_core))
+    specs = [BENCHMARKS[bench] for bench, _ in mix.components]
+    weights = mix.weights()
+    # Per-component data models, shared across cores (payloads are
+    # address-derived, so sharing is safe and cheap).
+    models = [
+        DataModel(
+            biased_mix(spec.data_mix, mix.zero_bias), seed=spec._seed_tag()
+        )
+        for spec in specs
+    ]
+    dep_fraction = np.array([spec.dependent_fraction for spec in specs])
+    tag = zlib.crc32(mix.name.encode()) & 0xFFFFFFFF
+
+    records_by_core: list[list[TraceRecord]] = []
+    line_blocks: list[np.ndarray] = []
+    for core in range(config.cores):
+        rng = np.random.default_rng((seed, core, tag))
+        draws = (
+            rng.choice(len(specs), size=n, p=weights)
+            if len(specs) > 1
+            else np.zeros(n, dtype=np.intp)
+        )
+        addresses = np.zeros(n, dtype=np.int64)
+        is_write = np.zeros(n, dtype=bool)
+        lines = np.zeros((n, 64), dtype=np.uint8)
+        for idx, spec in enumerate(specs):
+            mask = draws == idx
+            count = int(mask.sum())
+            if not count:
+                continue
+            addr, wr = spec.build(rng, core, count)
+            if len(addr) != count:
+                # Some builders round to pair/phase boundaries
+                # (update_pairs emits an even count); wrap-pad so every
+                # drawn slot is filled deterministically.
+                addr = np.resize(addr, count)
+                wr = np.resize(wr, count)
+            addresses[mask] = addr
+            is_write[mask] = wr
+            lines[mask] = models[idx].lines_for(addr)
+        gaps = arrival_gaps(
+            rng, n, mix.arrival, mix.mean_gap, burst=mix.burst
+        )
+        dependent = rng.random(n) < dep_fraction[draws]
+        records = [
+            TraceRecord(
+                core=core,
+                gap=int(gaps[k]),
+                address=int(addresses[k]),
+                is_write=bool(is_write[k]),
+                line_id=-1,
+                dependent=bool(dependent[k] and not is_write[k]),
+            )
+            for k in range(n)
+        ]
+        records_by_core.append(records)
+        line_blocks.append(lines)
+
+    next_id = 0
+    for records in records_by_core:
+        for rec in records:
+            rec.line_id = next_id
+            next_id += 1
+    line_data = (
+        np.vstack(line_blocks)
+        if line_blocks
+        else np.zeros((0, 64), dtype=np.uint8)
+    )
+    return MemoryTrace(
+        name=mix.name,
+        records_by_core=records_by_core,
+        line_data=line_data,
+        cpu_accesses=next_id,
+        l1_miss_rate=1.0,  # records *are* the memory traffic
+        l2_miss_rate=1.0,
+        stats={
+            "mixed": True,
+            "arrival": mix.arrival,
+            "mean_gap": mix.mean_gap,
+            "zero_bias": mix.zero_bias,
+            "components": dict(mix.components),
+        },
+    )

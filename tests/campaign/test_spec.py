@@ -43,6 +43,35 @@ def test_spec_validates_inputs():
         RunSpec(benchmark="MM", system_overrides=(("timing", object()),))
 
 
+def test_spec_validates_benchmark_against_registry():
+    # Typos must die at spec-build time, naming the known suite, not
+    # deep inside a worker process at trace-build time.
+    with pytest.raises(KeyError, match="GUPS"):
+        RunSpec(benchmark="GUSP")
+    # Canonical mix names are first-class benchmarks...
+    spec = RunSpec(benchmark="mix@poisson:40@z:0@cg:0.5+gups:0.5")
+    assert spec.benchmark.startswith("MIX@")
+    # ...but malformed ones are rejected, not deferred.
+    with pytest.raises(ValueError):
+        RunSpec(benchmark="MIX@NOT-A-MIX")
+
+
+def test_dotted_system_overrides_resolve_nested_fields():
+    spec = RunSpec(benchmark="MM",
+                   system_overrides={"geometry.ranks": 4, "channels": 1})
+    resolved = spec.resolve_system()
+    assert resolved.geometry.ranks == 4
+    assert resolved.channels == 1
+    # Untouched nested fields survive the replace.
+    assert resolved.geometry.banks_per_group == \
+        NIAGARA_SERVER.geometry.banks_per_group
+
+
+def test_bad_system_override_rejected_at_build_time():
+    with pytest.raises(ValueError, match="override"):
+        RunSpec(benchmark="MM", system_overrides={"no_such_field": 1})
+
+
 def test_of_decomposes_replaced_system_config():
     variant = dataclasses.replace(
         NIAGARA_SERVER,

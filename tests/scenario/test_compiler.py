@@ -1,0 +1,85 @@
+"""Scenario compilation: deterministic expansion into RunSpec matrices."""
+
+from repro.scenario import SCHEMA_VERSION, compile_scenario, parse_scenario
+from repro.workloads import is_mix_name
+
+
+def scenario(**overrides):
+    base = {
+        "schema": SCHEMA_VERSION,
+        "name": "SYN-COMPILE",
+        "seed": 0,
+        "accesses_per_core": 100,
+        "arrival": {"kind": "poisson", "mean_gap": 40},
+        "mix": {"GUPS": 0.5, "CG": 0.5},
+        "grid": {"policy": ["dbi", "mil"], "zero_bias": [-0.5, 0.0, 0.5]},
+    }
+    base.update(overrides)
+    return parse_scenario({k: v for k, v in base.items() if v is not None})
+
+
+def test_cartesian_expansion_in_axis_order():
+    specs = compile_scenario(scenario())
+    assert len(specs) == 6
+    # policy is the outer axis, zero_bias the inner one.
+    assert [s.policy for s in specs] == ["dbi"] * 3 + ["mil"] * 3
+    assert all(is_mix_name(s.benchmark) for s in specs)
+    assert "Z:-0.5" in specs[0].benchmark
+    assert "Z:0.5" in specs[2].benchmark
+
+
+def test_expansion_is_byte_stable():
+    a = [s.canonical_json() for s in compile_scenario(scenario())]
+    b = [s.canonical_json() for s in compile_scenario(scenario())]
+    assert a == b
+
+
+def test_plain_benchmark_passthrough():
+    # Single component, no arrival, no bias: the grid point must reuse
+    # the plain Table 3 name so cached figure traces are shared.
+    specs = compile_scenario(scenario(
+        arrival=None, mix={"GUPS": 1.0},
+        grid={"channels": [1, 2], "ranks": [1, 2]},
+    ))
+    assert len(specs) == 4
+    assert {s.benchmark for s in specs} == {"GUPS"}
+    assert specs[0].system_overrides == (
+        ("channels", 1), ("geometry.ranks", 1),
+    )
+    resolved = specs[-1].resolve_system()
+    assert resolved.channels == 2
+    assert resolved.geometry.ranks == 2
+
+
+def test_biased_single_component_still_synthesises():
+    specs = compile_scenario(scenario(
+        mix={"GUPS": 1.0}, data={"zero_bias": 0.5}, grid=None,
+    ))
+    assert len(specs) == 1
+    assert is_mix_name(specs[0].benchmark)
+
+
+def test_warmup_adds_to_accesses():
+    specs = compile_scenario(scenario(warmup=50, grid=None))
+    assert specs[0].accesses_per_core == 150
+
+
+def test_traffic_axes_rewrite_the_mix():
+    specs = compile_scenario(scenario(
+        grid={"mean_gap": [10, 80]},
+    ))
+    assert [s.benchmark.split("@")[1] for s in specs] == [
+        "POISSON:10", "POISSON:80",
+    ]
+
+
+def test_seed_axis_overrides_scenario_seed():
+    specs = compile_scenario(scenario(seed=5, grid={"seed": [7, 9]}))
+    assert [s.seed for s in specs] == [7, 9]
+
+
+def test_empty_grid_is_single_spec():
+    specs = compile_scenario(scenario(grid=None))
+    assert len(specs) == 1
+    assert specs[0].policy == "mil"
+    assert specs[0].system == "ddr4-server"

@@ -1,0 +1,31 @@
+"""The checked-in scenarios/ corpus stays valid and cheap."""
+
+from repro.scenario import compile_scenario, discover, load_scenario
+
+
+def test_corpus_discovered_sorted():
+    paths = discover()
+    assert paths, "checked-in corpus must not be empty"
+    assert paths == sorted(paths)
+    assert {p.name for p in paths} >= {"syn-zero-sweep.yaml",
+                                       "syn-smoke.yaml"}
+
+
+def test_corpus_all_valid_and_compilable():
+    names = set()
+    for path in discover():
+        scn = load_scenario(path)
+        assert scn.name not in names, f"duplicate scenario {scn.name}"
+        names.add(scn.name)
+        assert scn.name.startswith(("SYN-", "RL-")), (
+            f"{path.name}: corpus names are SYN-* or RL-*"
+        )
+        specs = compile_scenario(scn)
+        assert 0 < len(specs) == scn.run_count
+        # Corpus scenarios are CI-sized: small matrices, small runs.
+        assert scn.run_count <= 8, f"{scn.name} too large for the corpus"
+        assert scn.accesses_per_core + scn.warmup <= 1500
+
+
+def test_missing_directory_is_empty(tmp_path):
+    assert discover(tmp_path / "nope") == []

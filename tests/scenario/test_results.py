@@ -1,0 +1,74 @@
+"""Result rows: schema, determinism, JSONL serialisation."""
+
+import json
+
+from repro.core.framework import run_spec
+from repro.scenario import (
+    RESULT_SCHEMA,
+    compile_scenario,
+    parse_scenario,
+    render_rows,
+    result_row,
+    run_scenario,
+    scenario_digest,
+    write_rows,
+)
+
+TINY = {
+    "schema": "repro.scenario/v1",
+    "name": "SYN-ROWS",
+    "seed": 0,
+    "accesses_per_core": 80,
+    "arrival": {"kind": "poisson", "mean_gap": 30},
+    "mix": {"GUPS": 0.5, "CG": 0.5},
+}
+
+
+def test_row_shape_and_determinism():
+    scn = parse_scenario(TINY)
+    (spec,) = compile_scenario(scn)
+    summary = run_spec(spec)
+    row = result_row(scn, spec, summary, fingerprint="feedface",
+                     rev="abc1234", ts=0.0)
+    assert row["schema"] == RESULT_SCHEMA
+    assert row["scenario"] == "SYN-ROWS"
+    assert row["scenario_digest"] == scenario_digest(scn)
+    assert row["git_rev"] == "abc1234"
+    assert row["spec"] == spec.canonical()
+    assert row["summary"]["cycles"] == summary.cycles
+    assert row["summary"]["dram_energy_j"] > 0
+    assert set(row["timing"]) == {"ts", "wall_s", "cache_hit"}
+    # Pinned fingerprint/rev/ts makes the whole row a pure function.
+    again = result_row(scn, spec, summary, fingerprint="feedface",
+                       rev="abc1234", ts=0.0)
+    assert json.dumps(row, sort_keys=True) == json.dumps(
+        again, sort_keys=True
+    )
+
+
+def test_render_and_write_rows(tmp_path):
+    rows = [{"b": 2, "a": 1}, {"a": 3}]
+    text = render_rows(rows)
+    assert text == '{"a": 1, "b": 2}\n{"a": 3}\n'
+    out = tmp_path / "deep" / "rows.jsonl"
+    assert write_rows(out, rows) == out
+    assert out.read_text() == text
+
+
+def test_run_scenario_builds_rows_in_compile_order(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    scn = parse_scenario(dict(TINY, grid={"policy": ["dbi", "mil"]}))
+    result = run_scenario(scn)
+    assert result.ok
+    assert result.counters["specs"] == 2
+    assert [r["spec"]["policy"] for r in result.rows] == ["dbi", "mil"]
+    assert all(r["timing"]["cache_hit"] is False for r in result.rows)
+    # Second execution: identical rows modulo timing, all cache hits.
+    second = run_scenario(scn)
+    strip = lambda rows: [
+        json.dumps({k: v for k, v in r.items() if k != "timing"},
+                   sort_keys=True)
+        for r in rows
+    ]
+    assert strip(second.rows) == strip(result.rows)
+    assert all(r["timing"]["cache_hit"] is True for r in second.rows)

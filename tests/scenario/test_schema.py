@@ -1,0 +1,154 @@
+"""Scenario schema: strict validation, canonical form, digests."""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    SCHEMA_VERSION,
+    ScenarioError,
+    load_scenario,
+    normalized,
+    parse_scenario,
+    scenario_digest,
+)
+
+
+def doc(**overrides):
+    base = {
+        "schema": SCHEMA_VERSION,
+        "name": "SYN-TEST",
+        "description": "test scenario",
+        "seed": 0,
+        "accesses_per_core": 100,
+        "arrival": {"kind": "poisson", "mean_gap": 40},
+        "mix": {"GUPS": 0.5, "CG": 0.5},
+        "grid": {"policy": ["dbi", "mil"]},
+    }
+    base.update(overrides)
+    return {k: v for k, v in base.items() if v is not None}
+
+
+class TestValidation:
+    def test_valid_document_parses(self):
+        scn = parse_scenario(doc())
+        assert scn.name == "SYN-TEST"
+        assert scn.run_count == 2
+        assert scn.mix == (("CG", 0.5), ("GUPS", 0.5))
+        assert scn.arrival.kind == "poisson"
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ScenarioError, match="mapping"):
+            parse_scenario(["not", "a", "dict"])
+
+    def test_rejects_unknown_top_level_key(self):
+        with pytest.raises(ScenarioError, match="unknown top-level"):
+            parse_scenario(doc(extra_knob=1))
+
+    def test_rejects_wrong_schema_version(self):
+        with pytest.raises(ScenarioError, match="schema"):
+            parse_scenario(doc(schema="repro.scenario/v99"))
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ScenarioError, match="name"):
+            parse_scenario(doc(name="no spaces allowed"))
+
+    def test_rejects_unknown_mix_benchmark(self):
+        with pytest.raises(ScenarioError, match="NOPE"):
+            parse_scenario(doc(mix={"NOPE": 1.0}))
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ScenarioError, match="weight"):
+            parse_scenario(doc(mix={"GUPS": 0}))
+
+    def test_rejects_unknown_arrival_kind(self):
+        with pytest.raises(ScenarioError, match="arrival.kind"):
+            parse_scenario(
+                doc(arrival={"kind": "fractal", "mean_gap": 10})
+            )
+
+    def test_rejects_unknown_grid_axis(self):
+        with pytest.raises(ScenarioError, match="grid axis"):
+            parse_scenario(doc(grid={"voltage": [1, 2]}))
+
+    def test_rejects_unknown_grid_policy(self):
+        with pytest.raises(ScenarioError, match="policy"):
+            parse_scenario(doc(grid={"policy": ["nope"]}))
+
+    def test_rejects_unknown_grid_system(self):
+        with pytest.raises(ScenarioError, match="system"):
+            parse_scenario(doc(grid={"system": ["pdp-11"]}))
+
+    def test_rejects_duplicate_grid_values(self):
+        with pytest.raises(ScenarioError, match="duplicate"):
+            parse_scenario(doc(grid={"zero_bias": [0, 0.0]}))
+
+    def test_rejects_out_of_range_bias(self):
+        with pytest.raises(ScenarioError, match="zero_bias"):
+            parse_scenario(doc(data={"zero_bias": 2.0}))
+
+    def test_mixed_traffic_requires_arrival(self):
+        with pytest.raises(ScenarioError, match="arrival"):
+            parse_scenario(doc(arrival=None))
+
+    def test_plain_single_benchmark_needs_no_arrival(self):
+        scn = parse_scenario(doc(arrival=None, mix={"GUPS": 1.0}))
+        assert scn.arrival is None
+
+    def test_burst_axis_requires_bursty_arrival(self):
+        with pytest.raises(ScenarioError, match="bursty"):
+            parse_scenario(doc(grid={"burst": [4, 8]}))
+
+    def test_grid_in_canonical_axis_order(self):
+        scn = parse_scenario(doc(grid={
+            "zero_bias": [0.5], "policy": ["mil"], "system": ["ddr4-server"],
+        }, data={"zero_bias": 0.1}))
+        assert [axis for axis, _ in scn.grid] == [
+            "system", "policy", "zero_bias"
+        ]
+
+
+class TestLoading:
+    def test_yaml_and_json_agree(self, tmp_path):
+        d = doc()
+        ypath = tmp_path / "s.yaml"
+        ypath.write_text(
+            "schema: repro.scenario/v1\n"
+            "name: SYN-TEST\n"
+            "description: test scenario\n"
+            "seed: 0\n"
+            "accesses_per_core: 100\n"
+            "arrival: {kind: poisson, mean_gap: 40}\n"
+            "mix: {GUPS: 0.5, CG: 0.5}\n"
+            "grid:\n  policy: [dbi, mil]\n"
+        )
+        jpath = tmp_path / "s.json"
+        jpath.write_text(json.dumps(d))
+        y, j = load_scenario(ypath), load_scenario(jpath)
+        assert normalized(y) == normalized(j)
+        assert scenario_digest(y) == scenario_digest(j)
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc(schema="nope")))
+        with pytest.raises(ScenarioError, match="bad.json"):
+            load_scenario(path)
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "s.toml"
+        path.write_text("x = 1")
+        with pytest.raises(ScenarioError, match="yaml"):
+            load_scenario(path)
+
+
+class TestDigest:
+    def test_digest_ignores_key_order(self):
+        a = parse_scenario(doc())
+        flipped = dict(reversed(list(doc().items())))
+        b = parse_scenario(flipped)
+        assert scenario_digest(a) == scenario_digest(b)
+
+    def test_digest_tracks_content(self):
+        a = parse_scenario(doc())
+        b = parse_scenario(doc(seed=1))
+        assert scenario_digest(a) != scenario_digest(b)

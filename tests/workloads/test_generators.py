@@ -1,14 +1,21 @@
-"""Tests for the address-stream primitives."""
+"""Tests for the address-stream and arrival-process primitives."""
 
 import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.workloads.generators import (
+    ARRIVAL_KINDS,
+    arrival_gaps,
+    bursty_gaps,
     gather_stream,
     interleave,
+    poisson_gaps,
     random_access,
     sequential_stream,
     strided_sweep,
     tile_reuse,
+    uniform_gaps,
     update_pairs,
 )
 
@@ -114,3 +121,55 @@ class TestInterleave:
     def test_empty_streams(self):
         addr, wr = interleave(rng(), [])
         assert len(addr) == 0
+
+
+class TestArrivalGaps:
+    def test_means_track_mean_gap(self):
+        for kind in ARRIVAL_KINDS:
+            gaps = arrival_gaps(rng(), 20000, kind, mean_gap=40.0)
+            assert gaps.dtype == np.int64
+            assert (gaps >= 0).all()
+            assert 34 < gaps.mean() < 46, kind
+
+    def test_zero_gap_means_back_to_back(self):
+        for kind in ARRIVAL_KINDS:
+            assert (arrival_gaps(rng(), 100, kind, mean_gap=0.0) == 0).all()
+
+    def test_uniform_bounded(self):
+        gaps = uniform_gaps(rng(), 5000, mean_gap=30.0)
+        assert gaps.max() <= 60
+
+    def test_bursty_is_burstier_than_poisson(self):
+        # Bursty arrivals concentrate think time on burst heads, so the
+        # fraction of back-to-back (tiny-gap) records must be higher.
+        pois = poisson_gaps(rng(), 20000, mean_gap=40.0)
+        burst = bursty_gaps(rng(), 20000, mean_gap=40.0, burst=8)
+        assert (burst <= 1).mean() > (pois <= 1).mean() + 0.2
+
+    def test_unknown_kind_rejected(self):
+        try:
+            arrival_gaps(rng(), 10, "fractal", mean_gap=10.0)
+        except ValueError as exc:
+            assert "fractal" in str(exc)
+        else:
+            raise AssertionError("unknown arrival kind accepted")
+
+    @given(
+        kind=st.sampled_from(ARRIVAL_KINDS),
+        seed=st.integers(0, 2**32 - 1),
+        mean_gap=st.floats(0.0, 500.0),
+        count=st.integers(1, 300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_identical_gaps(self, kind, seed, mean_gap, count):
+        draw = lambda s: arrival_gaps(
+            np.random.default_rng(s), count, kind, mean_gap, burst=6
+        )
+        assert (draw(seed) == draw(seed)).all()
+
+    @given(seed=st.integers(0, 2**32 - 2))
+    @settings(max_examples=20, deadline=None)
+    def test_neighbouring_seeds_diverge(self, seed):
+        a = poisson_gaps(np.random.default_rng(seed), 500, 40.0)
+        b = poisson_gaps(np.random.default_rng(seed + 1), 500, 40.0)
+        assert (a != b).any()

@@ -1,0 +1,205 @@
+"""Mixed-traffic synthesis: canonical names, determinism, dispatch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.system.machine import NIAGARA_SERVER
+from repro.workloads import (
+    MixNameError,
+    MixSpec,
+    biased_mix,
+    build_mixed_trace,
+    build_trace,
+    is_mix_name,
+    known_benchmark,
+    validate_benchmark,
+)
+
+
+class TestMixSpec:
+    def test_name_round_trips(self):
+        mix = MixSpec.make({"gups": 0.6, "cg": 0.4},
+                           arrival="poisson", mean_gap=40)
+        assert mix.name == "MIX@POISSON:40@Z:0@CG:0.4+GUPS:0.6"
+        assert MixSpec.parse(mix.name) == mix
+        assert MixSpec.parse(mix.name).name == mix.name
+
+    def test_name_survives_uppercasing(self):
+        # RunSpec normalises benchmarks to uppercase; the mix name is
+        # the spec's benchmark field, so upper() must be a no-op.
+        mix = MixSpec.make({"CG": 1, "GUPS": 3}, arrival="bursty",
+                           mean_gap=48.5, burst=4, zero_bias=-0.25)
+        assert mix.name == mix.name.upper()
+        assert MixSpec.parse(mix.name.lower()) == mix
+
+    def test_weights_normalised_and_sorted(self):
+        mix = MixSpec.make({"SWIM": 2.0, "ART": 6.0})
+        assert [b for b, _ in mix.components] == ["ART", "SWIM"]
+        assert mix.weights() == pytest.approx([0.75, 0.25])
+
+    def test_bursty_name_carries_burst(self):
+        mix = MixSpec.make({"GUPS": 1}, arrival="bursty", burst=16)
+        assert ":16@" in mix.name
+        assert MixSpec.parse(mix.name).burst == 16
+
+    def test_unknown_component_lists_known_names(self):
+        with pytest.raises(KeyError, match="GUPS"):
+            MixSpec.make({"NOPE": 1.0})
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(MixNameError):
+            MixSpec.make({"GUPS": 1}, arrival="fractal")
+        with pytest.raises(MixNameError):
+            MixSpec.make({"GUPS": -1})
+        with pytest.raises(MixNameError):
+            MixSpec.make({"GUPS": 1}, mean_gap=-5)
+        with pytest.raises(MixNameError):
+            MixSpec.make({"GUPS": 1}, zero_bias=1.5)
+        with pytest.raises(MixNameError):
+            MixSpec.make({})
+
+    def test_malformed_names_rejected(self):
+        for bad in (
+            "MIX@POISSON:40@CG:1.0",            # missing Z section
+            "MIX@POISSON@Z:0@CG:1",             # arrival without gap
+            "MIX@POISSON:40@Z:x@CG:1",          # unparsable bias
+            "MIX@POISSON:40@Z:0@CG",            # component without weight
+        ):
+            with pytest.raises(MixNameError):
+                MixSpec.parse(bad)
+
+    def test_is_mix_name(self):
+        assert is_mix_name("mix@poisson:40@z:0@gups:1")
+        assert not is_mix_name("GUPS")
+
+
+class TestBenchmarkValidation:
+    def test_table3_and_mix_names_known(self):
+        assert known_benchmark("GUPS")
+        assert known_benchmark("gups")
+        assert known_benchmark("MIX@POISSON:40@Z:0@GUPS:1")
+        assert not known_benchmark("NOPE")
+        assert not known_benchmark("MIX@POISSON:40@NOT-A-MIX")
+
+    def test_validate_unknown_lists_suite(self):
+        with pytest.raises(KeyError, match="MIX@"):
+            validate_benchmark("NOPE")
+
+
+class TestBuildMixedTrace:
+    def config(self):
+        return NIAGARA_SERVER
+
+    def test_same_seed_same_digest(self):
+        mix = MixSpec.make({"GUPS": 0.5, "CG": 0.5})
+        a = build_mixed_trace(mix, self.config(), seed=3,
+                              accesses_per_core=64)
+        b = build_mixed_trace(mix, self.config(), seed=3,
+                              accesses_per_core=64)
+        assert a.line_digest == b.line_digest
+        assert [r.gap for r in a.records_by_core[0]] == [
+            r.gap for r in b.records_by_core[0]
+        ]
+
+    def test_different_seed_different_digest(self):
+        mix = MixSpec.make({"GUPS": 0.5, "CG": 0.5})
+        a = build_mixed_trace(mix, self.config(), seed=3,
+                              accesses_per_core=64)
+        b = build_mixed_trace(mix, self.config(), seed=4,
+                              accesses_per_core=64)
+        assert a.line_digest != b.line_digest
+
+    def test_record_shape_and_stats(self):
+        mix = MixSpec.make({"GUPS": 1}, arrival="uniform", mean_gap=20)
+        trace = build_mixed_trace(mix, self.config(),
+                                  accesses_per_core=100)
+        cores = self.config().cores
+        assert len(trace.records_by_core) == cores
+        assert trace.cpu_accesses == 100 * cores
+        assert trace.line_data.shape == (100 * cores, 64)
+        assert trace.stats["mixed"] is True
+        assert trace.stats["arrival"] == "uniform"
+        ids = [r.line_id for recs in trace.records_by_core for r in recs]
+        assert ids == list(range(100 * cores))
+
+    def test_minimum_record_floor(self):
+        mix = MixSpec.make({"GUPS": 1})
+        trace = build_mixed_trace(mix, self.config(), accesses_per_core=5)
+        assert all(len(r) >= 64 for r in trace.records_by_core)
+
+    def test_zero_bias_shifts_zero_density(self):
+        rich = build_mixed_trace(
+            MixSpec.make({"CG": 1}, zero_bias=0.8), self.config(),
+            accesses_per_core=64,
+        )
+        poor = build_mixed_trace(
+            MixSpec.make({"CG": 1}, zero_bias=-0.8), self.config(),
+            accesses_per_core=64,
+        )
+        zero_fraction = lambda t: (t.line_data == 0).all(axis=1).mean()
+        assert zero_fraction(rich) > zero_fraction(poor) + 0.3
+
+    def test_build_trace_dispatches_mix_names(self):
+        name = "MIX@POISSON:40@Z:0@CG:0.5+GUPS:0.5"
+        via_dispatch = build_trace(name, self.config(),
+                                   accesses_per_core=64)
+        direct = build_mixed_trace(MixSpec.parse(name), self.config(),
+                                   accesses_per_core=64)
+        assert via_dispatch.line_digest == direct.line_digest
+        assert via_dispatch.name == name
+
+
+class TestMixedTraceProperties:
+    """Hypothesis sweeps of the cache-critical determinism contract."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        arrival=st.sampled_from(("poisson", "uniform", "bursty")),
+        zero_bias=st.sampled_from((-0.5, 0.0, 0.5)),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_same_seed_byte_identical_digest(self, seed, arrival,
+                                             zero_bias):
+        mix = MixSpec.make({"GUPS": 0.7, "CG": 0.3}, arrival=arrival,
+                           mean_gap=24, zero_bias=zero_bias)
+        build = lambda: build_mixed_trace(
+            mix, NIAGARA_SERVER, seed=seed, accesses_per_core=64
+        )
+        a, b = build(), build()
+        assert a.line_digest == b.line_digest
+        assert np.array_equal(a.line_data, b.line_data)
+
+    @given(seed=st.integers(0, 2**16 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_different_seeds_different_digest(self, seed):
+        mix = MixSpec.make({"GUPS": 0.7, "CG": 0.3})
+        a = build_mixed_trace(mix, NIAGARA_SERVER, seed=seed,
+                              accesses_per_core=64)
+        b = build_mixed_trace(mix, NIAGARA_SERVER, seed=seed + 1,
+                              accesses_per_core=64)
+        assert a.line_digest != b.line_digest
+
+
+class TestBiasedMix:
+    def test_zero_bias_is_identity(self):
+        mix = {"zero": 0.3, "random": 0.7}
+        assert biased_mix(mix, 0.0) == pytest.approx(mix)
+
+    def test_positive_bias_monotone_in_zero_weight(self):
+        mix = {"zero": 0.2, "random": 0.8}
+        low = biased_mix(mix, 0.2)["zero"]
+        high = biased_mix(mix, 0.8)["zero"]
+        assert 0.2 < low < high
+        assert biased_mix(mix, 1.0) == pytest.approx({"zero": 1.0})
+
+    def test_negative_bias_drains_zero_weight(self):
+        mix = {"zero": 0.5, "random": 0.5}
+        out = biased_mix(mix, -1.0)
+        assert "zero" not in out
+        assert sum(out.values()) == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            biased_mix({"zero": 1.0}, 1.5)
