@@ -36,6 +36,12 @@ Groups:
     ``scenarios/`` corpus into RunSpec matrices (the per-invocation
     cost every ``repro scenario`` command pays — kept sub-second by the
     baseline gate) and synthesising one mixed-arrival trace.
+``serve.*``
+    The resident campaign service over its Unix-socket wire protocol:
+    a fully-cached submit→terminal roundtrip (API + scheduler + store
+    cost, no simulation) and an NDJSON event-stream backfill.  Both
+    share one background server started lazily on first use; excluded
+    from ``--smoke`` so the CI smoke pass never pays server startup.
 """
 
 from __future__ import annotations
@@ -526,3 +532,78 @@ def _end_to_end():
 
     spec = RunSpec(benchmark="GUPS", policy="mil", accesses_per_core=120)
     return lambda: run_spec(spec)
+
+
+# ----------------------------------------------------------------------
+# serve.* — the campaign service over its wire protocol
+# ----------------------------------------------------------------------
+_SERVE_STATE: dict = {}
+
+
+def _serve_state() -> dict:
+    """One shared background service for the ``serve.*`` benchmarks.
+
+    Started lazily (so merely collecting the suite stays free) with
+    ``shards=0`` and the spec set executed once up front: every measured
+    submission is a 100% cache hit, so the numbers isolate the wire
+    protocol, job manager, and result store from simulation cost.  The
+    handle's daemon thread dies with the bench process.
+    """
+    if not _SERVE_STATE:
+        import tempfile
+        from pathlib import Path
+
+        from ..campaign.spec import RunSpec
+        from ..serve.client import ServeClient
+        from ..serve.server import start_in_thread
+        from ..serve.service import ServiceConfig
+
+        tmp = Path(tempfile.mkdtemp(prefix="repro-serve-bench-"))
+        handle = start_in_thread(
+            ServiceConfig(store_root=tmp / "store", shards=0,
+                          fingerprint="bench-fp"),
+            socket_path=str(tmp / "serve.sock"),
+        )
+        client = ServeClient(handle.address)
+        specs = [
+            RunSpec(benchmark="GUPS", system="ddr4-server", policy="dbi",
+                    accesses_per_core=80, seed=seed)
+            for seed in range(4)
+        ]
+        warm = client.submit_specs(specs, namespace="bench", label="warm")
+        done = client.wait(warm["id"])
+        if done["state"] != "done":  # pragma: no cover — setup guard
+            raise RuntimeError(f"serve bench warmup failed: {done}")
+        _SERVE_STATE.update(
+            handle=handle, client=client, specs=specs, warm_job=warm["id"]
+        )
+    return _SERVE_STATE
+
+
+@benchmark(
+    "serve.submit_roundtrip",
+    params={"specs": 4, "transport": "unix-socket", "cache": "warm"},
+    description="submit a fully-cached 4-spec job over the Unix-socket "
+                "API and wait for its terminal descriptor",
+)
+def _serve_submit_roundtrip():
+    state = _serve_state()
+    client, specs = state["client"], state["specs"]
+
+    def roundtrip():
+        job = client.submit_specs(specs, namespace="bench")
+        return client.wait(job["id"])["state"]
+
+    return roundtrip
+
+
+@benchmark(
+    "serve.event_stream",
+    params={"transport": "unix-socket"},
+    description="backfill one completed job's RunEvent log over the "
+                "NDJSON stream endpoint",
+)
+def _serve_event_stream():
+    state = _serve_state()
+    client, job_id = state["client"], state["warm_job"]
+    return lambda: len(list(client.events(job_id)))

@@ -4,9 +4,11 @@
 deduplicates it, serves what it can from the content-addressed cache,
 and executes the misses — serially for ``jobs=1`` (the default under
 pytest, so unit suites stay deterministic and pool-free) or across a
-``ProcessPoolExecutor`` otherwise.  A run that dies in a worker (e.g.
-a crashed or OOM-killed process taking the whole pool down) is retried
-in the parent before the campaign gives up.
+``ProcessPoolExecutor`` otherwise.  A worker that dies mid-run (e.g.
+SIGKILLed or OOM-killed, which poisons every in-flight future in its
+pool) releases its specs back to the queue: the pool is rebuilt and
+the unfinished work resubmitted, up to ``retries`` rebuilds, before
+the parent finishes the remainder itself.
 
 Simulations are seeded and deterministic, so the same spec produces
 the same summary no matter which process executes it; the cache write
@@ -16,8 +18,13 @@ is what makes serial and parallel campaigns byte-identical.
 from __future__ import annotations
 
 import os
+import signal
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    as_completed,
+)
 
 from . import cache
 from .events import RunEvent, null_sink
@@ -25,11 +32,27 @@ from .spec import RunSpec
 
 __all__ = ["CampaignRunner", "default_jobs", "run_cached"]
 
-# Failure-injection hook (see tests/campaign/test_runner.py and the
+# Failure-injection hooks (see tests/campaign/test_runner.py and the
 # guard-rail philosophy of tests/integration/test_failure_injection.py):
 # when the variable names a nonexistent path, the next _execute call
-# creates it and raises, simulating a one-off worker crash.
+# creates it and then misbehaves exactly once — FAIL_ONCE raises a
+# plain exception (a run that errors), KILL_ONCE SIGKILLs its own
+# process (a worker that dies mid-lease, poisoning a process pool).
 FAIL_ONCE_ENV = "REPRO_CAMPAIGN_FAIL_ONCE"
+KILL_ONCE_ENV = "REPRO_CAMPAIGN_KILL_ONCE"
+
+
+def _trip_once(env_var: str) -> bool:
+    """True exactly once per sentinel path named by ``env_var``."""
+    sentinel = os.environ.get(env_var)
+    if not sentinel or os.path.exists(sentinel):
+        return False
+    try:  # "x" keeps the trip exactly-once across racing workers
+        with open(sentinel, "x") as fh:
+            fh.write("tripped")
+    except FileExistsError:
+        return False
+    return True
 
 
 def default_jobs() -> int:
@@ -54,15 +77,10 @@ def _execute(spec: RunSpec) -> tuple[dict, float]:
     Top-level so a process pool can import it by name; the framework
     import is deferred so importing ``repro.campaign`` stays cycle-free.
     """
-    sentinel = os.environ.get(FAIL_ONCE_ENV)
-    if sentinel and not os.path.exists(sentinel):
-        try:  # "x" keeps the trip exactly-once across racing workers
-            with open(sentinel, "x") as fh:
-                fh.write("tripped")
-        except FileExistsError:
-            pass
-        else:
-            raise RuntimeError(f"injected worker failure for {spec.slug}")
+    if _trip_once(FAIL_ONCE_ENV):
+        raise RuntimeError(f"injected worker failure for {spec.slug}")
+    if _trip_once(KILL_ONCE_ENV):
+        os.kill(os.getpid(), signal.SIGKILL)
 
     from ..core.framework import run_spec
 
@@ -178,17 +196,59 @@ class CampaignRunner:
                 results[spec] = self._record(spec, *outcome, total)
 
     def _run_parallel(self, misses, results, total) -> None:
-        workers = min(self.jobs, len(misses))
+        for spec in misses:
+            self._emit("started", spec, total)
+        pending = list(misses)
+        rebuilds = 0
+        while pending:
+            pending, failure = self._pool_round(pending, results, total)
+            if not pending:
+                return
+            # A worker died mid-lease (SIGKILL, OOM, segfault), which
+            # poisons every in-flight future in the pool.  The leases
+            # are released back to the queue: rebuild a fresh pool and
+            # resubmit, up to `retries` rebuilds, then finish what is
+            # left in the parent so nothing is stranded.
+            self.counters["retries"] += 1
+            for spec in pending:
+                self._emit("retried", spec, total, error=failure)
+            rebuilds += 1
+            if rebuilds > self.retries:
+                for spec in pending:
+                    outcome = self._attempt(spec, total, _execute, budget=0)
+                    if outcome is not None:
+                        results[spec] = self._record(spec, *outcome, total)
+                return
+
+    def _pool_round(self, pending, results, total):
+        """One process-pool pass; returns (unfinished specs, error).
+
+        Specs whose futures were poisoned by a pool break — not by
+        their own exception — come back in submission order for the
+        caller to requeue.  A run that *raises* in its worker is still
+        retried in-parent immediately, exactly as before.
+        """
+        workers = min(self.jobs, len(pending))
+        dropped: set = set()
+        failure = None
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
-            for spec in misses:
-                self._emit("started", spec, total)
-                futures[pool.submit(_execute, spec)] = spec
+            futures: dict = {}
+            try:
+                for spec in pending:
+                    futures[pool.submit(_execute, spec)] = spec
+            except BrokenExecutor as exc:  # broke during submission
+                failure = repr(exc)
+                submitted = set(futures.values())
+                dropped.update(s for s in pending if s not in submitted)
             for future in as_completed(futures):
                 spec = futures[future]
                 try:
                     outcome = future.result()
-                except Exception as exc:  # worker died: retry in-parent
+                except BrokenExecutor as exc:
+                    failure = repr(exc)
+                    dropped.add(spec)
+                    continue
+                except Exception as exc:  # the run itself raised
                     self._emit("retried", spec, total, error=repr(exc))
                     self.counters["retries"] += 1
                     outcome = self._attempt(
@@ -196,6 +256,7 @@ class CampaignRunner:
                     )
                 if outcome is not None:
                     results[spec] = self._record(spec, *outcome, total)
+        return [s for s in pending if s in dropped], failure
 
     def _attempt(self, spec, total, execute, budget: int | None = None):
         """Call ``execute`` with the retry budget.

@@ -43,6 +43,19 @@ Commands
     ``docs/BENCHMARKS.md``), write a ``BENCH_<timestamp>.json`` report,
     and optionally gate against a committed baseline or dump
     per-benchmark profiles.
+``serve [--socket PATH | --host H --port P] [--shards N] [--store DIR]``
+    Run the long-lived campaign service (``docs/SERVICE.md``): an async
+    job API over sharded worker processes and a multi-tenant result
+    store.  Foreground; stop with Ctrl-C.
+``submit SCENARIO [--address A] [--namespace NS] [--priority N]
+[--wait] [--results PATH] [--follow]``
+    Submit a scenario (name or file path) to a running service.
+    ``--wait`` blocks until the job is terminal; ``--results`` writes
+    the completed rows as JSONL; ``--follow`` streams job events.
+``jobs [ID] [--address A] [--cancel] [--events] [--namespace NS]
+[--state S] [--stats]``
+    Inspect a running service: list jobs, show or cancel one, stream
+    one job's events, or print service stats.
 
 ``--jobs`` (or the ``REPRO_JOBS`` environment variable) sets the
 process-pool width for campaign-backed commands; ``-j1`` stays serial.
@@ -648,6 +661,187 @@ def cmd_scenario(args) -> int:
     return 1 if failed else 0
 
 
+# Where `repro submit`/`repro jobs` look for a service when --address
+# is not given.  `repro serve` prints the actual bound address.
+_ADDR_ENV = "REPRO_SERVE_ADDRESS"
+_DEFAULT_ADDR = "127.0.0.1:7823"
+
+
+def _serve_address(args) -> str:
+    return args.address or os.environ.get(_ADDR_ENV) or _DEFAULT_ADDR
+
+
+def _serve_client(args):
+    from .serve.client import ServeClient
+
+    return ServeClient(_serve_address(args))
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .serve.server import ServeAPI
+    from .serve.service import CampaignService, ServiceConfig
+
+    config = ServiceConfig(
+        store_root=args.store,
+        shards=args.shards,
+        queue_limit=args.queue_limit,
+        quota=args.quota,
+        retries=args.retries,
+    )
+
+    async def _amain() -> None:
+        service = CampaignService(config)
+        api = ServeAPI(service)
+        await service.start()
+        try:
+            if args.socket:
+                await api.listen_unix(args.socket)
+                where = f"unix:{args.socket}"
+            else:
+                name = await api.listen_tcp(args.host, args.port)
+                where = f"{name[0]}:{name[1]}"
+            print(
+                f"repro serve: listening on {where} "
+                f"({service.shards} shard(s), store "
+                f"{service.store.root})",
+                file=sys.stderr, flush=True,
+            )
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            await stop.wait()
+            print("repro serve: shutting down", file=sys.stderr)
+        finally:
+            await api.close()
+            await service.stop()
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _resolve_scenario(ref: str):
+    """A scenario by file path, or by name within the corpus."""
+    from pathlib import Path
+
+    from .scenario import ScenarioError, discover, load_scenario
+
+    path = Path(ref)
+    if path.exists():
+        return load_scenario(path)
+    for candidate in discover():
+        try:
+            scn = load_scenario(candidate)
+        except ScenarioError:
+            continue
+        if scn.name == ref:
+            return scn
+    sys.exit(f"no scenario file {ref!r} and no corpus scenario named "
+             f"{ref!r} (see 'repro scenario list')")
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .scenario import normalized
+    from .serve.client import BackPressureError, ServeError
+
+    scn = _resolve_scenario(args.scenario)
+    client = _serve_client(args)
+    try:
+        job = client.submit_scenario(
+            normalized(scn),
+            namespace=args.namespace,
+            priority=args.priority,
+            label=args.label or scn.name,
+        )
+    except BackPressureError as exc:
+        sys.exit(f"service queue is full, try again later ({exc})")
+    except (ServeError, OSError) as exc:
+        sys.exit(f"cannot submit to {_serve_address(args)}: {exc}")
+    print(
+        f"submitted {job['id']} ({job['label']}): {job['total']} run(s), "
+        f"{job['counters']['cache_hits']} already cached",
+        file=sys.stderr,
+    )
+    if not (args.wait or args.follow or args.results):
+        print(job["id"])
+        return 0
+
+    if args.follow:
+        for event in client.events(job["id"]):
+            print(json.dumps(event, sort_keys=True))
+    final = client.wait(job["id"])
+    c = final["counters"]
+    print(
+        f"job {final['id']} {final['state']}: {final['done']}/"
+        f"{final['total']} done — {c['cache_hits']} cache hits, "
+        f"{c['executed']} executed, {c['retries']} retries, "
+        f"{c['failed']} failed",
+        file=sys.stderr,
+    )
+    if args.results:
+        rows = client.results(final["id"])
+        from pathlib import Path
+
+        out = Path(args.results)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        with open(out, "w") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+        print(f"wrote {len(rows)} result row(s) -> {out}", file=sys.stderr)
+    return 0 if final["state"] == "done" else 1
+
+
+def cmd_jobs(args) -> int:
+    import json
+
+    from .serve.client import ServeError
+
+    client = _serve_client(args)
+    try:
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.job_id and args.cancel:
+            job = client.cancel(args.job_id)
+            print(f"job {job['id']} -> {job['state']}")
+            return 0
+        if args.job_id and args.events:
+            for event in client.events(args.job_id, since=args.since):
+                print(json.dumps(event, sort_keys=True))
+            return 0
+        if args.job_id:
+            print(json.dumps(client.job(args.job_id), indent=2,
+                             sort_keys=True))
+            return 0
+        jobs = client.jobs(namespace=args.namespace, state=args.state)
+    except (ServeError, OSError) as exc:
+        sys.exit(f"cannot reach service at {_serve_address(args)}: {exc}")
+    if not jobs:
+        print("no jobs", file=sys.stderr)
+        return 0
+    for job in jobs:
+        c = job["counters"]
+        print(
+            f"{job['id']:6s} {job['state']:9s} {job['namespace']:12s} "
+            f"{job['done']:4d}/{job['total']:<4d} "
+            f"hits={c['cache_hits']} exec={c['executed']} "
+            f"fail={c['failed']}  {job['label'] or ''}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -827,6 +1021,74 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for profile output (default: profiles/)",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived campaign service (docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="listen on a Unix socket instead of TCP")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7823,
+                         help="TCP port (0 = pick a free one)")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="worker processes (default: "
+                              "REPRO_SERVE_SHARDS or 2; 0 = inline)")
+    p_serve.add_argument("--store", default=".cache/serve", metavar="DIR",
+                         help="result store root (default: .cache/serve)")
+    p_serve.add_argument("--queue-limit", type=int, default=4096,
+                         help="max outstanding work units before 429s")
+    p_serve.add_argument("--quota", type=int, default=4096,
+                         help="cached results kept per namespace")
+    p_serve.add_argument("--retries", type=int, default=2,
+                         help="retry budget per work unit (default 2)")
+
+    def add_address_flag(p):
+        p.add_argument("--address", default=None, metavar="ADDR",
+                       help="service address, unix:/path or host:port "
+                            f"(default: {_ADDR_ENV} or {_DEFAULT_ADDR})")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a scenario to a running service"
+    )
+    p_submit.add_argument("scenario",
+                          help="scenario file path or corpus name")
+    add_address_flag(p_submit)
+    p_submit.add_argument("--namespace", default="default",
+                          help="tenant namespace for the result store")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="higher runs first (default 0)")
+    p_submit.add_argument("--label", default=None,
+                          help="job label (default: the scenario name)")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job is terminal")
+    p_submit.add_argument("--results", default=None, metavar="PATH",
+                          help="write completed rows as JSONL "
+                               "(implies --wait)")
+    p_submit.add_argument("--follow", action="store_true",
+                          help="stream job events to stdout "
+                               "(implies --wait)")
+
+    p_jobs = sub.add_parser(
+        "jobs", help="inspect a running service's jobs"
+    )
+    p_jobs.add_argument("job_id", nargs="?", default=None,
+                        help="show one job instead of listing")
+    add_address_flag(p_jobs)
+    p_jobs.add_argument("--cancel", action="store_true",
+                        help="cancel the given job")
+    p_jobs.add_argument("--events", action="store_true",
+                        help="stream the given job's events")
+    p_jobs.add_argument("--since", type=int, default=-1,
+                        help="with --events: replay after this seq")
+    p_jobs.add_argument("--namespace", default=None,
+                        help="filter the listing by namespace")
+    p_jobs.add_argument("--state", default=None,
+                        choices=("queued", "running", "done", "failed",
+                                 "cancelled"),
+                        help="filter the listing by state")
+    p_jobs.add_argument("--stats", action="store_true",
+                        help="print service stats instead")
+
     args = parser.parse_args(argv)
     handler = {
         "list": cmd_list,
@@ -839,6 +1101,9 @@ def main(argv: list[str] | None = None) -> int:
         "fuzz": cmd_fuzz,
         "scenario": cmd_scenario,
         "bench": cmd_bench,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
     }[args.command]
     if args.codec_impl is None:
         return handler(args)

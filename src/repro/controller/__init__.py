@@ -1,6 +1,6 @@
 """FR-FCFS memory controller with write drain and the MiL policy hook."""
 
-from .controller import AlwaysScheme, ChannelController
+from .controller import NO_EVENT_CACHE_ENV, AlwaysScheme, ChannelController
 from .frfcfs import CandidateCommand, FRFCFSScheduler
 from .queues import QueueFullError, TransactionQueue
 from .request import MemoryRequest
@@ -14,5 +14,6 @@ __all__ = [
     "QueueFullError",
     "TransactionQueue",
     "MemoryRequest",
+    "NO_EVENT_CACHE_ENV",
     "WriteDrainPolicy",
 ]

@@ -19,6 +19,8 @@ The baseline :class:`AlwaysScheme` policy always answers ``"dbi"``.
 
 from __future__ import annotations
 
+import os
+
 from ..coding.registry import scheme_info
 from ..dram.channel import DRAMChannel
 from ..dram.commands import CommandType, Geometry
@@ -29,7 +31,18 @@ from .queues import TransactionQueue
 from .request import MemoryRequest
 from .writedrain import WriteDrainPolicy
 
-__all__ = ["AlwaysScheme", "ChannelController"]
+__all__ = ["AlwaysScheme", "ChannelController", "NO_EVENT_CACHE_ENV"]
+
+# Kill switch for the scheduling-loop memoisation (candidate list and
+# wake-time caches).  The caches are invalidated on every state change
+# (enqueue, issue, drain flip), so disabling them must never alter a
+# single issued command — tests/controller/test_event_cache.py holds
+# the two modes to byte-identical, auditor-clean command logs.
+NO_EVENT_CACHE_ENV = "REPRO_NO_EVENT_CACHE"
+
+
+def _event_cache_enabled() -> bool:
+    return os.environ.get(NO_EVENT_CACHE_ENV, "") not in ("1", "true", "yes")
 
 
 class AlwaysScheme:
@@ -103,6 +116,9 @@ class ChannelController:
         # Candidate cache: the FR-FCFS candidate list only changes when
         # device or queue state does, so it is memoised against a state
         # version counter (the dominant cost of the scheduling loop).
+        # REPRO_NO_EVENT_CACHE=1 recomputes everything every call, for
+        # A/B-ing the caches against the protocol auditor.
+        self._cache_enabled = _event_cache_enabled()
         self._state_version = 0
         self._cand_version = -1
         self._cand_cache: list = []
@@ -330,6 +346,8 @@ class ChannelController:
     def _candidates(self, now: int) -> list:
         """Memoised FR-FCFS candidate list (see ``_state_version``)."""
         entries = self._active_entries(now)
+        if not self._cache_enabled:
+            return self.scheduler.candidates(entries, now)
         if self._cand_version != self._state_version:
             self._cand_cache = self.scheduler.candidates(entries, now)
             self._cand_version = self._state_version
@@ -340,7 +358,8 @@ class ChannelController:
         if now < self.next_cmd_cycle:
             return False
         if (
-            self._wake_version == self._state_version
+            self._cache_enabled
+            and self._wake_version == self._state_version
             and self._wake_time is not None
             and now < self._wake_time
         ):
@@ -412,7 +431,8 @@ class ChannelController:
         """
         floor = max(now + 1, self.next_cmd_cycle)
         if (
-            self._wake_version == self._state_version
+            self._cache_enabled
+            and self._wake_version == self._state_version
             and self._wake_time is not None
             and now < self._wake_time
         ):

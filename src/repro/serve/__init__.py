@@ -1,0 +1,48 @@
+"""Long-running campaign service: async job API over the campaign engine.
+
+``repro.serve`` promotes :class:`~repro.campaign.runner.CampaignRunner`
+from a CLI loop to a resident asyncio service:
+
+* :mod:`~repro.serve.jobs` — the job model and manager: submit /
+  status / cancel / list, priority + FIFO scheduling, bounded queues
+  with back-pressure, per-key lease coalescing;
+* :mod:`~repro.serve.events` — seq-numbered per-job event logs with
+  snapshot-plus-tail subscription (a client that connects mid-campaign
+  sees a consistent prefix and then the live tail);
+* :mod:`~repro.serve.shards` — the process-based worker shard pool
+  (``REPRO_SERVE_SHARDS`` / ``--shards``) with lease tracking, death
+  detection, and respawn;
+* :mod:`~repro.serve.store` — the multi-tenant result store layered on
+  the content-addressed campaign cache, with per-namespace quotas and
+  an eviction/GC sweep;
+* :mod:`~repro.serve.service` — :class:`CampaignService`, the
+  scheduler loop gluing the above together with retry-with-backoff;
+* :mod:`~repro.serve.server` — the newline-delimited-JSON HTTP API
+  (TCP and Unix-socket listeners on asyncio streams);
+* :mod:`~repro.serve.client` — the synchronous Python client the
+  ``repro submit`` / ``repro jobs`` verbs are built on.
+
+The correctness oracle for all of it: a campaign submitted through the
+service produces the same content-addressed cache keys and
+byte-identical ``RunSummary`` payloads as the same campaign run via
+``repro campaign`` locally (see ``docs/SERVICE.md``).
+"""
+
+from .client import BackPressureError, ServeClient, ServeError
+from .jobs import Job, JobManager, JobState, QueueFullError
+from .service import CampaignService, ServiceConfig, default_shards
+from .store import ResultStore
+
+__all__ = [
+    "BackPressureError",
+    "CampaignService",
+    "Job",
+    "JobManager",
+    "JobState",
+    "QueueFullError",
+    "ResultStore",
+    "ServeClient",
+    "ServeError",
+    "ServiceConfig",
+    "default_shards",
+]

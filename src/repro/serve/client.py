@@ -1,0 +1,230 @@
+"""Synchronous Python client for the job API.
+
+One connection per request (the server closes after answering), JSON
+in, JSON or NDJSON out.  This is the layer the ``repro submit`` and
+``repro jobs`` CLI verbs are built on, and the reference for anyone
+scripting against the service::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient("unix:/tmp/serve.sock")
+    job = client.submit_scenario(doc, namespace="ci")
+    for event in client.events(job["id"]):   # snapshot + live tail
+        print(event["seq"], event["kind"])
+    rows = client.results(job["id"])
+
+Back-pressure (HTTP 429) surfaces as :class:`BackPressureError`, which
+subclasses :class:`ServeError`; everything else non-2xx raises
+:class:`ServeError` with the server's message.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from .protocol import API_PREFIX, parse_address
+
+__all__ = ["BackPressureError", "ServeClient", "ServeError"]
+
+_CHUNK = 65536
+
+
+class ServeError(RuntimeError):
+    """A non-2xx answer from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class BackPressureError(ServeError):
+    """The service's work queue is full (HTTP 429); retry later."""
+
+
+class ServeClient:
+    """Minimal blocking client for one service address."""
+
+    def __init__(self, address: str, timeout: float = 300.0):
+        self.kind, self.target = parse_address(address)
+        self.address = address
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self.kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.target)
+            return sock
+        return socket.create_connection(self.target, timeout=self.timeout)
+
+    def _send(self, sock: socket.socket, method: str, path: str,
+              body: dict | None) -> None:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        head = (
+            f"{method} {API_PREFIX}{path} HTTP/1.1\r\n"
+            "Host: repro-serve\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        sock.sendall(head.encode() + payload)
+
+    @staticmethod
+    def _read_head(sock: socket.socket) -> tuple[int, dict, bytes]:
+        """Read status line + headers; returns leftover body bytes."""
+        buf = b""
+        while b"\r\n\r\n" not in buf:
+            chunk = sock.recv(_CHUNK)
+            if not chunk:
+                raise ServeError(0, "connection closed before headers")
+            buf += chunk
+        head, _, rest = buf.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            status = int(lines[0].split()[1])
+        except (IndexError, ValueError):
+            raise ServeError(0, f"malformed status line {lines[0]!r}")
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers, rest
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        """One-shot request; returns the decoded JSON body (or None)."""
+        with self._connect() as sock:
+            self._send(sock, method, path, body)
+            status, headers, rest = self._read_head(sock)
+            length = int(headers.get("content-length", -1))
+            data = rest
+            while length < 0 or len(data) < length:
+                chunk = sock.recv(_CHUNK)
+                if not chunk:
+                    break
+                data += chunk
+        if length >= 0:
+            data = data[:length]
+        self._raise_for_status(status, data)
+        if not data.strip():
+            return None
+        text = data.decode()
+        if headers.get("content-type", "").startswith("application/x-ndjson"):
+            return [json.loads(line) for line in text.splitlines() if line]
+        return json.loads(text)
+
+    def _stream(self, path: str):
+        """Yield NDJSON documents from a streaming endpoint until EOF."""
+        sock = self._connect()
+        try:
+            self._send(sock, "GET", path, None)
+            status, _headers, rest = self._read_head(sock)
+            buf = rest
+            if status >= 300:
+                while True:
+                    chunk = sock.recv(_CHUNK)
+                    if not chunk:
+                        break
+                    buf += chunk
+                self._raise_for_status(status, buf)
+            while True:
+                while b"\n" in buf:
+                    line, _, buf = buf.partition(b"\n")
+                    if line.strip():
+                        yield json.loads(line)
+                chunk = sock.recv(_CHUNK)
+                if not chunk:
+                    break
+                buf += chunk
+            if buf.strip():
+                yield json.loads(buf)
+        finally:
+            sock.close()
+
+    @staticmethod
+    def _raise_for_status(status: int, data: bytes) -> None:
+        if status < 300:
+            return
+        try:
+            message = json.loads(data.decode() or "{}").get("error", "")
+        except ValueError:
+            message = data.decode("latin-1", "replace")[:200]
+        if status == 429:
+            raise BackPressureError(status, message)
+        raise ServeError(status, message)
+
+    # -- API surface ----------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def sweep(self) -> dict:
+        return self._request("POST", "/sweep")
+
+    def submit(self, payload: dict) -> dict:
+        """Raw submission (see ``repro.serve.service.payload_specs``)."""
+        return self._request("POST", "/jobs", payload)
+
+    def submit_specs(self, specs, namespace: str = "default",
+                     priority: int = 0, label: str | None = None) -> dict:
+        """Submit canonical spec dicts (or RunSpec objects)."""
+        canon = [
+            s.canonical() if hasattr(s, "canonical") else s for s in specs
+        ]
+        return self.submit({
+            "kind": "specs", "specs": canon, "namespace": namespace,
+            "priority": priority, "label": label,
+        })
+
+    def submit_scenario(self, doc: dict, namespace: str = "default",
+                        priority: int = 0,
+                        label: str | None = None) -> dict:
+        """Submit a normalized scenario document (compiled server-side)."""
+        return self.submit({
+            "kind": "scenario", "scenario": doc, "namespace": namespace,
+            "priority": priority, "label": label,
+        })
+
+    def jobs(self, namespace: str | None = None,
+             state: str | None = None) -> list:
+        query = []
+        if namespace:
+            query.append(f"namespace={namespace}")
+        if state:
+            query.append(f"state={state}")
+        suffix = f"?{'&'.join(query)}" if query else ""
+        return self._request("GET", f"/jobs{suffix}") or []
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = -1):
+        """Stream events: backfill after ``since``, then the live tail.
+
+        The generator ends when the job reaches a terminal state (the
+        server closes the stream after the terminal event).
+        """
+        return self._stream(f"/jobs/{job_id}/events?since={since}")
+
+    def results(self, job_id: str) -> list:
+        """Completed result rows (cache key, canonical spec, summary)."""
+        return list(self._stream(f"/jobs/{job_id}/results"))
+
+    def wait(self, job_id: str) -> dict:
+        """Block until the job is terminal; returns the final descriptor.
+
+        Implemented over the event stream, so there is no polling loop
+        and no missed transition: the stream's last event *is* the
+        terminal transition.
+        """
+        for _event in self.events(job_id):
+            pass
+        return self.job(job_id)

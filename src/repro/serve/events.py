@@ -1,0 +1,102 @@
+"""Per-job event logs: append-only, seq-numbered, snapshot + tail.
+
+Every job owns one :class:`EventLog`.  Events are plain dicts stamped
+with a strictly increasing ``seq`` (0, 1, 2, ...) at append time, so
+the log doubles as its own ordering proof: a subscriber that asks for
+``since=N`` first receives every event with ``seq > N`` already in the
+log (the *snapshot* — one consistent slice, no locks needed because the
+list is append-only and all appends happen on the service's event
+loop), then blocks for the live *tail* until the log is closed.
+
+The service closes a job's log when the job reaches a terminal state;
+subscribers drain whatever remains and stop.  Nothing here knows about
+sockets — the HTTP layer turns the async iterator into NDJSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+__all__ = ["EventLog", "make_event"]
+
+
+def make_event(scope: str, kind: str, job: str, **fields) -> dict:
+    """Build one event dict (``seq`` is assigned by the log at append).
+
+    ``scope`` is ``"job"`` for lifecycle transitions and ``"run"`` for
+    per-spec orchestration events (mirroring the campaign engine's
+    :data:`~repro.campaign.events.EVENT_KINDS`).  ``ts`` is wall-clock
+    and deliberately lives next to the payload, not inside it: every
+    determinism assertion strips it, like scenario rows strip
+    ``timing``.
+    """
+    event = {"scope": scope, "kind": kind, "job": job, "ts": time.time()}
+    for key, value in fields.items():
+        if value is not None:
+            event[key] = value
+    return event
+
+
+class EventLog:
+    """Append-only event sequence with async tail subscription."""
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+        self._closed = False
+        # Lazily bound to the running loop on first async use; appends
+        # themselves are synchronous so the scheduler can narrate from
+        # non-async call sites (submit) on the loop thread.
+        self._wakeup: asyncio.Event | None = None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _notify(self) -> None:
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    def append(self, event: dict) -> dict:
+        """Stamp ``seq`` onto ``event``, append, wake subscribers."""
+        if self._closed:
+            raise RuntimeError("append to a closed event log")
+        event["seq"] = len(self._events)
+        self._events.append(event)
+        self._notify()
+        return event
+
+    def close(self) -> None:
+        """Mark the log complete; tails drain and terminate."""
+        self._closed = True
+        self._notify()
+
+    def snapshot(self, since: int = -1) -> list[dict]:
+        """Events with ``seq > since``, as one consistent slice."""
+        return self._events[since + 1:]
+
+    async def subscribe(self, since: int = -1):
+        """Yield events with ``seq > since`` until the log closes.
+
+        The snapshot slice and the tail never overlap and never skip:
+        ``seq`` values are list indices, so resuming from the last
+        yielded index is gap-free by construction.
+        """
+        index = since + 1
+        while True:
+            while index < len(self._events):
+                yield self._events[index]
+                index += 1
+            if self._closed:
+                return
+            if self._wakeup is None:
+                self._wakeup = asyncio.Event()
+            self._wakeup.clear()
+            # Re-check under the cleared flag: an append between the
+            # inner loop and clear() left new events behind.
+            if index < len(self._events) or self._closed:
+                continue
+            await self._wakeup.wait()

@@ -1,0 +1,365 @@
+"""The job model and manager: everything about *what* to run, not *how*.
+
+A **job** is one submitted campaign: an ordered list of
+:class:`~repro.campaign.spec.RunSpec` plus a namespace, a priority, and
+an event log.  The manager reduces jobs to **work units** — one per
+distinct content-addressed cache key — and hands them out in priority
+order (higher first, FIFO within a priority).  Because the unit of work
+is the cache key, duplicate submissions coalesce for free: a key that
+is already queued or leased just gains another waiting job, and a
+single execution settles every waiter.
+
+The manager is deliberately synchronous and process-free: it owns no
+shards, sockets, or clocks beyond event timestamps, which is what makes
+its scheduling behaviour unit-testable.  :class:`CampaignService` is
+the async driver that pulls work from here and pushes results back.
+
+Back-pressure is a bounded count of *outstanding* work units (queued
+plus leased): a submission whose cache misses would exceed the bound is
+rejected atomically with :class:`QueueFullError` — no partial enqueue,
+so a rejected client can simply retry later.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from ..campaign import cache
+from ..campaign.spec import RunSpec
+from .events import EventLog, make_event
+
+__all__ = ["Job", "JobManager", "JobState", "QueueFullError"]
+
+DEFAULT_QUEUE_LIMIT = 4096
+
+
+class QueueFullError(RuntimeError):
+    """Submission rejected: the work queue is at its bound."""
+
+
+class JobState:
+    """Job lifecycle: queued -> running -> done | failed | cancelled."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class Job:
+    """One submitted campaign and its progress bookkeeping."""
+
+    def __init__(
+        self,
+        job_id: str,
+        namespace: str,
+        specs: list,
+        keys: list,
+        priority: int = 0,
+        label: str | None = None,
+    ) -> None:
+        self.id = job_id
+        self.namespace = namespace
+        self.specs = specs  # submission order, deduplicated
+        self.keys = keys  # parallel to specs
+        self.priority = priority
+        self.label = label or (specs[0].slug if specs else job_id)
+        self.state = JobState.QUEUED
+        self.error: str | None = None
+        self.log = EventLog()
+        # Per-key outcome: "pending" | "done" | "failed".
+        self.key_state = {key: "pending" for key in keys}
+        self.counters = {
+            "cache_hits": 0, "executed": 0, "coalesced": 0,
+            "retries": 0, "failed": 0,
+        }
+
+    @property
+    def total(self) -> int:
+        return len(self.keys)
+
+    @property
+    def done(self) -> int:
+        return sum(1 for s in self.key_state.values() if s != "pending")
+
+    @property
+    def finished(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def emit(self, scope: str, kind: str, **fields) -> dict:
+        return self.log.append(make_event(scope, kind, self.id, **fields))
+
+    def descriptor(self) -> dict:
+        """The wire representation (`GET /v1/jobs/<id>`)."""
+        return {
+            "id": self.id,
+            "namespace": self.namespace,
+            "label": self.label,
+            "priority": self.priority,
+            "state": self.state,
+            "total": self.total,
+            "done": self.done,
+            "error": self.error,
+            "counters": dict(self.counters),
+            "events": len(self.log),
+        }
+
+
+class JobManager:
+    """Submit/status/cancel/list plus priority + FIFO work scheduling."""
+
+    def __init__(
+        self,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        fingerprint: str | None = None,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        self.queue_limit = queue_limit
+        self.fingerprint = fingerprint
+        self.jobs: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._fifo = itertools.count()  # tie-break: submission order
+        # Work units: heap of (-priority, fifo, key).  A key may appear
+        # more than once (a later, hotter submission bumps it); stale
+        # entries are skipped at pop time.
+        self._heap: list[tuple[int, int, str]] = []
+        self._queued: set[str] = set()  # keys in heap, not yet leased
+        self._leased: set[str] = set()
+        self._spec_by_key: dict[str, RunSpec] = {}
+        # Jobs still waiting on a key (queued or leased).
+        self._waiters: dict[str, list[Job]] = {}
+        self.counters = {
+            "submitted": 0, "finished": 0, "failed": 0, "cancelled": 0,
+            "rejected": 0, "cache_hits": 0, "coalesced": 0,
+        }
+
+    # -- depth gauges ---------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Distinct keys waiting for a shard (back-pressure numerator)."""
+        return len(self._queued)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._leased)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._queued) + len(self._leased)
+
+    # -- submission -----------------------------------------------------
+    def submit(
+        self,
+        specs,
+        namespace: str = "default",
+        priority: int = 0,
+        label: str | None = None,
+        cache_probe=None,
+    ) -> Job:
+        """Register a campaign; returns the :class:`Job`.
+
+        ``cache_probe(spec)`` is the cache-scan hook (defaults to the
+        campaign cache): a non-``None`` return settles that spec as an
+        immediate hit.  Raises :class:`QueueFullError` — atomically,
+        before any state changes — when the submission's cache misses
+        would push outstanding work past ``queue_limit``.
+        """
+        ordered = list(dict.fromkeys(specs))
+        if not ordered:
+            raise ValueError("a job needs at least one RunSpec")
+        if cache_probe is None:
+            cache_probe = lambda spec: cache.load(spec, self.fingerprint)
+        keys = [cache.cache_key(s, self.fingerprint) for s in ordered]
+
+        hits: list[bool] = []
+        fresh = 0
+        for spec, key in zip(ordered, keys):
+            hit = cache_probe(spec) is not None
+            hits.append(hit)
+            if not hit and key not in self._waiters:
+                fresh += 1
+        if self.outstanding + fresh > self.queue_limit:
+            self.counters["rejected"] += 1
+            raise QueueFullError(
+                f"queue limit {self.queue_limit} reached "
+                f"({self.outstanding} outstanding, {fresh} new)"
+            )
+
+        job = Job(
+            f"j{next(self._ids)}", namespace, ordered, keys,
+            priority=priority, label=label,
+        )
+        self.jobs[job.id] = job
+        self.counters["submitted"] += 1
+        job.emit("job", "queued", total=job.total, priority=priority,
+                 namespace=namespace)
+        for spec, key, hit in zip(ordered, keys, hits):
+            if hit:
+                job.key_state[key] = "done"
+                job.counters["cache_hits"] += 1
+                self.counters["cache_hits"] += 1
+                job.emit("run", "cache-hit", key=key, slug=spec.slug,
+                         total=job.total, done=job.done)
+                continue
+            waiters = self._waiters.get(key)
+            if waiters is not None:
+                # Coalesce onto the in-flight or queued execution.
+                waiters.append(job)
+                job.counters["coalesced"] += 1
+                self.counters["coalesced"] += 1
+                job.emit("run", "coalesced", key=key, slug=spec.slug,
+                         total=job.total, leased=key in self._leased)
+                if key in self._queued and priority > 0:
+                    heapq.heappush(
+                        self._heap, (-priority, next(self._fifo), key)
+                    )
+                continue
+            self._waiters[key] = [job]
+            self._spec_by_key[key] = spec
+            self._queued.add(key)
+            heapq.heappush(self._heap, (-priority, next(self._fifo), key))
+            job.emit("run", "queued", key=key, slug=spec.slug,
+                     total=job.total)
+        self._settle(job)
+        return job
+
+    # -- scheduling -----------------------------------------------------
+    def next_work(self) -> tuple[str, RunSpec] | None:
+        """Pop the highest-priority pending key, or ``None``.
+
+        The popped key moves to the *leased* set; the caller must end
+        the lease with :meth:`complete`, :meth:`fail`, or
+        :meth:`release`.
+        """
+        while self._heap:
+            _, _, key = heapq.heappop(self._heap)
+            if key not in self._queued:
+                continue  # stale duplicate, cancelled, or already leased
+            self._queued.discard(key)
+            self._leased.add(key)
+            for job in self._waiters.get(key, ()):
+                if job.state == JobState.QUEUED:
+                    job.state = JobState.RUNNING
+                job.emit("run", "started", key=key,
+                         slug=self._spec_by_key[key].slug, total=job.total)
+            return key, self._spec_by_key[key]
+        return None
+
+    def release(self, key: str, error: str | None = None,
+                requeue: bool = True) -> None:
+        """Return a leased key to the queue (worker death / retry)."""
+        if key not in self._leased:
+            return
+        self._leased.discard(key)
+        waiters = [j for j in self._waiters.get(key, ())
+                   if j.state != JobState.CANCELLED]
+        for job in waiters:
+            job.counters["retries"] += 1
+            job.emit("run", "retried", key=key, error=error)
+        if requeue and waiters:
+            priority = max(j.priority for j in waiters)
+            self._queued.add(key)
+            heapq.heappush(self._heap, (-priority, next(self._fifo), key))
+        elif not requeue:
+            self.fail(key, error or "gave up")
+
+    def complete(self, key: str, wall_s: float | None = None,
+                 executed: bool = True) -> list[Job]:
+        """Settle ``key`` as done for every waiting job."""
+        return self._close_key(
+            key, "done", "finished", wall_s=wall_s, executed=executed,
+        )
+
+    def fail(self, key: str, error: str) -> list[Job]:
+        """Settle ``key`` as failed for every waiting job."""
+        return self._close_key(key, "failed", "failed", error=error)
+
+    def _close_key(self, key, state, kind, wall_s=None, error=None,
+                   executed=False) -> list[Job]:
+        self._leased.discard(key)
+        self._queued.discard(key)
+        spec = self._spec_by_key.pop(key, None)
+        slug = spec.slug if spec is not None else None
+        touched = []
+        for job in self._waiters.pop(key, ()):
+            if job.finished:
+                continue
+            job.key_state[key] = state
+            if state == "failed":
+                job.counters["failed"] += 1
+            elif executed:
+                job.counters["executed"] += 1
+            job.emit("run", kind, key=key, slug=slug, total=job.total,
+                     done=job.done, wall_s=wall_s, error=error)
+            self._settle(job)
+            touched.append(job)
+        return touched
+
+    def _settle(self, job: Job) -> None:
+        """Finalize ``job`` once every key has an outcome."""
+        if job.finished or job.done < job.total:
+            return
+        failed = [k for k, s in job.key_state.items() if s == "failed"]
+        if failed:
+            job.state = JobState.FAILED
+            job.error = f"{len(failed)} of {job.total} run(s) failed"
+            self.counters["failed"] += 1
+        else:
+            job.state = JobState.DONE
+            self.counters["finished"] += 1
+        job.emit("job", job.state, total=job.total, done=job.done,
+                 error=job.error, counters=dict(job.counters))
+        job.log.close()
+
+    # -- queries and cancellation --------------------------------------
+    def job(self, job_id: str) -> Job:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def list_jobs(self, namespace: str | None = None,
+                  state: str | None = None) -> list[Job]:
+        out = []
+        for job in self.jobs.values():
+            if namespace is not None and job.namespace != namespace:
+                continue
+            if state is not None and job.state != state:
+                continue
+            out.append(job)
+        return out
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job; queued-only keys are dropped, leases drain.
+
+        A key whose only waiters are cancelled jobs leaves the queue
+        (lazily — its heap entries are skipped).  A key some *other*
+        live job still waits on keeps executing; the cancelled job just
+        stops listening.  An already-terminal job is returned as-is.
+        """
+        job = self.job(job_id)
+        if job.finished:
+            return job
+        job.state = JobState.CANCELLED
+        self.counters["cancelled"] += 1
+        for key, state in job.key_state.items():
+            if state != "pending":
+                continue
+            waiters = self._waiters.get(key)
+            if waiters is None:
+                continue
+            if job in waiters:
+                waiters.remove(job)
+            if not waiters and key not in self._leased:
+                # Nobody wants it and nothing runs it: drop the unit.
+                del self._waiters[key]
+                self._queued.discard(key)
+                self._spec_by_key.pop(key, None)
+        job.emit("job", JobState.CANCELLED, total=job.total, done=job.done)
+        job.log.close()
+        return job

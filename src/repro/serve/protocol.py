@@ -1,0 +1,73 @@
+"""Wire-level helpers shared by the server and the client.
+
+The API speaks minimal HTTP/1.1 with JSON bodies; streaming endpoints
+reply ``Content-Type: application/x-ndjson`` with ``Connection: close``
+and delimit the stream by EOF — one JSON document per line, exactly the
+framing of the scenario/result JSONL files, so the same tooling reads
+both.  Addresses take two forms::
+
+    unix:/path/to/serve.sock     AF_UNIX (tests, CI, local tooling)
+    host:port  or  host port     AF_INET
+
+No third-party HTTP stack, no TLS, no keep-alive: the service is an
+internal, single-origin tool in the ``http.server`` weight class.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "API_PREFIX",
+    "NDJSON",
+    "STATUS_TEXT",
+    "dumps",
+    "parse_address",
+    "parse_query",
+]
+
+API_PREFIX = "/v1"
+NDJSON = "application/x-ndjson"
+
+STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def dumps(obj) -> str:
+    """Canonical body encoding: sorted keys, no trailing whitespace."""
+    return json.dumps(obj, sort_keys=True)
+
+
+def parse_address(address: str) -> tuple[str, object]:
+    """``"unix:/p"`` -> ``("unix", "/p")``; ``"h:p"`` -> ``("tcp", (h, p))``."""
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ValueError("empty unix socket path")
+        return "unix", path
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"bad address {address!r}; expected unix:/path or host:port"
+        )
+    return "tcp", (host or "127.0.0.1", int(port))
+
+
+def parse_query(raw: str) -> dict:
+    """A tiny query-string parser (no repeats, no encoding niceties)."""
+    out: dict[str, str] = {}
+    for part in raw.split("&"):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        out[key] = value
+    return out

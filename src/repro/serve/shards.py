@@ -1,0 +1,232 @@
+"""Process-based worker shards: leases, death detection, respawn.
+
+Each shard is one long-lived ``multiprocessing.Process`` connected to
+the service by a duplex pipe.  A shard holds **at most one lease** at a
+time — the parent sends one :class:`~repro.campaign.spec.RunSpec`,
+the shard answers with ``("ok", summary_body, wall_s)`` or
+``("err", repr)`` — which makes lease accounting exact: whatever a dead
+shard was holding is precisely ``shard.lease``.
+
+Death detection needs no signals or polling loops: the parent registers
+each pipe with the event loop (``loop.add_reader``), and a shard killed
+mid-lease (SIGKILL included) closes its pipe end, which surfaces as
+``EOFError`` on the next read.  The pool then reports the orphaned
+lease to its ``on_result`` callback as a failure with ``died=True`` —
+releasing the RunSpec back to the scheduler — and spawns a replacement
+shard.
+
+Shards are forked (falling back to ``spawn`` where ``fork`` is
+unavailable) so they inherit the loaded model and the cache/codec
+environment; the number of shards comes from ``--shards`` or
+``REPRO_SERVE_SHARDS``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+
+from ..campaign.runner import _execute
+
+__all__ = ["ShardPool", "shard_count_from_env"]
+
+SHARDS_ENV = "REPRO_SERVE_SHARDS"
+DEFAULT_SHARDS = 2
+
+
+def shard_count_from_env(default: int = DEFAULT_SHARDS) -> int:
+    raw = os.environ.get(SHARDS_ENV, "")
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return default
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork
+        return multiprocessing.get_context("spawn")
+
+
+def _shard_main(conn) -> None:
+    """Worker loop: one spec in, one summary out, until ``stop``."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away
+        if message[0] == "stop":
+            return
+        spec = message[1]
+        try:
+            body, wall_s = _execute(spec)
+            reply = ("ok", body, wall_s)
+        except BaseException as exc:  # noqa: BLE001 — report, don't die
+            reply = ("err", repr(exc))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Shard:
+    """One worker process plus its parent-side pipe and current lease."""
+
+    __slots__ = ("index", "proc", "conn", "lease")
+
+    def __init__(self, index: int, ctx) -> None:
+        self.index = index
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_shard_main, args=(child,),
+            name=f"repro-serve-shard-{index}", daemon=True,
+        )
+        self.proc.start()
+        child.close()  # the parent keeps only its own end
+        self.lease: tuple | None = None  # (key, spec) while working
+
+    @property
+    def busy(self) -> bool:
+        return self.lease is not None
+
+    def assign(self, key: str, spec) -> None:
+        self.lease = (key, spec)
+        self.conn.send(("run", spec))
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.conn.close()
+        self.proc.join(timeout=5)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+
+
+class ShardPool:
+    """Fixed-width pool of shards driven from one asyncio loop.
+
+    ``on_result(key, spec, outcome)`` is called on the loop for every
+    finished lease, where ``outcome`` is one of::
+
+        ("ok", summary_body, wall_s)
+        ("err", "<repr of the worker exception>")
+        ("died", "<shard death description>")
+
+    With ``width=0`` the pool executes leases inline on a thread of the
+    loop's default executor — no processes at all, for tests and for
+    cache-hit-dominated benches.
+    """
+
+    def __init__(self, width: int, on_result) -> None:
+        self.width = max(0, int(width))
+        self.on_result = on_result
+        self._ctx = _mp_context()
+        self._shards: dict[int, _Shard] = {}
+        self._indices = iter(range(10 ** 9))
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.respawns = 0
+        self._closing = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        for _ in range(self.width):
+            self._spawn()
+
+    def _spawn(self) -> _Shard:
+        shard = _Shard(next(self._indices), self._ctx)
+        self._shards[shard.index] = shard
+        self._loop.add_reader(
+            shard.conn.fileno(), self._on_readable, shard
+        )
+        return shard
+
+    def close(self) -> None:
+        self._closing = True
+        for shard in list(self._shards.values()):
+            try:
+                self._loop.remove_reader(shard.conn.fileno())
+            except (ValueError, OSError):
+                pass
+            shard.close()
+        self._shards.clear()
+
+    # -- dispatch -------------------------------------------------------
+    @property
+    def free_slots(self) -> int:
+        if self.width == 0:
+            return 1  # inline mode: serial, but always willing
+        return sum(1 for s in self._shards.values() if not s.busy)
+
+    @property
+    def busy_leases(self) -> list:
+        return [s.lease for s in self._shards.values() if s.busy]
+
+    def dispatch(self, key: str, spec) -> bool:
+        """Lease ``spec`` to a free shard; False when all are busy."""
+        if self.width == 0:
+            self._loop.create_task(self._run_inline(key, spec))
+            return True
+        for shard in self._shards.values():
+            if not shard.busy:
+                try:
+                    shard.assign(key, spec)
+                except (BrokenPipeError, OSError):
+                    self._reap(shard, notify=False)
+                    continue
+                return True
+        return False
+
+    async def _run_inline(self, key: str, spec) -> None:
+        try:
+            body, wall_s = await self._loop.run_in_executor(
+                None, _execute, spec
+            )
+            outcome = ("ok", body, wall_s)
+        except Exception as exc:  # noqa: BLE001
+            outcome = ("err", repr(exc))
+        self.on_result(key, spec, outcome)
+
+    # -- completion and death ------------------------------------------
+    def _on_readable(self, shard: _Shard) -> None:
+        try:
+            reply = shard.conn.recv()
+        except (EOFError, OSError):
+            self._reap(shard, notify=True)
+            return
+        lease, shard.lease = shard.lease, None
+        if lease is None:
+            return  # stray message (e.g. reply raced a close)
+        key, spec = lease
+        self.on_result(key, spec, tuple(reply))
+
+    def _reap(self, shard: _Shard, notify: bool) -> None:
+        """A shard died: release its lease and spawn a replacement."""
+        try:
+            self._loop.remove_reader(shard.conn.fileno())
+        except (ValueError, OSError):
+            pass
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        self._shards.pop(shard.index, None)
+        lease, shard.lease = shard.lease, None
+        exitcode = shard.proc.exitcode
+        if shard.proc.is_alive():
+            shard.proc.terminate()
+        shard.proc.join(timeout=5)
+        if not self._closing:
+            self.respawns += 1
+            self._spawn()
+        if notify and lease is not None:
+            key, spec = lease
+            self.on_result(
+                key, spec,
+                ("died", f"shard {shard.index} died (exit {exitcode})"),
+            )

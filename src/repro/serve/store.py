@@ -1,0 +1,166 @@
+"""Multi-tenant result store: namespaces, quotas, and a GC sweep.
+
+The store does **not** re-invent result storage — the bytes live in the
+existing content-addressed campaign cache (one ``<key>.json`` per run,
+written atomically by :mod:`repro.campaign.cache`), which is what makes
+served results byte-identical to local ones.  What the store adds is
+*tenancy*:
+
+* each namespace owns an index (``tenants/<ns>.json``) mapping the
+  cache keys its jobs produced to a last-access sequence number;
+* a per-namespace **quota** bounds how many results a tenant may pin;
+  the least-recently-accessed keys are evicted from the index first;
+* the **GC sweep** deletes cache files no namespace references any
+  more — safe because the sweep only runs over the store's own cache
+  directory, and reference counting spans all tenants, so one tenant
+  evicting a key never deletes a result another tenant still pins.
+
+Access order is a monotonic integer sequence persisted in the store
+root (``seq``), not wall-clock: recency comparisons stay total and
+restart-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["ResultStore", "DEFAULT_QUOTA"]
+
+DEFAULT_QUOTA = 4096
+
+
+class ResultStore:
+    """Namespace bookkeeping over one serve-owned cache directory."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        quota: int = DEFAULT_QUOTA,
+        quotas: dict | None = None,
+    ) -> None:
+        if quota < 1:
+            raise ValueError("quota must be positive")
+        self.root = Path(root)
+        self.default_quota = quota
+        self.quotas = dict(quotas or {})
+        self.runs_dir = self.root / "runs"
+        self.tenants_dir = self.root / "tenants"
+        self._seq = 0
+        self._tenants: dict[str, dict[str, int]] = {}  # ns -> key -> seq
+        self._load()
+
+    # -- persistence ----------------------------------------------------
+    def _load(self) -> None:
+        seq_file = self.root / "seq"
+        try:
+            self._seq = int(seq_file.read_text())
+        except (OSError, ValueError):
+            self._seq = 0
+        if self.tenants_dir.is_dir():
+            for path in sorted(self.tenants_dir.glob("*.json")):
+                try:
+                    payload = json.loads(path.read_text())
+                    keys = {str(k): int(v)
+                            for k, v in payload["keys"].items()}
+                except (OSError, ValueError, KeyError, TypeError):
+                    continue  # corrupt tenant index: start it empty
+                self._tenants[path.stem] = keys
+                if keys:
+                    self._seq = max(self._seq, max(keys.values()))
+
+    def _save(self, namespace: str) -> None:
+        self.tenants_dir.mkdir(parents=True, exist_ok=True)
+        path = self.tenants_dir / f"{namespace}.json"
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(
+            {"namespace": namespace, "keys": self._tenants[namespace]},
+            sort_keys=True,
+        ))
+        os.replace(tmp, path)
+        (self.root / "seq").write_text(str(self._seq))
+
+    # -- recording ------------------------------------------------------
+    def quota_for(self, namespace: str) -> int:
+        return int(self.quotas.get(namespace, self.default_quota))
+
+    def record(self, namespace: str, keys) -> None:
+        """Mark ``keys`` as (re)accessed by ``namespace``, newest last."""
+        index = self._tenants.setdefault(namespace, {})
+        for key in keys:
+            self._seq += 1
+            index[key] = self._seq
+        self._save(namespace)
+
+    # -- queries --------------------------------------------------------
+    def namespaces(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def keys(self, namespace: str) -> list[str]:
+        """A namespace's keys, least recently accessed first."""
+        index = self._tenants.get(namespace, {})
+        return sorted(index, key=lambda k: index[k])
+
+    def usage(self, namespace: str) -> dict:
+        index = self._tenants.get(namespace, {})
+        size = 0
+        for key in index:
+            try:
+                size += (self.runs_dir / f"{key}.json").stat().st_size
+            except OSError:
+                pass
+        return {
+            "namespace": namespace,
+            "keys": len(index),
+            "bytes": size,
+            "quota": self.quota_for(namespace),
+        }
+
+    def referenced(self) -> set:
+        """Every key any namespace still pins."""
+        out: set = set()
+        for index in self._tenants.values():
+            out.update(index)
+        return out
+
+    # -- eviction and GC ------------------------------------------------
+    def sweep(self) -> dict:
+        """Enforce quotas, then GC unreferenced result files.
+
+        Returns ``{"evicted": {ns: n}, "removed_files": n}``.  Eviction
+        order is strictly LRU per namespace.  The GC pass only touches
+        ``runs/``: a cache file is removed when its key is referenced by
+        no tenant index (including keys that never belonged to any —
+        e.g. leftovers from an evicted tenant file).
+        """
+        evicted: dict[str, int] = {}
+        for namespace, index in self._tenants.items():
+            quota = self.quota_for(namespace)
+            excess = len(index) - quota
+            if excess <= 0:
+                continue
+            for key in self.keys(namespace)[:excess]:
+                del index[key]
+            evicted[namespace] = excess
+            self._save(namespace)
+
+        removed = 0
+        if self.runs_dir.is_dir():
+            live = self.referenced()
+            for path in self.runs_dir.glob("*.json"):
+                if path.stem not in live:
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return {"evicted": evicted, "removed_files": removed}
+
+    def stats(self) -> dict:
+        return {
+            "root": str(self.root),
+            "namespaces": {
+                ns: self.usage(ns) for ns in self.namespaces()
+            },
+        }

@@ -32,7 +32,7 @@ from .export import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
-from .probes import CampaignProbe, ChannelProbe, PhaseTimer
+from .probes import CampaignProbe, ChannelProbe, PhaseTimer, ServiceProbe
 from .registry import Counter, Gauge, Histogram, MetricRegistry
 from .session import TelemetrySession
 from .trace import TraceBuffer, TraceEvent
@@ -45,6 +45,7 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "PhaseTimer",
+    "ServiceProbe",
     "TelemetrySession",
     "TraceBuffer",
     "TraceEvent",

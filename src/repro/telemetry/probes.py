@@ -20,7 +20,7 @@ from .clock import monotonic_ts
 from .registry import MetricRegistry
 from .trace import TraceBuffer
 
-__all__ = ["ChannelProbe", "CampaignProbe", "PhaseTimer"]
+__all__ = ["ChannelProbe", "CampaignProbe", "PhaseTimer", "ServiceProbe"]
 
 # Queue occupancies bucketed at powers of two up to a 64-entry queue.
 _QUEUE_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64)
@@ -248,3 +248,51 @@ class CampaignProbe:
                 track="campaign.runs",
                 args=(("key", event.key),),
             )
+
+
+class ServiceProbe:
+    """Instrumentation for the resident campaign service (`repro serve`).
+
+    Counts submissions and lease outcomes, and keeps gauges for the
+    queue depth, in-flight leases, and busy shards — the numbers an
+    operator watches to size ``--shards`` and the queue limit.  Like
+    every probe it only observes: the scheduler takes no decision from
+    these values.
+    """
+
+    def __init__(self, registry: MetricRegistry, trace: TraceBuffer | None):
+        self.trace = trace
+        self.submissions = registry.counter("serve.jobs.submitted")
+        self.spec_hits = registry.counter("serve.specs.cache_hits")
+        self.outcomes = {
+            kind: registry.counter(f"serve.lease.{kind}")
+            for kind in ("ok", "err", "died")
+        }
+        self.queue_depth = registry.gauge("serve.queue.depth")
+        self.inflight = registry.gauge("serve.queue.inflight")
+        self.busy_shards = registry.gauge("serve.shards.busy")
+
+    def submitted(self, job, hits: int) -> None:
+        self.submissions.inc()
+        if hits:
+            self.spec_hits.inc(hits)
+        if self.trace is not None:
+            self.trace.emit(
+                name=job.label,
+                category="serve.submit",
+                phase="i",
+                ts=monotonic_ts(),
+                track="serve",
+                args=(("job", job.id), ("total", job.total),
+                      ("hits", hits)),
+            )
+
+    def result(self, kind: str) -> None:
+        counter = self.outcomes.get(kind)
+        if counter is not None:
+            counter.inc()
+
+    def gauges(self, queue_depth: int, inflight: int, shards: int) -> None:
+        self.queue_depth.set(queue_depth)
+        self.inflight.set(inflight)
+        self.busy_shards.set(shards)

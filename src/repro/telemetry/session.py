@@ -15,7 +15,7 @@ clock of :mod:`repro.telemetry.clock`).
 
 from __future__ import annotations
 
-from .probes import CampaignProbe, ChannelProbe
+from .probes import CampaignProbe, ChannelProbe, ServiceProbe
 from .registry import MetricRegistry
 from .trace import DEFAULT_CAPACITY, TraceBuffer
 
@@ -43,6 +43,7 @@ class TelemetrySession:
         self.cycle_ns = 1.0
         self._channel_probes: dict[int, ChannelProbe] = {}
         self._campaign_probe: CampaignProbe | None = None
+        self._service_probe: ServiceProbe | None = None
 
     # -- probe wiring ---------------------------------------------------
     def channel_probe(self, channel: int) -> ChannelProbe:
@@ -56,6 +57,11 @@ class TelemetrySession:
         if self._campaign_probe is None:
             self._campaign_probe = CampaignProbe(self.registry, self.trace)
         return self._campaign_probe
+
+    def service_probe(self) -> ServiceProbe:
+        if self._service_probe is None:
+            self._service_probe = ServiceProbe(self.registry, self.trace)
+        return self._service_probe
 
     # -- aggregation ----------------------------------------------------
     def decision_modes(self) -> dict:

@@ -1,0 +1,141 @@
+"""RunEvent streaming: gap-free ordering, mid-campaign backfill, replay.
+
+The stream contract (docs/SERVICE.md): every subscriber — whenever it
+connects — sees the job's events in one globally consistent order,
+``seq`` numbered 0..N-1 with no gaps, snapshot first and live tail
+after, ending cleanly at the job's terminal event.  The campaign here
+runs on **4 worker shards**, so completions genuinely race; the log
+must still serialize them into one stable history.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.campaign import RunSpec
+from repro.serve.client import ServeClient
+from repro.serve.server import start_in_thread
+from repro.serve.service import ServiceConfig
+
+SCALE = 80
+FP = "test-fp"
+SHARDS = 4
+
+
+def spec(seed: int) -> RunSpec:
+    return RunSpec(benchmark="GUPS", system="ddr4-server", policy="dbi",
+                   accesses_per_core=SCALE, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("stream")
+    handle = start_in_thread(
+        ServiceConfig(store_root=tmp / "store", shards=SHARDS,
+                      fingerprint=FP),
+        socket_path=str(tmp / "s.sock"),
+    )
+    try:
+        yield handle, ServeClient(handle.address)
+    finally:
+        handle.stop()
+
+
+def assert_consistent(events: list, total: int) -> None:
+    """The ordering invariants every subscriber must observe."""
+    seqs = [e["seq"] for e in events]
+    assert seqs == list(range(len(events))), "seq must be gap-free"
+    assert events[0]["scope"] == "job" and events[0]["kind"] == "queued"
+    assert events[-1]["scope"] == "job"
+    assert events[-1]["kind"] in ("done", "failed", "cancelled")
+    # Per-key lifecycle: queued -> started -> finished, in that order.
+    for key in {e.get("key") for e in events if e.get("key")}:
+        kinds = [e["kind"] for e in events if e.get("key") == key]
+        assert kinds.index("queued") < kinds.index("started")
+        assert kinds.index("started") < kinds.index("finished")
+    finished = [e for e in events if e["kind"] == "finished"]
+    assert len(finished) == total
+
+
+def test_live_stream_matches_replay(served):
+    """A subscriber joining mid-campaign sees snapshot + tail that is
+    byte-identical to the full after-the-fact backfill."""
+    handle, client = served
+    specs = [spec(s) for s in range(8)]
+    job = client.submit_specs(specs)
+    # Connect immediately: the campaign is still running on 4 shards,
+    # so this stream starts with a snapshot and ends with live tail.
+    live = list(client.events(job["id"]))
+    replay = list(client.events(job["id"]))  # terminal: pure backfill
+    assert live == replay
+    assert_consistent(replay, total=len(specs))
+
+
+def test_since_resumes_exactly(served):
+    handle, client = served
+    specs = [spec(s) for s in range(10, 14)]
+    job = client.submit_specs(specs)
+    full = list(client.events(job["id"]))
+    assert_consistent(full, total=len(specs))
+    mid = full[len(full) // 2]["seq"]
+    tail = list(client.events(job["id"], since=mid))
+    assert tail == full[mid + 1:]
+    # since beyond the end: just the empty suffix.
+    assert list(client.events(job["id"], since=full[-1]["seq"])) == []
+
+
+def test_concurrent_subscribers_agree(served):
+    """N readers attached at random times all see the same history."""
+    handle, client = served
+    specs = [spec(s) for s in range(20, 26)]
+    job = client.submit_specs(specs)
+
+    streams: dict[int, list] = {}
+    errors: list = []
+
+    def reader(i: int) -> None:
+        try:
+            own = ServeClient(handle.address)
+            streams[i] = list(own.events(job["id"]))
+        except Exception as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader, args=(i,)) for i in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=180)
+    assert not errors
+    assert len(streams) == 3
+    reference = list(client.events(job["id"]))
+    assert_consistent(reference, total=len(specs))
+    for got in streams.values():
+        assert got == reference
+
+
+def test_paused_snapshot_then_tail(served):
+    """Events produced while paused arrive as the snapshot; execution
+    events arrive as tail after resume — one seamless sequence."""
+    handle, client = served
+    handle.call(handle.service.pause)
+    job = client.submit_specs([spec(30), spec(31)])
+    collected: list = []
+    done = threading.Event()
+
+    def consume() -> None:
+        own = ServeClient(handle.address)
+        collected.extend(own.events(job["id"]))
+        done.set()
+
+    t = threading.Thread(target=consume)
+    t.start()
+    handle.call(handle.service.resume)
+    assert done.wait(timeout=180)
+    t.join(timeout=10)
+    assert_consistent(collected, total=2)
+    # The paused-phase events (job+run queued) really came first.
+    assert [e["kind"] for e in collected[:3]] == [
+        "queued", "queued", "queued"
+    ]

@@ -1,0 +1,202 @@
+"""JobManager unit tests: scheduling, coalescing, back-pressure.
+
+The manager is synchronous and process-free, so everything here drives
+it directly — no shards, no sockets, and a ``cache_probe`` stub instead
+of the real campaign cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import RunSpec, cache
+from repro.serve.jobs import JobManager, JobState, QueueFullError
+
+SCALE = 80
+FP = "test-fp"
+
+NO_HITS = lambda spec: None  # noqa: E731
+
+
+def spec(seed: int, policy: str = "dbi") -> RunSpec:
+    return RunSpec(benchmark="GUPS", system="ddr4-server", policy=policy,
+                   accesses_per_core=SCALE, seed=seed)
+
+
+def manager(**kwargs) -> JobManager:
+    kwargs.setdefault("fingerprint", FP)
+    return JobManager(**kwargs)
+
+
+def drain(mgr: JobManager) -> list[str]:
+    """Lease-and-complete everything; returns keys in lease order."""
+    order = []
+    while True:
+        work = mgr.next_work()
+        if work is None:
+            return order
+        key, _spec = work
+        order.append(key)
+        mgr.complete(key, wall_s=0.0, executed=True)
+
+
+class TestSubmission:
+    def test_submit_dedupes_and_preserves_order(self):
+        mgr = manager()
+        job = mgr.submit([spec(1), spec(2), spec(1)], cache_probe=NO_HITS)
+        assert job.total == 2
+        assert job.specs == [spec(1), spec(2)]
+        assert job.keys == [cache.cache_key(s, FP) for s in job.specs]
+        assert job.state == JobState.QUEUED
+
+    def test_empty_submission_rejected(self):
+        with pytest.raises(ValueError):
+            manager().submit([], cache_probe=NO_HITS)
+
+    def test_cache_hits_settle_immediately(self):
+        mgr = manager()
+        job = mgr.submit([spec(1)], cache_probe=lambda s: object())
+        assert job.state == JobState.DONE
+        assert job.counters["cache_hits"] == 1
+        assert mgr.outstanding == 0
+
+    def test_descriptor_shape(self):
+        job = manager().submit([spec(1)], cache_probe=NO_HITS,
+                               namespace="ns", priority=3, label="x")
+        d = job.descriptor()
+        assert d["id"] == job.id and d["namespace"] == "ns"
+        assert d["priority"] == 3 and d["label"] == "x"
+        assert d["total"] == 1 and d["done"] == 0
+        assert d["state"] == "queued"
+
+
+class TestScheduling:
+    def test_fifo_within_priority(self):
+        mgr = manager()
+        a = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        b = mgr.submit([spec(2)], cache_probe=NO_HITS)
+        assert drain(mgr) == [a.keys[0], b.keys[0]]
+
+    def test_priority_beats_fifo(self):
+        mgr = manager()
+        low = mgr.submit([spec(1)], priority=0, cache_probe=NO_HITS)
+        high = mgr.submit([spec(2)], priority=5, cache_probe=NO_HITS)
+        assert drain(mgr) == [high.keys[0], low.keys[0]]
+
+    def test_lease_then_complete_settles_job(self):
+        mgr = manager()
+        job = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        key, leased_spec = mgr.next_work()
+        assert leased_spec == spec(1)
+        assert job.state == JobState.RUNNING
+        assert mgr.inflight == 1
+        touched = mgr.complete(key, wall_s=1.0, executed=True)
+        assert touched == [job]
+        assert job.state == JobState.DONE
+        assert job.counters["executed"] == 1
+
+    def test_fail_after_retries_fails_job(self):
+        mgr = manager()
+        job = mgr.submit([spec(1), spec(2)], cache_probe=NO_HITS)
+        key, _ = mgr.next_work()
+        mgr.fail(key, "boom")
+        assert job.state == JobState.RUNNING  # one key still pending
+        key2, _ = mgr.next_work()
+        mgr.complete(key2, executed=True)
+        assert job.state == JobState.FAILED
+        assert "1 of 2" in job.error
+        assert job.counters["failed"] == 1
+
+
+class TestCoalescing:
+    def test_duplicate_submission_coalesces(self):
+        mgr = manager()
+        a = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        b = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        assert mgr.queue_depth == 1  # one work unit, two waiters
+        assert b.counters["coalesced"] == 1
+        key, _ = mgr.next_work()
+        assert mgr.next_work() is None  # nothing else to lease
+        mgr.complete(key, executed=True)
+        assert a.state == JobState.DONE and b.state == JobState.DONE
+        # One execution settled both jobs.
+        assert a.counters["executed"] == b.counters["executed"] == 1
+
+    def test_coalescing_onto_leased_key(self):
+        mgr = manager()
+        a = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        key, _ = mgr.next_work()  # leased before the duplicate arrives
+        b = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        assert b.counters["coalesced"] == 1
+        mgr.complete(key, executed=True)
+        assert a.state == b.state == JobState.DONE
+
+    def test_hot_duplicate_bumps_priority(self):
+        mgr = manager()
+        mgr.submit([spec(1)], priority=0, cache_probe=NO_HITS)
+        mgr.submit([spec(2)], priority=0, cache_probe=NO_HITS)
+        hot = mgr.submit([spec(2)], priority=9, cache_probe=NO_HITS)
+        assert drain(mgr)[0] == hot.keys[0]
+
+
+class TestBackPressure:
+    def test_rejection_is_atomic(self):
+        mgr = manager(queue_limit=2)
+        mgr.submit([spec(1), spec(2)], cache_probe=NO_HITS)
+        before = (mgr.queue_depth, dict(mgr.counters))
+        with pytest.raises(QueueFullError):
+            mgr.submit([spec(3)], cache_probe=NO_HITS)
+        # No partial enqueue, no ghost job.
+        assert mgr.queue_depth == before[0]
+        assert mgr.counters["rejected"] == 1
+        assert mgr.counters["submitted"] == before[1]["submitted"]
+
+    def test_coalesced_keys_do_not_count_against_limit(self):
+        mgr = manager(queue_limit=2)
+        mgr.submit([spec(1), spec(2)], cache_probe=NO_HITS)
+        # Same keys again: zero fresh work, accepted at the limit.
+        job = mgr.submit([spec(1), spec(2)], cache_probe=NO_HITS)
+        assert job.counters["coalesced"] == 2
+
+    def test_leased_work_still_counts(self):
+        mgr = manager(queue_limit=1)
+        mgr.submit([spec(1)], cache_probe=NO_HITS)
+        mgr.next_work()  # now leased, not queued
+        with pytest.raises(QueueFullError):
+            mgr.submit([spec(2)], cache_probe=NO_HITS)
+
+
+class TestReleaseAndCancel:
+    def test_release_requeues_for_waiters(self):
+        mgr = manager()
+        job = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        key, _ = mgr.next_work()
+        mgr.release(key, error="shard died", requeue=True)
+        assert mgr.queue_depth == 1 and mgr.inflight == 0
+        assert job.counters["retries"] == 1
+        key2, _ = mgr.next_work()
+        assert key2 == key
+        mgr.complete(key, executed=True)
+        assert job.state == JobState.DONE
+
+    def test_cancel_drops_queued_only_keys(self):
+        mgr = manager()
+        job = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        mgr.cancel(job.id)
+        assert job.state == JobState.CANCELLED
+        assert mgr.next_work() is None  # unit dropped from the queue
+
+    def test_cancel_keeps_keys_other_jobs_want(self):
+        mgr = manager()
+        a = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        b = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        mgr.cancel(a.id)
+        work = mgr.next_work()
+        assert work is not None  # b still wants it
+        mgr.complete(work[0], executed=True)
+        assert b.state == JobState.DONE
+        assert a.state == JobState.CANCELLED
+
+    def test_unknown_job_raises(self):
+        with pytest.raises(KeyError):
+            manager().job("j999")

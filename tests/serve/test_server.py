@@ -1,0 +1,221 @@
+"""The HTTP job API end to end, including the equivalence guarantee.
+
+Everything here goes over a real Unix socket: a background-thread
+service (``start_in_thread``) on one side, the blocking
+:class:`ServeClient` on the other — the exact stack ``repro submit``
+and CI's serve-smoke job use.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, RunSpec, cache
+from repro.serve.client import BackPressureError, ServeClient, ServeError
+from repro.serve.server import start_in_thread
+from repro.serve.service import ServiceConfig
+
+SCALE = 80
+FP = "test-fp"
+
+
+def spec(seed: int, policy: str = "dbi") -> RunSpec:
+    return RunSpec(benchmark="GUPS", system="ddr4-server", policy=policy,
+                   accesses_per_core=SCALE, seed=seed)
+
+
+def make_config(tmp_path, **kw) -> ServiceConfig:
+    kw.setdefault("store_root", tmp_path / "store")
+    kw.setdefault("shards", 0)
+    kw.setdefault("fingerprint", FP)
+    return ServiceConfig(**kw)
+
+
+@pytest.fixture
+def served(tmp_path):
+    """(handle, client) over a Unix socket; stopped at teardown."""
+    handle = start_in_thread(
+        make_config(tmp_path), socket_path=str(tmp_path / "s.sock")
+    )
+    try:
+        yield handle, ServeClient(handle.address)
+    finally:
+        handle.stop()
+
+
+class TestEndpoints:
+    def test_health_and_stats(self, served):
+        _, client = served
+        health = client.health()
+        assert health["ok"] is True and health["shards"] == 0
+        stats = client.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["jobs"]["done"] == 0
+
+    def test_unknown_paths_and_methods(self, served):
+        _, client = served
+        with pytest.raises(ServeError) as err:
+            client.job("j999")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client._request("GET", "/nope")
+        assert err.value.status == 404
+        with pytest.raises(ServeError) as err:
+            client._request("PUT", "/jobs")
+        assert err.value.status == 405
+
+    def test_bad_submissions_are_400(self, served):
+        _, client = served
+        for payload in (
+            {"kind": "bogus"},
+            {"kind": "specs", "specs": []},
+            {"kind": "specs", "specs": [{"no_such_field": 1}]},
+        ):
+            with pytest.raises(ServeError) as err:
+                client.submit(payload)
+            assert err.value.status == 400
+
+    def test_submit_job_roundtrip(self, served):
+        _, client = served
+        job = client.submit_specs([spec(1)], namespace="t", priority=2,
+                                  label="roundtrip")
+        assert job["state"] in ("queued", "running", "done")
+        assert job["label"] == "roundtrip" and job["priority"] == 2
+        final = client.wait(job["id"])
+        assert final["state"] == "done"
+        assert final["counters"]["executed"] == 1
+        listed = client.jobs(namespace="t")
+        assert [j["id"] for j in listed] == [job["id"]]
+        assert client.jobs(namespace="elsewhere") == []
+        assert client.jobs(state="failed") == []
+
+    def test_cancel_over_http(self, served):
+        handle, client = served
+        handle.call(handle.service.pause)
+        job = client.submit_specs([spec(2)])
+        cancelled = client.cancel(job["id"])
+        assert cancelled["state"] == "cancelled"
+        handle.call(handle.service.resume)
+
+    def test_results_for_unknown_job_404(self, served):
+        _, client = served
+        with pytest.raises(ServeError) as err:
+            client.results("j404")
+        assert err.value.status == 404
+
+
+class TestBackPressure:
+    def test_full_queue_maps_to_429(self, tmp_path):
+        handle = start_in_thread(
+            make_config(tmp_path, queue_limit=1),
+            socket_path=str(tmp_path / "bp.sock"),
+        )
+        try:
+            client = ServeClient(handle.address)
+            handle.call(handle.service.pause)
+            client.submit_specs([spec(3)])
+            with pytest.raises(BackPressureError) as err:
+                client.submit_specs([spec(4)])
+            assert err.value.status == 429
+            # Duplicates of queued work coalesce: accepted at the limit.
+            dup = client.submit_specs([spec(3)])
+            assert dup["counters"]["coalesced"] == 1
+            handle.call(handle.service.resume)
+            assert client.wait(dup["id"])["state"] == "done"
+        finally:
+            handle.stop()
+
+
+class TestEquivalence:
+    """The PR's acceptance criterion: served == local, byte for byte."""
+
+    def test_served_campaign_matches_local(self, tmp_path, monkeypatch):
+        specs = [spec(s) for s in range(3)] + [spec(0, policy="mil")]
+
+        # Local ground truth: a serial CampaignRunner in this process.
+        local_dir = tmp_path / "local"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(local_dir))
+        local = CampaignRunner(jobs=1, fingerprint=FP).run(specs)
+        assert len(local) == len(specs)
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+
+        # Served: 2 real worker shards behind the HTTP API.
+        handle = start_in_thread(
+            make_config(tmp_path, shards=2),
+            socket_path=str(tmp_path / "eq.sock"),
+        )
+        try:
+            client = ServeClient(handle.address)
+            job = client.submit_specs(specs, namespace="eq")
+            final = client.wait(job["id"])
+            assert final["state"] == "done"
+            assert final["counters"]["executed"] == len(specs)
+            rows = client.results(job["id"])
+        finally:
+            handle.stop()
+
+        # Same cache keys, in submission order.
+        keys = [cache.cache_key(s, FP) for s in specs]
+        assert [r["cache_key"] for r in rows] == keys
+
+        # Byte-identical RunSummary payloads: the served cache file's
+        # summary block (sorted-keys JSON) must equal the local one's.
+        served_runs = tmp_path / "store" / "runs"
+        for s, key in zip(specs, keys):
+            a = json.loads((local_dir / f"{key}.json").read_text())
+            b = json.loads((served_runs / f"{key}.json").read_text())
+            assert json.dumps(a["summary"], sort_keys=True) == \
+                json.dumps(b["summary"], sort_keys=True)
+            assert a["fingerprint"] == b["fingerprint"]
+            assert a["spec"] == b["spec"]
+            # And the result row served over HTTP carries it verbatim.
+            row = rows[keys.index(key)]
+            assert row["summary"] == a["summary"]
+
+    def test_duplicate_concurrent_submissions_coalesce(self, tmp_path):
+        """Two identical jobs in flight -> one execution settles both."""
+        specs = [spec(20), spec(21)]
+        handle = start_in_thread(
+            make_config(tmp_path, shards=2),
+            socket_path=str(tmp_path / "co.sock"),
+        )
+        try:
+            client = ServeClient(handle.address)
+            handle.call(handle.service.pause)  # hold work so both queue
+            first = client.submit_specs(specs)
+            second = client.submit_specs(specs)
+            assert second["counters"]["coalesced"] == len(specs)
+            handle.call(handle.service.resume)
+            f1 = client.wait(first["id"])
+            f2 = client.wait(second["id"])
+            assert f1["state"] == f2["state"] == "done"
+            # Each spec executed exactly once across BOTH jobs.
+            stats = client.stats()
+            assert stats["service"]["executed"] == len(specs)
+            assert stats["manager"]["coalesced"] == len(specs)
+        finally:
+            handle.stop()
+
+
+class TestScenarioSubmission:
+    def test_scenario_compiles_server_side(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        del yaml
+        from repro.scenario import load_scenario, normalized
+
+        scn = load_scenario("scenarios/syn-smoke.yaml")
+        handle = start_in_thread(
+            make_config(tmp_path), socket_path=str(tmp_path / "sc.sock")
+        )
+        try:
+            client = ServeClient(handle.address)
+            job = client.submit_scenario(normalized(scn), label=scn.name)
+            assert job["total"] == scn.run_count
+            final = client.wait(job["id"])
+            assert final["state"] == "done"
+            rows = client.results(job["id"])
+            assert len(rows) == scn.run_count
+        finally:
+            handle.stop()

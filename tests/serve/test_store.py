@@ -1,0 +1,105 @@
+"""ResultStore: tenancy, LRU quotas, reference-counted GC, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.store import ResultStore
+
+
+def put_run(store: ResultStore, key: str) -> None:
+    store.runs_dir.mkdir(parents=True, exist_ok=True)
+    (store.runs_dir / f"{key}.json").write_text(
+        json.dumps({"summary": {"key": key}})
+    )
+
+
+class TestRecording:
+    def test_record_and_lru_order(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.record("a", ["k1", "k2"])
+        store.record("a", ["k1"])  # re-access: k1 is now the newest
+        assert store.keys("a") == ["k2", "k1"]
+
+    def test_namespaces_are_independent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.record("a", ["k1"])
+        store.record("b", ["k2"])
+        assert store.namespaces() == ["a", "b"]
+        assert store.keys("a") == ["k1"]
+        assert store.keys("b") == ["k2"]
+
+    def test_usage_counts_bytes(self, tmp_path):
+        store = ResultStore(tmp_path, quota=7)
+        put_run(store, "k1")
+        store.record("a", ["k1"])
+        usage = store.usage("a")
+        assert usage["keys"] == 1 and usage["bytes"] > 0
+        assert usage["quota"] == 7
+
+    def test_invalid_quota_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, quota=0)
+
+
+class TestSweep:
+    def test_quota_evicts_lru_first(self, tmp_path):
+        store = ResultStore(tmp_path, quotas={"a": 2})
+        for k in ("k1", "k2", "k3"):
+            put_run(store, k)
+        store.record("a", ["k1"])
+        store.record("a", ["k2"])
+        store.record("a", ["k3"])
+        report = store.sweep()
+        assert report["evicted"] == {"a": 1}
+        assert store.keys("a") == ["k2", "k3"]  # k1 was the LRU
+        # k1's file is unreferenced now and got GC'd.
+        assert not (store.runs_dir / "k1.json").exists()
+        assert (store.runs_dir / "k2.json").exists()
+
+    def test_gc_spares_keys_other_tenants_pin(self, tmp_path):
+        store = ResultStore(tmp_path, quotas={"a": 1})
+        for k in ("shared", "mine"):
+            put_run(store, k)
+        store.record("a", ["shared"])
+        store.record("a", ["mine"])  # pushes "shared" over a's quota
+        store.record("b", ["shared"])  # but b still pins it
+        report = store.sweep()
+        assert report["evicted"] == {"a": 1}
+        assert report["removed_files"] == 0
+        assert (store.runs_dir / "shared.json").exists()
+
+    def test_gc_removes_orphan_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        put_run(store, "orphan")
+        report = store.sweep()
+        assert report["removed_files"] == 1
+        assert not (store.runs_dir / "orphan.json").exists()
+
+    def test_under_quota_sweep_is_a_noop(self, tmp_path):
+        store = ResultStore(tmp_path, quota=10)
+        put_run(store, "k1")
+        store.record("a", ["k1"])
+        assert store.sweep() == {"evicted": {}, "removed_files": 0}
+
+
+class TestPersistence:
+    def test_reload_preserves_recency(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.record("a", ["k1"])
+        store.record("a", ["k2"])
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.keys("a") == ["k1", "k2"]
+        # The sequence keeps counting up, so new accesses stay newest.
+        reloaded.record("a", ["k1"])
+        assert reloaded.keys("a") == ["k2", "k1"]
+
+    def test_corrupt_tenant_index_starts_empty(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.record("good", ["k1"])
+        (store.tenants_dir / "bad.json").write_text("{not json")
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.keys("good") == ["k1"]
+        assert reloaded.keys("bad") == []
