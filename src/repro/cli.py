@@ -43,10 +43,15 @@ Commands
     ``docs/BENCHMARKS.md``), write a ``BENCH_<timestamp>.json`` report,
     and optionally gate against a committed baseline or dump
     per-benchmark profiles.
-``serve [--socket PATH | --host H --port P] [--shards N] [--store DIR]``
+``serve [--socket PATH | --host H --port P] [--shards N] [--store DIR]
+[--token T] [--metrics-interval S] [--no-journal]``
     Run the long-lived campaign service (``docs/SERVICE.md``): an async
-    job API over sharded worker processes and a multi-tenant result
-    store.  Foreground; stop with Ctrl-C.
+    job API over a lease broker (local shards + remote workers), a
+    durable job journal, and a multi-tenant result store.  Foreground;
+    stop with Ctrl-C.
+``worker --connect ADDR [--token T] [--name N] [--reconnect-delay S]``
+    Contribute one remote execution slot to a running service; redials
+    until stopped.
 ``submit SCENARIO [--address A] [--namespace NS] [--priority N]
 [--wait] [--results PATH] [--follow]``
     Submit a scenario (name or file path) to a running service.
@@ -684,12 +689,20 @@ def cmd_serve(args) -> int:
     from .serve.server import ServeAPI
     from .serve.service import CampaignService, ServiceConfig
 
+    from .serve.protocol import TOKEN_ENV
+
     config = ServiceConfig(
         store_root=args.store,
         shards=args.shards,
         queue_limit=args.queue_limit,
         quota=args.quota,
         retries=args.retries,
+        worker_token=args.token or os.environ.get(TOKEN_ENV) or None,
+        heartbeat_s=args.heartbeat,
+        lease_timeout_s=args.lease_timeout,
+        journal=not args.no_journal,
+        metrics_interval_s=args.metrics_interval,
+        metrics_out=args.metrics_out,
     )
 
     async def _amain() -> None:
@@ -709,6 +722,14 @@ def cmd_serve(args) -> int:
                 f"{service.store.root})",
                 file=sys.stderr, flush=True,
             )
+            if service.resume_report:
+                r = service.resume_report
+                print(
+                    f"repro serve: journal resumed {r['jobs']} job(s) — "
+                    f"{r['requeued']} key(s) requeued, "
+                    f"{r['settled']} settled from cache",
+                    file=sys.stderr, flush=True,
+                )
             stop = asyncio.Event()
             loop = asyncio.get_running_loop()
             for sig in (signal.SIGINT, signal.SIGTERM):
@@ -719,13 +740,59 @@ def cmd_serve(args) -> int:
             await stop.wait()
             print("repro serve: shutting down", file=sys.stderr)
         finally:
-            await api.close()
+            # Service first: detaching remote workers ends their
+            # long-lived connections so api.close() cannot block on
+            # open handlers (3.12+ waits for them).
             await service.stop()
+            await api.close()
 
     try:
         asyncio.run(_amain())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_worker(args) -> int:
+    import asyncio
+    import signal
+
+    from .serve.protocol import TOKEN_ENV
+    from .serve.worker import WorkerAuthError, WorkerDaemon
+
+    daemon = WorkerDaemon(
+        args.connect,
+        token=args.token or os.environ.get(TOKEN_ENV) or None,
+        name=args.name,
+        reconnect_delay_s=args.reconnect_delay,
+        max_connects=1 if args.once else None,
+    )
+
+    async def _amain() -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, daemon.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass
+        print(
+            f"repro worker: {daemon.name} dialing {args.connect}",
+            file=sys.stderr, flush=True,
+        )
+        await daemon.run()
+        print(
+            f"repro worker: {daemon.name} exiting "
+            f"({daemon.completed} lease(s) completed, "
+            f"{daemon.failed} failed)",
+            file=sys.stderr, flush=True,
+        )
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        pass
+    except WorkerAuthError as exc:
+        sys.exit(str(exc))
     return 0
 
 
@@ -1041,6 +1108,47 @@ def main(argv: list[str] | None = None) -> int:
                          help="cached results kept per namespace")
     p_serve.add_argument("--retries", type=int, default=2,
                          help="retry budget per work unit (default 2)")
+    p_serve.add_argument("--token", default=None, metavar="TOKEN",
+                         help="shared token remote workers must present "
+                              "(default: $REPRO_SERVE_TOKEN; unset = "
+                              "accept any)")
+    p_serve.add_argument("--heartbeat", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="remote-worker ping interval; a worker "
+                              "silent for 3 intervals is detached "
+                              "(default 10)")
+    p_serve.add_argument("--lease-timeout", type=float, default=600.0,
+                         metavar="SECONDS",
+                         help="hard cap on one remote lease before the "
+                              "worker is presumed wedged (default 600)")
+    p_serve.add_argument("--no-journal", action="store_true",
+                         help="disable the durable job journal "
+                              "(no restart-resume)")
+    p_serve.add_argument("--metrics-interval", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="write a /v1/metrics sample to JSONL every "
+                              "SECONDS (0 = off)")
+    p_serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="rolling metrics JSONL path (default: "
+                              "<store>/metrics.jsonl)")
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="contribute one remote execution slot to a service",
+    )
+    p_worker.add_argument("--connect", required=True, metavar="ADDR",
+                          help="service address, unix:/path or host:port")
+    p_worker.add_argument("--token", default=None, metavar="TOKEN",
+                          help="shared token (default: $REPRO_SERVE_TOKEN)")
+    p_worker.add_argument("--name", default=None,
+                          help="worker name (default: <host>-<pid>)")
+    p_worker.add_argument("--reconnect-delay", type=float, default=2.0,
+                          metavar="SECONDS",
+                          help="redial pause after a lost connection "
+                               "(default 2)")
+    p_worker.add_argument("--once", action="store_true",
+                          help="serve a single connection, then exit "
+                               "(no redial loop)")
 
     def add_address_flag(p):
         p.add_argument("--address", default=None, metavar="ADDR",
@@ -1102,6 +1210,7 @@ def main(argv: list[str] | None = None) -> int:
         "scenario": cmd_scenario,
         "bench": cmd_bench,
         "serve": cmd_serve,
+        "worker": cmd_worker,
         "submit": cmd_submit,
         "jobs": cmd_jobs,
     }[args.command]

@@ -9,9 +9,13 @@ from a CLI loop to a resident asyncio service:
 * :mod:`~repro.serve.events` — seq-numbered per-job event logs with
   snapshot-plus-tail subscription (a client that connects mid-campaign
   sees a consistent prefix and then the live tail);
-* :mod:`~repro.serve.shards` — the process-based worker shard pool
-  (``REPRO_SERVE_SHARDS`` / ``--shards``) with lease tracking, death
-  detection, and respawn;
+* :mod:`~repro.serve.shards` — the lease broker: local process shards
+  (``REPRO_SERVE_SHARDS`` / ``--shards``) plus remote TCP workers,
+  with lease tracking, heartbeats, death detection, and respawn;
+* :mod:`~repro.serve.worker` — the ``repro worker`` daemon that dials
+  a service and contributes one remote execution slot;
+* :mod:`~repro.serve.journal` — the append-only JSONL job table that
+  lets a restarted service resume queued and leased work;
 * :mod:`~repro.serve.store` — the multi-tenant result store layered on
   the content-addressed campaign cache, with per-namespace quotas and
   an eviction/GC sweep;
@@ -30,8 +34,11 @@ byte-identical ``RunSummary`` payloads as the same campaign run via
 
 from .client import BackPressureError, ServeClient, ServeError
 from .jobs import Job, JobManager, JobState, QueueFullError
+from .journal import Journal
 from .service import CampaignService, ServiceConfig, default_shards
+from .shards import LeaseBroker
 from .store import ResultStore
+from .worker import WorkerAuthError, WorkerDaemon
 
 __all__ = [
     "BackPressureError",
@@ -39,10 +46,14 @@ __all__ = [
     "Job",
     "JobManager",
     "JobState",
+    "Journal",
+    "LeaseBroker",
     "QueueFullError",
     "ResultStore",
     "ServeClient",
     "ServeError",
     "ServiceConfig",
+    "WorkerAuthError",
+    "WorkerDaemon",
     "default_shards",
 ]

@@ -163,6 +163,14 @@ class ServeClient:
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 
+    def metrics(self) -> dict:
+        """One gauges/counters/fleet sample (``GET /v1/metrics``)."""
+        return self._request("GET", "/metrics")
+
+    def workers(self) -> dict:
+        """The connected remote-worker fleet (``GET /v1/workers``)."""
+        return self._request("GET", "/workers")
+
     def sweep(self) -> dict:
         return self._request("POST", "/sweep")
 

@@ -28,6 +28,7 @@ import itertools
 from ..campaign import cache
 from ..campaign.spec import RunSpec
 from .events import EventLog, make_event
+from .protocol import spec_from_canonical
 
 __all__ = ["Job", "JobManager", "JobState", "QueueFullError"]
 
@@ -71,6 +72,9 @@ class Job:
         self.state = JobState.QUEUED
         self.error: str | None = None
         self.log = EventLog()
+        # Set by the manager when a journal is bound: called with
+        # (job, event) after every append so events persist in order.
+        self.on_event = None
         # Per-key outcome: "pending" | "done" | "failed".
         self.key_state = {key: "pending" for key in keys}
         self.counters = {
@@ -91,7 +95,10 @@ class Job:
         return self.state in JobState.TERMINAL
 
     def emit(self, scope: str, kind: str, **fields) -> dict:
-        return self.log.append(make_event(scope, kind, self.id, **fields))
+        event = self.log.append(make_event(scope, kind, self.id, **fields))
+        if self.on_event is not None:
+            self.on_event(self, event)
+        return event
 
     def descriptor(self) -> dict:
         """The wire representation (`GET /v1/jobs/<id>`)."""
@@ -131,8 +138,16 @@ class JobManager:
         self._queued: set[str] = set()  # keys in heap, not yet leased
         self._leased: set[str] = set()
         self._spec_by_key: dict[str, RunSpec] = {}
+        # Best priority currently pushed for each queued key: a later,
+        # hotter submission only re-pushes when it actually beats this.
+        self._pushed: dict[str, int] = {}
         # Jobs still waiting on a key (queued or leased).
         self._waiters: dict[str, list[Job]] = {}
+        # Called with the key whenever a unit is dropped without a
+        # terminal outcome (all waiters cancelled) — the service uses
+        # it to clear per-key retry bookkeeping.
+        self.on_drop = None
+        self._journal = None
         self.counters = {
             "submitted": 0, "finished": 0, "failed": 0, "cancelled": 0,
             "rejected": 0, "cache_hits": 0, "coalesced": 0,
@@ -195,6 +210,14 @@ class JobManager:
             priority=priority, label=label,
         )
         self.jobs[job.id] = job
+        if self._journal is not None:
+            # Descriptor first, then events: replay relies on the order.
+            self._journal.append({
+                "op": "job", "id": job.id, "namespace": namespace,
+                "priority": priority, "label": job.label,
+                "specs": [s.canonical() for s in ordered], "keys": keys,
+            })
+            job.on_event = self._journal_event
         self.counters["submitted"] += 1
         job.emit("job", "queued", total=job.total, priority=priority,
                  namespace=namespace)
@@ -214,21 +237,42 @@ class JobManager:
                 self.counters["coalesced"] += 1
                 job.emit("run", "coalesced", key=key, slug=spec.slug,
                          total=job.total, leased=key in self._leased)
-                if key in self._queued and priority > 0:
-                    heapq.heappush(
-                        self._heap, (-priority, next(self._fifo), key)
-                    )
+                best = self._pushed.get(key)
+                if key in self._queued and best is not None \
+                        and priority > best:
+                    self._push(key, priority)
                 continue
             self._waiters[key] = [job]
             self._spec_by_key[key] = spec
-            self._queued.add(key)
-            heapq.heappush(self._heap, (-priority, next(self._fifo), key))
+            self._push(key, priority)
             job.emit("run", "queued", key=key, slug=spec.slug,
                      total=job.total)
         self._settle(job)
         return job
 
     # -- scheduling -----------------------------------------------------
+    def _push(self, key: str, priority: int) -> None:
+        """Enqueue ``key`` at ``priority`` and remember the best push."""
+        self._queued.add(key)
+        self._pushed[key] = priority
+        heapq.heappush(self._heap, (-priority, next(self._fifo), key))
+
+    def _drop(self, key: str) -> None:
+        """Forget a unit nobody waits on — no terminal state to record.
+
+        This is the counterpart of the cancel/release interleaving: a
+        key whose last live waiter is gone must leave *every* index
+        (waiters, spec, queue, pushed-priority), or a later submission
+        of the same spec would coalesce onto an execution that no
+        longer exists and hang forever.
+        """
+        self._waiters.pop(key, None)
+        self._spec_by_key.pop(key, None)
+        self._queued.discard(key)
+        self._pushed.pop(key, None)
+        if self.on_drop is not None:
+            self.on_drop(key)
+
     def next_work(self) -> tuple[str, RunSpec] | None:
         """Pop the highest-priority pending key, or ``None``.
 
@@ -241,6 +285,7 @@ class JobManager:
             if key not in self._queued:
                 continue  # stale duplicate, cancelled, or already leased
             self._queued.discard(key)
+            self._pushed.pop(key, None)
             self._leased.add(key)
             for job in self._waiters.get(key, ()):
                 if job.state == JobState.QUEUED:
@@ -251,22 +296,29 @@ class JobManager:
         return None
 
     def release(self, key: str, error: str | None = None,
-                requeue: bool = True) -> None:
-        """Return a leased key to the queue (worker death / retry)."""
+                requeue: bool = True) -> str:
+        """Return a leased key to the queue (worker death / retry).
+
+        Returns what happened: ``"requeued"``, ``"failed"`` (gave up),
+        ``"dropped"`` (every waiter was cancelled while the lease was
+        out, so the unit is forgotten), or ``"idle"`` (not leased).
+        """
         if key not in self._leased:
-            return
+            return "idle"
         self._leased.discard(key)
         waiters = [j for j in self._waiters.get(key, ())
                    if j.state != JobState.CANCELLED]
+        if not waiters:
+            self._drop(key)
+            return "dropped"
         for job in waiters:
             job.counters["retries"] += 1
             job.emit("run", "retried", key=key, error=error)
-        if requeue and waiters:
-            priority = max(j.priority for j in waiters)
-            self._queued.add(key)
-            heapq.heappush(self._heap, (-priority, next(self._fifo), key))
-        elif not requeue:
-            self.fail(key, error or "gave up")
+        if requeue:
+            self._push(key, max(j.priority for j in waiters))
+            return "requeued"
+        self.fail(key, error or "gave up")
+        return "failed"
 
     def complete(self, key: str, wall_s: float | None = None,
                  executed: bool = True) -> list[Job]:
@@ -283,6 +335,7 @@ class JobManager:
                    executed=False) -> list[Job]:
         self._leased.discard(key)
         self._queued.discard(key)
+        self._pushed.pop(key, None)
         spec = self._spec_by_key.pop(key, None)
         slug = spec.slug if spec is not None else None
         touched = []
@@ -295,7 +348,8 @@ class JobManager:
             elif executed:
                 job.counters["executed"] += 1
             job.emit("run", kind, key=key, slug=slug, total=job.total,
-                     done=job.done, wall_s=wall_s, error=error)
+                     done=job.done, wall_s=wall_s, error=error,
+                     executed=executed or None)
             self._settle(job)
             touched.append(job)
         return touched
@@ -315,6 +369,140 @@ class JobManager:
         job.emit("job", job.state, total=job.total, done=job.done,
                  error=job.error, counters=dict(job.counters))
         job.log.close()
+
+    # -- durability -----------------------------------------------------
+    def bind_journal(self, journal) -> None:
+        """Persist every future submission and event to ``journal``."""
+        self._journal = journal
+        for job in self.jobs.values():
+            job.on_event = self._journal_event
+
+    def _journal_event(self, job: Job, event: dict) -> None:
+        self._journal.append({"op": "event", "job": job.id, "event": event})
+
+    def restore(self, records, cache_probe=None) -> dict:
+        """Rebuild state from journal ``records`` (fresh manager only).
+
+        Replay is a fold: ``job`` records recreate descriptors with
+        their original ids, ``event`` records re-append each job's
+        event log verbatim (``seq``/``ts`` included), and per-key
+        outcomes plus counters are re-derived from the events.  Every
+        key still pending afterwards — queued *or* leased at the crash
+        — is probed against the cache (a result that landed before the
+        crash settles without re-executing) and otherwise re-queued at
+        its waiters' best priority.  Returns a small report dict.
+        """
+        if self.jobs:
+            raise RuntimeError("restore() requires a fresh JobManager")
+        if cache_probe is None:
+            cache_probe = lambda spec: cache.load(spec, self.fingerprint)
+
+        max_id = 0
+        for record in records:
+            op = record.get("op")
+            if op == "job":
+                try:
+                    specs = [spec_from_canonical(e)
+                             for e in record["specs"]]
+                    job = Job(
+                        str(record["id"]),
+                        str(record.get("namespace", "default")),
+                        specs, [str(k) for k in record["keys"]],
+                        priority=int(record.get("priority", 0)),
+                        label=record.get("label"),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue  # torn or incompatible record
+                self.jobs[job.id] = job
+                digits = job.id[1:]
+                if digits.isdigit():
+                    max_id = max(max_id, int(digits))
+            elif op == "event":
+                job = self.jobs.get(record.get("job"))
+                event = record.get("event")
+                if job is None or not isinstance(event, dict):
+                    continue
+                # Verbatim re-append (not .append(): seq is already
+                # stamped and must survive for ?since= resumption).
+                job.log._events.append(event)
+
+        self._ids = itertools.count(max_id + 1)
+        for job in self.jobs.values():
+            self._replay_events(job)
+
+        self.counters["submitted"] = len(self.jobs)
+        for job in self.jobs.values():
+            self.counters["cache_hits"] += job.counters["cache_hits"]
+            self.counters["coalesced"] += job.counters["coalesced"]
+            if job.state == JobState.DONE:
+                self.counters["finished"] += 1
+            elif job.state == JobState.FAILED:
+                self.counters["failed"] += 1
+            elif job.state == JobState.CANCELLED:
+                self.counters["cancelled"] += 1
+
+        # From here on the journal records new history again (resume
+        # events below included); the replayed prefix is already there.
+        if self._journal is not None:
+            for job in self.jobs.values():
+                job.on_event = self._journal_event
+
+        # Re-queue the unfinished work.  Keys leased at crash time have
+        # no outcome event, so they land back in the queue exactly like
+        # a released lease.
+        for job in self.jobs.values():
+            if job.finished:
+                continue
+            for spec, key in zip(job.specs, job.keys):
+                if job.key_state.get(key) != "pending":
+                    continue
+                if key not in self._waiters:
+                    self._waiters[key] = []
+                    self._spec_by_key[key] = spec
+                if job not in self._waiters[key]:
+                    self._waiters[key].append(job)
+        requeued = settled = 0
+        for key, waiters in list(self._waiters.items()):
+            if cache_probe(self._spec_by_key[key]) is not None:
+                # The result file beat the crash: settle, don't re-run.
+                self.complete(key, executed=False)
+                settled += 1
+            else:
+                self._push(key, max(j.priority for j in waiters))
+                requeued += 1
+        return {
+            "jobs": len(self.jobs),
+            "requeued": requeued,
+            "settled": settled,
+        }
+
+    def _replay_events(self, job: Job) -> None:
+        """Re-derive key states, counters, and lifecycle from the log."""
+        for event in job.log._events:
+            scope, kind = event.get("scope"), event.get("kind")
+            if scope == "run":
+                key = event.get("key")
+                if kind == "cache-hit" and key in job.key_state:
+                    job.key_state[key] = "done"
+                    job.counters["cache_hits"] += 1
+                elif kind == "finished" and key in job.key_state:
+                    job.key_state[key] = "done"
+                    if event.get("executed"):
+                        job.counters["executed"] += 1
+                elif kind == "failed" and key in job.key_state:
+                    job.key_state[key] = "failed"
+                    job.counters["failed"] += 1
+                elif kind == "coalesced":
+                    job.counters["coalesced"] += 1
+                elif kind == "retried":
+                    job.counters["retries"] += 1
+                elif kind == "started" and job.state == JobState.QUEUED:
+                    job.state = JobState.RUNNING
+            elif scope == "job" and kind in JobState.TERMINAL:
+                job.state = kind
+                job.error = event.get("error")
+        if job.finished and not job.log.closed:
+            job.log.close()
 
     # -- queries and cancellation --------------------------------------
     def job(self, job_id: str) -> Job:
@@ -357,9 +545,9 @@ class JobManager:
                 waiters.remove(job)
             if not waiters and key not in self._leased:
                 # Nobody wants it and nothing runs it: drop the unit.
-                del self._waiters[key]
-                self._queued.discard(key)
-                self._spec_by_key.pop(key, None)
+                # (A *leased* key keeps its empty waiter list until the
+                # lease ends; release() then drops it the same way.)
+                self._drop(key)
         job.emit("job", JobState.CANCELLED, total=job.total, done=job.done)
         job.log.close()
         return job

@@ -1,0 +1,112 @@
+"""The durable job table: an append-only JSONL journal.
+
+The journal is what makes a service restart boring.  Two record shapes
+are appended under the store root (``<store>/journal.jsonl``):
+
+* ``{"op": "job", "id", "namespace", "priority", "label", "specs",
+  "keys"}`` — one per accepted submission, written before the job's
+  first event so replay always sees the descriptor first;
+* ``{"op": "event", "job", "event": {...}}`` — every event any job's
+  log appends, verbatim (``seq`` and ``ts`` included), so a restored
+  job's event log is byte-identical to the pre-crash one and clients
+  resuming with ``?since=`` stay gap-free across restarts.
+
+That is the whole write path: no checkpoints, no compaction, no state
+machine of its own.  Recovery is a pure fold — replay the records
+through :meth:`~repro.serve.jobs.JobManager.restore`, which rebuilds
+job descriptors, event logs, and per-key outcomes, then re-queues every
+key that was queued *or leased* at crash time (a lease dies with its
+service) and settles keys whose result file made it into the
+content-addressed cache before the crash.  Because the cache write
+(:func:`repro.campaign.runner._finish`) happens *before* the
+``finished`` event is journaled, a crash between the two costs nothing:
+the restored key probes the cache, hits, and settles without
+re-executing — zero lost and zero duplicated executions either side of
+the crash point.
+
+Appends are flushed per record; a torn final line from a crash
+mid-append is detected by the JSON parser and skipped on replay.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["Journal"]
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+class Journal:
+    """Append-only JSONL writer plus the tolerant reader for replay."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self.appended = 0  # records written by *this* process
+
+    # -- writing --------------------------------------------------------
+    def open(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def active(self) -> bool:
+        return self._fh is not None
+
+    def append(self, record: dict) -> None:
+        """Write one record and flush it to the OS immediately.
+
+        A record is either fully on disk or a torn final line; replay
+        treats the latter as absent, so the journal's prefix property
+        (descriptor before events, events in emit order) always holds.
+        """
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.appended += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def stats(self) -> dict:
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        return {
+            "path": str(self.path),
+            "bytes": size,
+            "appended": self.appended,
+        }
+
+    # -- reading --------------------------------------------------------
+    @staticmethod
+    def read(path: str | Path) -> list[dict]:
+        """Every decodable record, in append order.
+
+        A missing file is an empty journal; an undecodable line (torn
+        tail from a crash mid-append, or stray corruption) is skipped
+        rather than fatal — the service comes back with whatever prefix
+        survived.
+        """
+        records: list[dict] = []
+        try:
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(record, dict):
+                        records.append(record)
+        except OSError:
+            return []
+        return records

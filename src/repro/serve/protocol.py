@@ -1,4 +1,4 @@
-"""Wire-level helpers shared by the server and the client.
+"""Wire-level helpers shared by the server, the client, and workers.
 
 The API speaks minimal HTTP/1.1 with JSON bodies; streaming endpoints
 reply ``Content-Type: application/x-ndjson`` with ``Connection: close``
@@ -8,6 +8,12 @@ both.  Addresses take two forms::
 
     unix:/path/to/serve.sock     AF_UNIX (tests, CI, local tooling)
     host:port  or  host port     AF_INET
+
+Remote worker daemons (``repro worker``) reuse the same listener: the
+daemon POSTs ``/v1/workers`` with a token hello, the server answers
+with an NDJSON header, and from then on the connection carries one
+JSON *frame* per line in both directions (see :func:`frame` and
+``docs/SERVICE.md`` for the frame vocabulary).
 
 No third-party HTTP stack, no TLS, no keep-alive: the service is an
 internal, single-origin tool in the ``http.server`` weight class.
@@ -21,19 +27,27 @@ __all__ = [
     "API_PREFIX",
     "NDJSON",
     "STATUS_TEXT",
+    "TOKEN_ENV",
     "dumps",
+    "frame",
     "parse_address",
     "parse_query",
+    "spec_from_canonical",
 ]
 
 API_PREFIX = "/v1"
 NDJSON = "application/x-ndjson"
+
+# Shared worker-auth token: `repro serve --token` / `repro worker
+# --token` both default to this variable.
+TOKEN_ENV = "REPRO_SERVE_TOKEN"
 
 STATUS_TEXT = {
     200: "OK",
     201: "Created",
     204: "No Content",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
@@ -45,6 +59,38 @@ STATUS_TEXT = {
 def dumps(obj) -> str:
     """Canonical body encoding: sorted keys, no trailing whitespace."""
     return json.dumps(obj, sort_keys=True)
+
+
+def frame(obj) -> bytes:
+    """One worker-protocol frame: a JSON document plus newline."""
+    return (json.dumps(obj, sort_keys=True) + "\n").encode()
+
+
+def spec_from_canonical(entry: dict):
+    """Decode one ``RunSpec.canonical()`` dict back into a ``RunSpec``.
+
+    This is the inverse used everywhere a spec crosses the wire — job
+    submissions, worker leases, and journal replay — so all three agree
+    on what a valid spec entry is.
+    """
+    from ..campaign.spec import RunSpec
+
+    if not isinstance(entry, dict):
+        raise ValueError(f"spec entry must be a dict, got {type(entry)}")
+    known = {
+        "benchmark", "system", "policy", "lookahead",
+        "accesses_per_core", "seed", "system_overrides", "mil_overrides",
+    }
+    unknown = set(entry) - known
+    if unknown:
+        raise ValueError(f"unknown spec field(s): {sorted(unknown)}")
+    kwargs = dict(entry)
+    for field_name in ("system_overrides", "mil_overrides"):
+        if field_name in kwargs:
+            kwargs[field_name] = tuple(
+                (str(k), v) for k, v in kwargs[field_name]
+            )
+    return RunSpec(**kwargs)
 
 
 def parse_address(address: str) -> tuple[str, object]:

@@ -15,8 +15,16 @@ GET    /v1/jobs/<id>                  one job descriptor
 DELETE /v1/jobs/<id>                  cancel
 GET    /v1/jobs/<id>/events[?since=]  NDJSON event stream: snapshot + tail
 GET    /v1/jobs/<id>/results          NDJSON result rows (cached payloads)
+GET    /v1/metrics                    one gauges/counters/fleet sample
+GET    /v1/workers                    the connected remote fleet
+POST   /v1/workers                    remote worker attach (token hello)
 POST   /v1/sweep                      force a quota/GC sweep
 ====== ============================== =====================================
+
+``POST /v1/workers`` is the one route that never returns: after the
+token check the connection is handed to the lease broker and becomes a
+bidirectional frame stream for as long as the worker stays attached
+(see :mod:`repro.serve.worker`).
 
 The event stream is the one long-lived response: it backfills every
 event after ``since`` (default: all) and then tails the log until the
@@ -80,7 +88,7 @@ class ServeAPI:
             if request is None:
                 return
             method, path, query, body = request
-            await self._route(writer, method, path, query, body)
+            await self._route(reader, writer, method, path, query, body)
         except _HttpError as exc:
             await self._respond(
                 writer, exc.status, {"error": exc.message}
@@ -151,7 +159,8 @@ class ServeAPI:
         await writer.drain()
 
     # -- routing --------------------------------------------------------
-    async def _route(self, writer, method, path, query, body) -> None:
+    async def _route(self, reader, writer, method, path, query,
+                     body) -> None:
         if not path.startswith(API_PREFIX + "/"):
             raise _HttpError(404, f"unknown path {path!r}")
         parts = path[len(API_PREFIX):].strip("/").split("/")
@@ -160,12 +169,27 @@ class ServeAPI:
             await self._respond(writer, 200, {
                 "ok": True,
                 "shards": self.service.shards,
+                "workers": self.service.pool.workers_connected,
                 "version": _version(),
             })
             return
         if parts == ["stats"] and method == "GET":
             await self._respond(writer, 200, self.service.stats())
             return
+        if parts == ["metrics"] and method == "GET":
+            await self._respond(writer, 200, self.service.metrics())
+            return
+        if parts == ["workers"]:
+            if method == "GET":
+                await self._respond(writer, 200, {
+                    "connected": self.service.pool.workers_connected,
+                    "fleet": self.service.pool.fleet(),
+                })
+                return
+            if method == "POST":
+                await self._attach_worker(reader, writer, body)
+                return
+            raise _HttpError(405, f"{method} not allowed on /workers")
         if parts == ["sweep"] and method == "POST":
             await self._respond(writer, 200, self.service.store.sweep())
             return
@@ -181,6 +205,24 @@ class ServeAPI:
             await self._job_routes(writer, method, parts[1:], query)
             return
         raise _HttpError(404, f"unknown path {path!r}")
+
+    async def _attach_worker(self, reader, writer, body: bytes) -> None:
+        """Token check, then hand the connection to the lease broker.
+
+        This coroutine runs for the worker's whole attachment; when it
+        returns, `_handle`'s cleanup closes the socket (already closed
+        by the broker's detach in the normal case — harmless).
+        """
+        try:
+            hello = json.loads(body.decode() or "{}")
+        except ValueError:
+            raise _HttpError(400, "worker hello is not valid JSON") from None
+        expected = self.service.config.worker_token
+        if expected and hello.get("token") != expected:
+            raise _HttpError(403, "bad worker token")
+        name = str(hello.get("name") or "worker")
+        await self._start_stream(writer)
+        await self.service.pool.serve_worker(name, reader, writer)
 
     async def _submit(self, writer, body: bytes) -> None:
         try:
@@ -323,8 +365,19 @@ def start_in_thread(
             return
         handle._ready.set()
         await handle._stop.wait()
-        await api.close()
+        # Service first: stopping the pool detaches remote workers and
+        # ends their long-lived handler connections, which api.close()
+        # (3.12+: waits on open handlers) would otherwise block on.
         await service.stop()
+        await api.close()
+        # Reap any connection handlers still draining (e.g. a worker
+        # attachment racing the shutdown) so loop.close() below never
+        # destroys a pending task.
+        pending = [t for t in asyncio.all_tasks()
+                   if t is not asyncio.current_task()]
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
 
     def _thread_main():
         loop = asyncio.new_event_loop()

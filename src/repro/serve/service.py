@@ -31,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -38,10 +39,21 @@ from ..campaign import cache
 from ..campaign.runner import _finish
 from ..campaign.spec import RunSpec
 from .jobs import DEFAULT_QUEUE_LIMIT, Job, JobManager
-from .shards import DEFAULT_SHARDS, ShardPool, shard_count_from_env
+from .journal import JOURNAL_NAME, Journal
+from .protocol import spec_from_canonical
+from .shards import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_LEASE_TIMEOUT_S,
+    DEFAULT_SHARDS,
+    LeaseBroker,
+    shard_count_from_env,
+)
 from .store import DEFAULT_QUOTA, ResultStore
 
 __all__ = ["CampaignService", "ServiceConfig", "default_shards"]
+
+METRICS_SCHEMA = "repro.serve.metrics/v1"
+METRICS_NAME = "metrics.jsonl"
 
 
 def default_shards() -> int:
@@ -61,6 +73,18 @@ class ServiceConfig:
     backoff_base_s: float = 0.05  # attempt n sleeps base * 2**(n-1)
     backoff_max_s: float = 2.0
     fingerprint: str | None = None  # tests pin this; None = real model
+    # Remote workers: shared handshake token (None = accept any) and
+    # the liveness knobs for the lease broker.
+    worker_token: str | None = None
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S
+    lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S
+    # Durability: journal job submissions + events under the store
+    # root and resume them on restart.
+    journal: bool = True
+    # Observability: >0 starts the rolling JSONL metrics exporter at
+    # that interval; output defaults to <store_root>/metrics.jsonl.
+    metrics_interval_s: float = 0.0
+    metrics_out: str | Path | None = None
 
 
 class CampaignService:
@@ -80,7 +104,17 @@ class CampaignService:
             queue_limit=self.config.queue_limit,
             fingerprint=self.config.fingerprint,
         )
-        self.pool = ShardPool(self.shards, self._on_result)
+        self.pool = LeaseBroker(
+            self.shards,
+            self._on_result,
+            heartbeat_s=self.config.heartbeat_s,
+            lease_timeout_s=self.config.lease_timeout_s,
+            on_fleet_change=self._fleet_changed,
+        )
+        # Drop per-key retry bookkeeping the moment the manager forgets
+        # a unit (e.g. every waiter cancelled mid-backoff) — otherwise
+        # `_attempts` grows forever on cancel-heavy workloads.
+        self.manager.on_drop = self._attempts_drop
         self._probe = (
             telemetry.service_probe() if telemetry is not None else None
         )
@@ -88,27 +122,63 @@ class CampaignService:
         self._gate = asyncio.Event()  # cleared == paused
         self._gate.set()
         self._scheduler: asyncio.Task | None = None
+        self._metrics_task: asyncio.Task | None = None
         self._retry_tasks: set = set()
         self._attempts: dict[str, int] = {}  # key -> failed attempts
         self._saved_cache_dir: str | None = None
         self._running = False
+        self._started_at: float | None = None
+        self.journal: Journal | None = None
+        self.resume_report: dict | None = None
         self.counters = {
             "executed": 0, "retried": 0, "died": 0, "swept": 0,
         }
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
-        """Pin the cache dir, spawn shards, start the scheduler."""
+        """Pin the cache dir, replay the journal, spawn the fleet."""
         if self._running:
             return
         self._running = True
+        self._started_at = time.time()
         self.store.runs_dir.mkdir(parents=True, exist_ok=True)
         self._saved_cache_dir = os.environ.get("REPRO_CACHE_DIR")
         os.environ["REPRO_CACHE_DIR"] = str(self.store.runs_dir)
+        if self.config.journal:
+            self._open_journal()
         self.pool.start()
-        self._scheduler = asyncio.get_running_loop().create_task(
-            self._schedule_loop()
-        )
+        loop = asyncio.get_running_loop()
+        self._scheduler = loop.create_task(self._schedule_loop())
+        if self.config.metrics_interval_s > 0:
+            self._metrics_task = loop.create_task(self._export_metrics())
+        self._wake.set()
+
+    def _open_journal(self) -> None:
+        """Replay any prior journal, then keep appending to it.
+
+        Replay happens *before* the broker starts, so re-queued keys
+        are simply waiting in the heap when the first slot frees — a
+        restarted service resumes a crashed campaign with the same job
+        ids and event-log prefix it had before.
+        """
+        path = self.store.root / JOURNAL_NAME
+        records = Journal.read(path)
+        self.journal = Journal(path)
+        self.journal.open()
+        self.manager.bind_journal(self.journal)
+        if records:
+            self.resume_report = self.manager.restore(records)
+            # Results that settled across the crash (cache file landed
+            # before the finished event) were completed by restore()
+            # directly on the manager, so re-pin them in the tenant
+            # indexes here: the GC sweep must keep seeing them.
+            by_namespace: dict[str, list[str]] = {}
+            for job in self.manager.jobs.values():
+                done = [k for k, s in job.key_state.items() if s == "done"]
+                if done:
+                    by_namespace.setdefault(job.namespace, []).extend(done)
+            for namespace, keys in by_namespace.items():
+                self.store.record(namespace, keys)
 
     async def stop(self) -> None:
         if not self._running:
@@ -121,9 +191,19 @@ class CampaignService:
                 await self._scheduler
             except asyncio.CancelledError:
                 pass
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+            try:
+                await self._metrics_task
+            except asyncio.CancelledError:
+                pass
+            self._metrics_task = None
+            self._write_metrics_sample()  # final sample at shutdown
         for task in list(self._retry_tasks):
             task.cancel()
         self.pool.close()
+        if self.journal is not None:
+            self.journal.close()
         if self._saved_cache_dir is None:
             os.environ.pop("REPRO_CACHE_DIR", None)
         else:
@@ -195,7 +275,14 @@ class CampaignService:
                     self._complete(key, wall_s=None, executed=False)
                     dispatched = True
                     continue
-                self.pool.dispatch(key, spec)
+                if not self.pool.dispatch(key, spec):
+                    # The free slot vanished between the check and the
+                    # lease (a remote worker died on send): put the key
+                    # straight back so it can't strand in the leased set.
+                    self.manager.release(
+                        key, error="no free worker", requeue=True
+                    )
+                    break
                 dispatched = True
             if self._probe is not None and dispatched:
                 self._update_gauges()
@@ -253,6 +340,16 @@ class CampaignService:
             self.store.record(namespace, keys)
         self._sweep_if_idle()
 
+    def _attempts_drop(self, key: str) -> None:
+        """Manager forgot a unit (all waiters gone): forget its retries."""
+        self._attempts.pop(key, None)
+
+    def _fleet_changed(self) -> None:
+        """Broker capacity changed: wake the scheduler, refresh gauges."""
+        self._wake.set()
+        if self._probe is not None:
+            self._update_gauges()
+
     def _sweep_if_idle(self) -> None:
         """Quota/GC sweep whenever the work queue drains.
 
@@ -270,7 +367,67 @@ class CampaignService:
             queue_depth=self.manager.queue_depth,
             inflight=self.manager.inflight,
             shards=len(self.pool.busy_leases),
+            workers=self.pool.workers_connected,
         )
+
+    # -- observability ---------------------------------------------------
+    def metrics(self) -> dict:
+        """One ``/v1/metrics`` sample: gauges, counters, and the fleet."""
+        now = time.time()
+        manager = self.manager
+        sample = {
+            "schema": METRICS_SCHEMA,
+            "ts": round(now, 3),
+            "uptime_s": (
+                round(now - self._started_at, 3)
+                if self._started_at is not None else None
+            ),
+            "queue": {
+                "depth": manager.queue_depth,
+                "inflight": manager.inflight,
+                "outstanding": manager.outstanding,
+                "limit": manager.queue_limit,
+            },
+            "jobs": {
+                state: len(manager.list_jobs(state=state))
+                for state in ("queued", "running", "done", "failed",
+                              "cancelled")
+            },
+            "counters": {
+                "manager": dict(manager.counters),
+                "service": dict(self.counters),
+            },
+            "workers": {
+                "connected": self.pool.workers_connected,
+                "deaths": self.pool.worker_deaths,
+                "shard_respawns": self.pool.respawns,
+                "fleet": self.pool.fleet(),
+            },
+            "journal": (
+                self.journal.stats() if self.journal is not None else None
+            ),
+        }
+        return sample
+
+    def _metrics_path(self) -> Path:
+        if self.config.metrics_out is not None:
+            return Path(self.config.metrics_out)
+        return self.store.root / METRICS_NAME
+
+    def _write_metrics_sample(self) -> None:
+        path = self._metrics_path()
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(self.metrics(), sort_keys=True) + "\n")
+        except OSError:
+            pass  # an unwritable exporter must never take the service down
+
+    async def _export_metrics(self) -> None:
+        """The rolling exporter: one JSONL sample per interval."""
+        while True:
+            await asyncio.sleep(self.config.metrics_interval_s)
+            self._write_metrics_sample()
 
     # -- queries --------------------------------------------------------
     def job(self, job_id: str) -> Job:
@@ -311,6 +468,8 @@ class CampaignService:
         return {
             "shards": self.shards,
             "respawns": self.pool.respawns,
+            "workers": self.pool.workers_connected,
+            "worker_deaths": self.pool.worker_deaths,
             "queue_depth": self.manager.queue_depth,
             "inflight": self.manager.inflight,
             "queue_limit": self.manager.queue_limit,
@@ -340,7 +499,7 @@ def payload_specs(payload: dict) -> list:
         raw = payload.get("specs")
         if not isinstance(raw, list) or not raw:
             raise ValueError("payload needs a non-empty 'specs' list")
-        return [_spec_from_canonical(entry) for entry in raw]
+        return [spec_from_canonical(entry) for entry in raw]
     if kind == "scenario":
         from ..scenario import compile_scenario, parse_scenario
 
@@ -349,22 +508,3 @@ def payload_specs(payload: dict) -> list:
             raise ValueError("payload needs a 'scenario' document")
         return compile_scenario(parse_scenario(doc))
     raise ValueError(f"unknown submission kind {kind!r}")
-
-
-def _spec_from_canonical(entry: dict) -> RunSpec:
-    if not isinstance(entry, dict):
-        raise ValueError(f"spec entry must be a dict, got {type(entry)}")
-    known = {
-        "benchmark", "system", "policy", "lookahead",
-        "accesses_per_core", "seed", "system_overrides", "mil_overrides",
-    }
-    unknown = set(entry) - known
-    if unknown:
-        raise ValueError(f"unknown spec field(s): {sorted(unknown)}")
-    kwargs = dict(entry)
-    for field_name in ("system_overrides", "mil_overrides"):
-        if field_name in kwargs:
-            kwargs[field_name] = tuple(
-                (str(k), v) for k, v in kwargs[field_name]
-            )
-    return RunSpec(**kwargs)

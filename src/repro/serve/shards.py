@@ -1,38 +1,60 @@
-"""Process-based worker shards: leases, death detection, respawn.
+"""The lease broker: local process shards plus remote TCP workers.
 
-Each shard is one long-lived ``multiprocessing.Process`` connected to
-the service by a duplex pipe.  A shard holds **at most one lease** at a
-time — the parent sends one :class:`~repro.campaign.spec.RunSpec`,
-the shard answers with ``("ok", summary_body, wall_s)`` or
-``("err", repr)`` — which makes lease accounting exact: whatever a dead
-shard was holding is precisely ``shard.lease``.
+The broker owns the service's execution fleet.  Two member kinds share
+one lease discipline — **at most one lease per member**, so lease
+accounting is exact: whatever a dead member was holding is precisely
+``member.lease``.
 
-Death detection needs no signals or polling loops: the parent registers
-each pipe with the event loop (``loop.add_reader``), and a shard killed
-mid-lease (SIGKILL included) closes its pipe end, which surfaces as
-``EOFError`` on the next read.  The pool then reports the orphaned
-lease to its ``on_result`` callback as a failure with ``died=True`` —
-releasing the RunSpec back to the scheduler — and spawns a replacement
-shard.
+* **Local shards** are long-lived ``multiprocessing.Process`` children
+  connected by duplex pipes.  Each receives one
+  :class:`~repro.campaign.spec.RunSpec` and answers
+  ``("ok", summary_body, wall_s)`` or ``("err", repr)``.  Death
+  detection needs no signals or polling: the parent registers each
+  pipe with the event loop (``loop.add_reader``), and a shard killed
+  mid-lease (SIGKILL included) closes its pipe end, which surfaces as
+  ``EOFError`` on the next read.  Dead shards are respawned.
 
-Shards are forked (falling back to ``spawn`` where ``fork`` is
-unavailable) so they inherit the loaded model and the cache/codec
-environment; the number of shards comes from ``--shards`` or
-``REPRO_SERVE_SHARDS``.
+* **Remote workers** are ``repro worker`` daemons on this or other
+  hosts that dialed the service over TCP (``POST /v1/workers`` with a
+  shared token, then one JSON frame per line in both directions — see
+  :mod:`repro.serve.worker`).  A worker whose connection drops
+  (process SIGKILLed, host rebooted) surfaces as EOF on its stream; a
+  worker whose *host vanished without closing TCP* (network partition,
+  power loss) is caught by the heartbeat loop — the broker pings every
+  ``heartbeat_s`` and detaches a worker silent for three intervals —
+  or by the hard ``lease_timeout_s`` cap on any single lease.
+
+Either way the orphaned lease is reported to ``on_result`` as
+``("died", reason)``, which releases the key back to the queue exactly
+like a SIGKILLed local shard: one charged retry, never a stranded spec.
+
+With ``width=0`` and no remote workers attached, the broker executes
+leases inline on the loop's default executor — the no-fleet fallback
+tests and cache-hit-dominated benches rely on.  The moment a remote
+worker attaches, inline execution stops and the fleet does the work.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
+import json
 import multiprocessing
 import os
+import time
 
 from ..campaign.runner import _execute
+from .protocol import frame
 
-__all__ = ["ShardPool", "shard_count_from_env"]
+__all__ = ["LeaseBroker", "RemoteWorker", "ShardPool",
+           "shard_count_from_env"]
 
 SHARDS_ENV = "REPRO_SERVE_SHARDS"
 DEFAULT_SHARDS = 2
+DEFAULT_HEARTBEAT_S = 10.0
+DEFAULT_LEASE_TIMEOUT_S = 600.0
+# A worker silent for this many heartbeat intervals is presumed gone.
+MISSED_HEARTBEATS = 3
 
 
 def shard_count_from_env(default: int = DEFAULT_SHARDS) -> int:
@@ -74,7 +96,7 @@ def _shard_main(conn) -> None:
 class _Shard:
     """One worker process plus its parent-side pipe and current lease."""
 
-    __slots__ = ("index", "proc", "conn", "lease")
+    __slots__ = ("index", "proc", "conn", "lease", "completed")
 
     def __init__(self, index: int, ctx) -> None:
         self.index = index
@@ -86,6 +108,7 @@ class _Shard:
         self.proc.start()
         child.close()  # the parent keeps only its own end
         self.lease: tuple | None = None  # (key, spec) while working
+        self.completed = 0
 
     @property
     def busy(self) -> bool:
@@ -107,29 +130,66 @@ class _Shard:
             self.proc.join(timeout=5)
 
 
-class ShardPool:
-    """Fixed-width pool of shards driven from one asyncio loop.
+class RemoteWorker:
+    """Parent-side handle for one connected ``repro worker`` daemon."""
+
+    __slots__ = ("name", "writer", "lease", "lease_started", "last_seen",
+                 "completed")
+
+    def __init__(self, name: str, writer) -> None:
+        self.name = name
+        self.writer = writer
+        self.lease: tuple | None = None  # (key, spec) while working
+        self.lease_started: float | None = None
+        self.last_seen = time.monotonic()
+        self.completed = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.lease is not None
+
+    def send(self, obj: dict) -> None:
+        self.writer.write(frame(obj))
+
+    def assign(self, key: str, spec) -> None:
+        self.lease = (key, spec)
+        self.lease_started = time.monotonic()
+        self.send({"op": "lease", "key": key, "spec": spec.canonical()})
+
+
+class LeaseBroker:
+    """A mixed fleet of shards and remote workers on one asyncio loop.
 
     ``on_result(key, spec, outcome)`` is called on the loop for every
     finished lease, where ``outcome`` is one of::
 
         ("ok", summary_body, wall_s)
         ("err", "<repr of the worker exception>")
-        ("died", "<shard death description>")
+        ("died", "<member death description>")
 
-    With ``width=0`` the pool executes leases inline on a thread of the
-    loop's default executor — no processes at all, for tests and for
-    cache-hit-dominated benches.
+    ``on_fleet_change()`` (optional) is called whenever capacity
+    changes — a worker attaches, detaches, or frees a slot — so the
+    scheduler can wake without polling.
     """
 
-    def __init__(self, width: int, on_result) -> None:
+    def __init__(self, width: int, on_result,
+                 heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+                 lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+                 on_fleet_change=None) -> None:
         self.width = max(0, int(width))
         self.on_result = on_result
+        self.heartbeat_s = heartbeat_s
+        self.lease_timeout_s = lease_timeout_s
+        self.on_fleet_change = on_fleet_change
         self._ctx = _mp_context()
         self._shards: dict[int, _Shard] = {}
+        self._workers: dict[str, RemoteWorker] = {}
         self._indices = iter(range(10 ** 9))
+        self._worker_ids = itertools.count(1)
         self._loop: asyncio.AbstractEventLoop | None = None
+        self._heartbeat_task: asyncio.Task | None = None
         self.respawns = 0
+        self.worker_deaths = 0
         self._closing = False
 
     # -- lifecycle ------------------------------------------------------
@@ -137,6 +197,10 @@ class ShardPool:
         self._loop = asyncio.get_running_loop()
         for _ in range(self.width):
             self._spawn()
+        if self.heartbeat_s > 0:
+            self._heartbeat_task = self._loop.create_task(
+                self._heartbeat_loop()
+            )
 
     def _spawn(self) -> _Shard:
         shard = _Shard(next(self._indices), self._ctx)
@@ -148,6 +212,12 @@ class ShardPool:
 
     def close(self) -> None:
         self._closing = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        for worker in list(self._workers.values()):
+            self._detach(worker, "service shutting down", notify=False,
+                         stop=True)
         for shard in list(self._shards.values()):
             try:
                 self._loop.remove_reader(shard.conn.fileno())
@@ -156,22 +226,31 @@ class ShardPool:
             shard.close()
         self._shards.clear()
 
+    def _fleet_changed(self) -> None:
+        if self.on_fleet_change is not None:
+            self.on_fleet_change()
+
     # -- dispatch -------------------------------------------------------
     @property
+    def workers_connected(self) -> int:
+        return len(self._workers)
+
+    @property
     def free_slots(self) -> int:
-        if self.width == 0:
-            return 1  # inline mode: serial, but always willing
-        return sum(1 for s in self._shards.values() if not s.busy)
+        free = sum(1 for s in self._shards.values() if not s.busy)
+        free += sum(1 for w in self._workers.values() if not w.busy)
+        if self.width == 0 and not self._workers:
+            return 1  # no fleet at all: inline fallback, always willing
+        return free
 
     @property
     def busy_leases(self) -> list:
-        return [s.lease for s in self._shards.values() if s.busy]
+        out = [s.lease for s in self._shards.values() if s.busy]
+        out += [w.lease for w in self._workers.values() if w.busy]
+        return out
 
     def dispatch(self, key: str, spec) -> bool:
-        """Lease ``spec`` to a free shard; False when all are busy."""
-        if self.width == 0:
-            self._loop.create_task(self._run_inline(key, spec))
-            return True
+        """Lease ``spec`` to a free member; False when all are busy."""
         for shard in self._shards.values():
             if not shard.busy:
                 try:
@@ -180,6 +259,17 @@ class ShardPool:
                     self._reap(shard, notify=False)
                     continue
                 return True
+        for worker in list(self._workers.values()):
+            if not worker.busy:
+                try:
+                    worker.assign(key, spec)
+                except (ConnectionError, OSError, RuntimeError):
+                    self._detach(worker, "send failed", notify=False)
+                    continue
+                return True
+        if self.width == 0 and not self._workers:
+            self._loop.create_task(self._run_inline(key, spec))
+            return True
         return False
 
     async def _run_inline(self, key: str, spec) -> None:
@@ -192,7 +282,7 @@ class ShardPool:
             outcome = ("err", repr(exc))
         self.on_result(key, spec, outcome)
 
-    # -- completion and death ------------------------------------------
+    # -- shard completion and death ------------------------------------
     def _on_readable(self, shard: _Shard) -> None:
         try:
             reply = shard.conn.recv()
@@ -202,6 +292,7 @@ class ShardPool:
         lease, shard.lease = shard.lease, None
         if lease is None:
             return  # stray message (e.g. reply raced a close)
+        shard.completed += 1
         key, spec = lease
         self.on_result(key, spec, tuple(reply))
 
@@ -230,3 +321,150 @@ class ShardPool:
                 key, spec,
                 ("died", f"shard {shard.index} died (exit {exitcode})"),
             )
+
+    # -- remote workers -------------------------------------------------
+    async def serve_worker(self, name: str, reader, writer) -> str:
+        """Register a remote worker and pump its frames until it leaves.
+
+        Called by the HTTP layer after the token handshake; returns a
+        human-readable reason once the worker is gone.  The worker's
+        lease (if any) is released via ``on_result`` with ``died``.
+        """
+        base = name or "worker"
+        wname = base
+        while wname in self._workers:
+            wname = f"{base}~{next(self._worker_ids)}"
+        worker = RemoteWorker(wname, writer)
+        self._workers[wname] = worker
+        self._fleet_changed()
+        reason = "disconnected"
+        try:
+            worker.send({
+                "op": "welcome", "name": wname,
+                "heartbeat_s": self.heartbeat_s,
+            })
+            await writer.drain()
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = json.loads(line)
+                except ValueError:
+                    reason = "protocol error (undecodable frame)"
+                    break
+                worker.last_seen = time.monotonic()
+                op = message.get("op")
+                if op == "result":
+                    self._finish_lease(worker, message)
+                # "pong" just refreshes last_seen; unknown ops are
+                # ignored for forward compatibility.
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._detach(worker, reason)
+        return reason
+
+    def _finish_lease(self, worker: RemoteWorker, message: dict) -> None:
+        lease, worker.lease = worker.lease, None
+        worker.lease_started = None
+        if lease is None:
+            return  # stray result (raced a timeout release)
+        key, spec = lease
+        answered = message.get("key")
+        body = message.get("body")
+        if answered not in (None, key):
+            outcome = ("err",
+                       f"worker {worker.name} answered for key "
+                       f"{answered!r}, expected {key!r}")
+        elif message.get("status") == "ok" and isinstance(body, dict):
+            worker.completed += 1
+            outcome = ("ok", body, float(message.get("wall_s") or 0.0))
+        else:
+            outcome = ("err", str(message.get("error", "worker error")))
+        self.on_result(key, spec, outcome)
+        self._fleet_changed()  # a slot freed
+
+    def _detach(self, worker: RemoteWorker, reason: str,
+                notify: bool = True, stop: bool = False) -> None:
+        if self._workers.get(worker.name) is not worker:
+            return  # already detached (e.g. heartbeat raced EOF)
+        del self._workers[worker.name]
+        if stop:
+            try:
+                worker.send({"op": "stop"})
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+        try:
+            worker.writer.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+        lease, worker.lease = worker.lease, None
+        if lease is not None and notify:
+            self.worker_deaths += 1
+            key, spec = lease
+            self.on_result(
+                key, spec, ("died", f"worker {worker.name} {reason}"),
+            )
+        self._fleet_changed()
+
+    async def _heartbeat_loop(self) -> None:
+        """Ping the remote fleet; cull the silent and the wedged."""
+        while True:
+            await asyncio.sleep(self.heartbeat_s)
+            now = time.monotonic()
+            for worker in list(self._workers.values()):
+                silent = now - worker.last_seen
+                if silent > MISSED_HEARTBEATS * self.heartbeat_s:
+                    self._detach(
+                        worker,
+                        f"missed heartbeats ({silent:.1f}s silent)",
+                    )
+                    continue
+                if (worker.busy and self.lease_timeout_s > 0
+                        and now - worker.lease_started
+                        > self.lease_timeout_s):
+                    self._detach(
+                        worker,
+                        f"lease timed out after "
+                        f"{self.lease_timeout_s:.0f}s",
+                    )
+                    continue
+                try:
+                    worker.send({"op": "ping"})
+                except (ConnectionError, OSError, RuntimeError):
+                    self._detach(worker, "ping failed")
+
+    # -- observability --------------------------------------------------
+    def fleet(self) -> list:
+        """Per-member state for ``/v1/metrics`` and ``/v1/workers``."""
+        now = time.monotonic()
+        out = []
+        for shard in self._shards.values():
+            out.append({
+                "name": f"shard-{shard.index}",
+                "kind": "local",
+                "pid": shard.proc.pid,
+                "busy": shard.busy,
+                "key": shard.lease[0] if shard.lease else None,
+                "completed": shard.completed,
+            })
+        for worker in self._workers.values():
+            out.append({
+                "name": worker.name,
+                "kind": "remote",
+                "busy": worker.busy,
+                "key": worker.lease[0] if worker.lease else None,
+                "lease_age_s": (
+                    round(now - worker.lease_started, 3)
+                    if worker.lease_started is not None else None
+                ),
+                "idle_s": round(now - worker.last_seen, 3),
+                "completed": worker.completed,
+            })
+        return out
+
+
+# The pre-PR-9 name: the broker grew out of the local-only shard pool
+# and keeps answering to it.
+ShardPool = LeaseBroker

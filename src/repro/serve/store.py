@@ -79,7 +79,13 @@ class ResultStore:
             sort_keys=True,
         ))
         os.replace(tmp, path)
-        (self.root / "seq").write_text(str(self._seq))
+        # The seq file gets the same tmp+rename treatment as the tenant
+        # indexes: a crash mid-write must never leave a truncated
+        # sequence behind (recency comparisons are restart-stable).
+        seq_path = self.root / "seq"
+        seq_tmp = seq_path.with_name(f"seq.tmp{os.getpid()}")
+        seq_tmp.write_text(str(self._seq))
+        os.replace(seq_tmp, seq_path)
 
     # -- recording ------------------------------------------------------
     def quota_for(self, namespace: str) -> int:

@@ -254,8 +254,9 @@ class ServiceProbe:
     """Instrumentation for the resident campaign service (`repro serve`).
 
     Counts submissions and lease outcomes, and keeps gauges for the
-    queue depth, in-flight leases, and busy shards — the numbers an
-    operator watches to size ``--shards`` and the queue limit.  Like
+    queue depth, in-flight leases, busy shards, and connected remote
+    workers — the numbers an operator watches to size ``--shards``,
+    the remote fleet, and the queue limit.  Like
     every probe it only observes: the scheduler takes no decision from
     these values.
     """
@@ -271,6 +272,7 @@ class ServiceProbe:
         self.queue_depth = registry.gauge("serve.queue.depth")
         self.inflight = registry.gauge("serve.queue.inflight")
         self.busy_shards = registry.gauge("serve.shards.busy")
+        self.workers = registry.gauge("serve.workers.connected")
 
     def submitted(self, job, hits: int) -> None:
         self.submissions.inc()
@@ -292,7 +294,9 @@ class ServiceProbe:
         if counter is not None:
             counter.inc()
 
-    def gauges(self, queue_depth: int, inflight: int, shards: int) -> None:
+    def gauges(self, queue_depth: int, inflight: int, shards: int,
+               workers: int = 0) -> None:
         self.queue_depth.set(queue_depth)
         self.inflight.set(inflight)
         self.busy_shards.set(shards)
+        self.workers.set(workers)

@@ -7,6 +7,8 @@ of the real campaign cache.
 
 from __future__ import annotations
 
+import itertools
+
 import pytest
 
 from repro.campaign import RunSpec, cache
@@ -200,3 +202,149 @@ class TestReleaseAndCancel:
     def test_unknown_job_raises(self):
         with pytest.raises(KeyError):
             manager().job("j999")
+
+
+def assert_no_residue(mgr: JobManager) -> None:
+    """Every per-key index must be empty once all jobs are terminal."""
+    assert mgr._waiters == {}
+    assert mgr._spec_by_key == {}
+    assert mgr._pushed == {}
+    assert mgr._queued == set()
+    assert mgr._leased == set()
+    assert mgr.next_work() is None
+
+
+class TestCancelReleaseDeadlock:
+    """Regression: cancelling a leased key's only waiter used to leave
+    ``_waiters[key] == []`` forever — release() neither re-queued nor
+    failed the key, the spec/waiter indexes leaked, and a later
+    submission of the same spec coalesced onto a dead execution and
+    hung."""
+
+    def test_cancel_then_die_then_resubmit_completes(self):
+        mgr = manager()
+        a = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        key, _ = mgr.next_work()  # leased
+        mgr.cancel(a.id)  # the only waiter goes away mid-lease
+        # The worker then dies: the release must *drop* the unit, not
+        # strand it.
+        assert mgr.release(key, error="shard died", requeue=True) \
+            == "dropped"
+        assert_no_residue(mgr)
+        # A fresh submission of the same spec must queue, lease, and
+        # complete — pre-fix it coalesced onto nothing and hung.
+        b = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        work = mgr.next_work()
+        assert work is not None and work[0] == key
+        mgr.complete(key, executed=True)
+        assert b.state == JobState.DONE
+        assert_no_residue(mgr)
+
+    def test_cancel_then_success_still_drops_cleanly(self):
+        mgr = manager()
+        a = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        key, _ = mgr.next_work()
+        mgr.cancel(a.id)
+        # The lease finishes normally after the cancel: complete() on a
+        # key whose only waiter is cancelled must also leave no residue.
+        mgr.complete(key, executed=True)
+        assert_no_residue(mgr)
+
+    def test_release_outcomes(self):
+        mgr = manager()
+        assert mgr.release("nope") == "idle"
+        job = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        key, _ = mgr.next_work()
+        assert mgr.release(key, error="x", requeue=True) == "requeued"
+        key, _ = mgr.next_work()
+        assert mgr.release(key, error="x", requeue=False) == "failed"
+        assert job.state == JobState.FAILED
+        assert_no_residue(mgr)
+
+    def test_on_drop_fires_for_forgotten_units(self):
+        dropped = []
+        mgr = manager()
+        mgr.on_drop = dropped.append
+        a = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        key, _ = mgr.next_work()
+        mgr.cancel(a.id)
+        assert dropped == []  # leased: the drop waits for the release
+        mgr.release(key, error="died", requeue=True)
+        assert dropped == [key]
+
+
+class TestCoalescePriorityBump:
+    """Regression: the re-push condition was ``priority > 0``, which
+    never bumped negative-priority keys and pushed useless duplicates
+    whenever the new priority was merely positive."""
+
+    def test_bump_works_below_zero(self):
+        mgr = manager()
+        cold = mgr.submit([spec(1)], priority=-5, cache_probe=NO_HITS)
+        mgr.submit([spec(2)], priority=-1, cache_probe=NO_HITS)
+        # A hotter duplicate at priority 0 must jump spec(1) ahead of
+        # spec(2) even though 0 is not "> 0".
+        mgr.submit([spec(1)], priority=0, cache_probe=NO_HITS)
+        assert drain(mgr)[0] == cold.keys[0]
+
+    def test_cooler_duplicate_pushes_nothing(self):
+        mgr = manager()
+        mgr.submit([spec(1)], priority=5, cache_probe=NO_HITS)
+        mgr.submit([spec(1)], priority=3, cache_probe=NO_HITS)
+        assert len(mgr._heap) == 1  # no useless duplicate entry
+
+    def test_equal_duplicate_pushes_nothing(self):
+        mgr = manager()
+        mgr.submit([spec(1)], priority=2, cache_probe=NO_HITS)
+        mgr.submit([spec(1)], priority=2, cache_probe=NO_HITS)
+        assert len(mgr._heap) == 1
+
+
+OPS = ("lease", "cancel_a", "cancel_b", "release", "complete", "fail")
+
+
+class TestLifecycleInterleavings:
+    """Exhaustive 4-step interleavings of cancel × release × retry ×
+    complete over one coalesced work unit: whatever the order, no key
+    strands, no index grows, and the spec stays resubmittable."""
+
+    @pytest.mark.parametrize(
+        "sequence", list(itertools.product(OPS, repeat=4)),
+        ids=lambda s: "-".join(s),
+    )
+    def test_no_stranded_state(self, sequence):
+        mgr = manager()
+        a = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        b = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        key = a.keys[0]
+        for op in sequence:
+            if op == "lease":
+                if key in mgr._queued:
+                    assert mgr.next_work()[0] == key
+            elif op == "cancel_a":
+                mgr.cancel(a.id)
+            elif op == "cancel_b":
+                mgr.cancel(b.id)
+            elif op == "release":
+                mgr.release(key, error="retry", requeue=True)
+            elif op == "complete":
+                if key in mgr._leased:
+                    mgr.complete(key, executed=True)
+            elif op == "fail":
+                if key in mgr._leased:
+                    mgr.fail(key, "boom")
+        # Settle whatever the interleaving left behind.
+        if key in mgr._leased:
+            mgr.complete(key, executed=True)
+        work = mgr.next_work()
+        if work is not None:
+            mgr.complete(work[0], executed=True)
+        assert a.finished and b.finished
+        assert_no_residue(mgr)
+        # Liveness: the same spec must still be runnable from scratch.
+        c = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        work = mgr.next_work()
+        assert work is not None and work[0] == key
+        mgr.complete(key, executed=True)
+        assert c.state == JobState.DONE
+        assert_no_residue(mgr)

@@ -1,0 +1,257 @@
+"""The durable job table: journal replay and service restart-resume.
+
+The contract under test (docs/SERVICE.md): a restarted service resumes
+queued *and* leased-at-crash work with identical job ids and event-log
+prefixes, settles keys whose cache file beat the crash without
+re-executing, and loses or duplicates zero executions either side of
+the crash point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.campaign import RunSpec, cache
+from repro.campaign.runner import _execute, _finish
+from repro.serve.jobs import JobManager
+from repro.serve.journal import JOURNAL_NAME, Journal
+from repro.serve.service import CampaignService, ServiceConfig
+
+SCALE = 80
+FP = "test-fp"
+
+NO_HITS = lambda spec: None  # noqa: E731
+
+
+def spec(seed: int, policy: str = "dbi") -> RunSpec:
+    return RunSpec(benchmark="GUPS", system="ddr4-server", policy=policy,
+                   accesses_per_core=SCALE, seed=seed)
+
+
+def config(tmp_path, **kw) -> ServiceConfig:
+    kw.setdefault("store_root", tmp_path / "store")
+    kw.setdefault("shards", 0)
+    kw.setdefault("fingerprint", FP)
+    kw.setdefault("backoff_base_s", 0.01)
+    return ServiceConfig(**kw)
+
+
+async def wait_terminal(job, timeout: float = 120.0) -> None:
+    async def _drain():
+        async for _event in job.log.subscribe():
+            pass
+
+    await asyncio.wait_for(_drain(), timeout)
+
+
+class TestJournalFile:
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert Journal.read(tmp_path / "absent.jsonl") == []
+
+    def test_append_then_read_round_trips(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.open()
+        journal.append({"op": "job", "id": "j1"})
+        journal.append({"op": "event", "job": "j1", "event": {"seq": 0}})
+        journal.close()
+        records = Journal.read(path)
+        assert [r["op"] for r in records] == ["job", "event"]
+        assert journal.stats()["appended"] == 2
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"op": "job", "id": "j1"}) + "\n")
+            fh.write('{"op": "event", "job": "j1", "ev')  # crash mid-append
+        records = Journal.read(path)
+        assert records == [{"op": "job", "id": "j1"}]
+
+    def test_non_dict_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('[1, 2]\n{"op": "job", "id": "j9"}\n\n')
+        assert Journal.read(path) == [{"op": "job", "id": "j9"}]
+
+
+class TestManagerRestore:
+    def _manager(self, path) -> tuple[JobManager, Journal]:
+        journal = Journal(path)
+        journal.open()
+        mgr = JobManager(fingerprint=FP)
+        mgr.bind_journal(journal)
+        return mgr, journal
+
+    def test_restore_rebuilds_ids_events_and_queue(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        mgr, journal = self._manager(path)
+        a = mgr.submit([spec(1), spec(2)], namespace="ns", priority=3,
+                       cache_probe=NO_HITS)
+        b = mgr.submit([spec(1)], cache_probe=NO_HITS)  # coalesces
+        done_key, _ = mgr.next_work()
+        mgr.complete(done_key, wall_s=0.5, executed=True)
+        leased_key, _ = mgr.next_work()  # leased at "crash" time
+        journal.close()
+        pre_events = {j.id: list(j.log._events) for j in (a, b)}
+
+        fresh = JobManager(fingerprint=FP)
+        report = fresh.restore(Journal.read(path), cache_probe=NO_HITS)
+        assert report["jobs"] == 2
+        assert report["settled"] == 0
+        assert report["requeued"] == 1  # the leased key, back in queue
+
+        ra, rb = fresh.job(a.id), fresh.job(b.id)
+        assert ra.namespace == "ns" and ra.priority == 3
+        # Event logs replay verbatim — seq and ts included.
+        assert list(ra.log._events) == pre_events[a.id]
+        assert list(rb.log._events) == pre_events[b.id]
+        # Per-key outcomes and counters re-derive from the events.
+        assert ra.key_state[done_key] == "done"
+        assert ra.counters["executed"] == 1
+        assert rb.counters["coalesced"] == 1
+        # The leased-at-crash key is simply queued again.
+        work = fresh.next_work()
+        assert work is not None and work[0] == leased_key
+        fresh.complete(leased_key, executed=True)
+        assert ra.state == "done" and rb.state == "done"
+        # New ids continue past the restored ones.
+        c = fresh.submit([spec(9)], cache_probe=NO_HITS)
+        assert int(c.id[1:]) > max(int(a.id[1:]), int(b.id[1:]))
+
+    def test_restore_requires_fresh_manager(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        mgr, journal = self._manager(path)
+        mgr.submit([spec(1)], cache_probe=NO_HITS)
+        journal.close()
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            mgr.restore(Journal.read(path), cache_probe=NO_HITS)
+
+    def test_terminal_jobs_restore_terminal(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        mgr, journal = self._manager(path)
+        a = mgr.submit([spec(1)], cache_probe=NO_HITS)
+        key, _ = mgr.next_work()
+        mgr.fail(key, "boom")
+        cancelled = mgr.submit([spec(2)], cache_probe=NO_HITS)
+        mgr.cancel(cancelled.id)
+        journal.close()
+
+        fresh = JobManager(fingerprint=FP)
+        report = fresh.restore(Journal.read(path), cache_probe=NO_HITS)
+        assert report["requeued"] == 0 and report["settled"] == 0
+        assert fresh.job(a.id).state == "failed"
+        assert fresh.job(a.id).error == a.error
+        assert fresh.job(cancelled.id).state == "cancelled"
+        assert fresh.next_work() is None
+
+
+class TestServiceRestartResume:
+    def test_restart_resumes_with_zero_lost_or_duplicated(self, tmp_path):
+        """The full crash drill: one key's result lands in the cache but
+        its ``finished`` event never makes the journal (crash between
+        the two); one key is leased with no result; the rest is queued.
+        The restarted service must settle the first from the cache and
+        execute only the others — same job id, same event prefix."""
+        cfg = config(tmp_path)
+        specs = [spec(21), spec(22), spec(23)]
+        state: dict = {}
+
+        async def phase1():
+            service = CampaignService(cfg)
+            await service.start()
+            service.pause()  # nothing leases on its own
+            job = service.submit_specs(specs, namespace="crash")
+            # Lease spec(21) and land its result in the cache WITHOUT
+            # journaling a finished event — the crash window.
+            key, leased_spec = service.manager.next_work()
+            body, wall_s = _execute(leased_spec)
+            _finish(leased_spec, body, wall_s, FP)
+            assert cache.load(leased_spec, FP) is not None
+            state["job_id"] = job.id
+            state["events"] = list(job.log._events)
+            state["keys"] = list(job.keys)
+            # Simulated SIGKILL: no graceful journal of outcomes.
+            service.journal.close()
+            service.journal = None
+            await service.stop()
+
+        asyncio.run(phase1())
+        journal_path = cfg.store_root / JOURNAL_NAME
+        assert journal_path.exists()
+
+        async def phase2():
+            service = CampaignService(cfg)
+            await service.start()
+            try:
+                report = service.resume_report
+                assert report == {"jobs": 1, "requeued": 2, "settled": 1}
+                job = service.manager.job(state["job_id"])
+                assert job.keys == state["keys"]
+                # The pre-crash event log survives verbatim as a prefix.
+                assert job.log._events[:len(state["events"])] \
+                    == state["events"]
+                await wait_terminal(job)
+                assert job.state == "done"
+                # Zero lost, zero duplicated: the cache-settled key is
+                # not re-executed, the other two run exactly once.
+                assert service.counters["executed"] == 2
+                assert job.counters["executed"] == 2
+                assert job.counters["cache_hits"] == 0
+                # The settled key is re-pinned for the GC sweep.
+                assert set(service.store.keys("crash")) \
+                    == set(state["keys"])
+                # New submissions get ids past the restored ones.
+                newer = service.submit_specs([spec(24)])
+                assert int(newer.id[1:]) > int(state["job_id"][1:])
+                await wait_terminal(newer)
+            finally:
+                await service.stop()
+
+        asyncio.run(phase2())
+
+    def test_journal_can_be_disabled(self, tmp_path):
+        cfg = config(tmp_path, journal=False)
+
+        async def body():
+            service = CampaignService(cfg)
+            await service.start()
+            try:
+                job = service.submit_specs([spec(25)])
+                await wait_terminal(job)
+            finally:
+                await service.stop()
+
+        asyncio.run(body())
+        assert not (cfg.store_root / JOURNAL_NAME).exists()
+
+    def test_restarted_service_completes_journal_events(self, tmp_path):
+        """A graceful stop + restart replays to a no-op: everything
+        finished pre-restart restores terminal and nothing re-queues."""
+        cfg = config(tmp_path)
+
+        async def phase1():
+            service = CampaignService(cfg)
+            await service.start()
+            try:
+                job = service.submit_specs([spec(26)])
+                await wait_terminal(job)
+                return job.id
+            finally:
+                await service.stop()
+
+        job_id = asyncio.run(phase1())
+
+        async def phase2():
+            service = CampaignService(cfg)
+            await service.start()
+            try:
+                assert service.resume_report["requeued"] == 0
+                job = service.manager.job(job_id)
+                assert job.state == "done"
+                assert service.manager.outstanding == 0
+            finally:
+                await service.stop()
+
+        asyncio.run(phase2())

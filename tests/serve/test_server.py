@@ -199,6 +199,68 @@ class TestEquivalence:
             handle.stop()
 
 
+class TestMetrics:
+    def test_metrics_endpoint_shape(self, served):
+        _, client = served
+        job = client.submit_specs([spec(40)])
+        client.wait(job["id"])
+        sample = client.metrics()
+        assert sample["schema"] == "repro.serve.metrics/v1"
+        assert sample["uptime_s"] >= 0
+        assert sample["queue"] == {
+            "depth": 0, "inflight": 0, "outstanding": 0, "limit": 4096,
+        }
+        assert sample["jobs"]["done"] == 1
+        assert sample["counters"]["service"]["executed"] == 1
+        assert sample["workers"]["connected"] == 0
+        assert sample["workers"]["fleet"] == []
+        assert sample["journal"]["appended"] > 0
+
+    def test_workers_endpoint_empty_fleet(self, served):
+        _, client = served
+        assert client.workers() == {"connected": 0, "fleet": []}
+
+    def test_rolling_exporter_writes_samples(self, tmp_path):
+        out = tmp_path / "metrics.jsonl"
+        handle = start_in_thread(
+            make_config(tmp_path, metrics_interval_s=0.05,
+                        metrics_out=out),
+            socket_path=str(tmp_path / "m.sock"),
+        )
+        try:
+            client = ServeClient(handle.address)
+            job = client.submit_specs([spec(41)])
+            client.wait(job["id"])
+            import time
+
+            time.sleep(0.2)  # let a few samples land
+        finally:
+            handle.stop()
+        lines = [json.loads(line)
+                 for line in out.read_text().splitlines() if line]
+        # Interval samples plus the final one written at shutdown.
+        assert len(lines) >= 2
+        assert all(s["schema"] == "repro.serve.metrics/v1" for s in lines)
+        # The last sample (shutdown) reflects the finished campaign.
+        assert lines[-1]["jobs"]["done"] == 1
+        assert lines[-1]["counters"]["service"]["executed"] == 1
+
+    def test_exporter_defaults_under_store_root(self, tmp_path):
+        handle = start_in_thread(
+            make_config(tmp_path, metrics_interval_s=0.05),
+            socket_path=str(tmp_path / "md.sock"),
+        )
+        try:
+            import time
+
+            time.sleep(0.12)
+        finally:
+            handle.stop()
+        default_out = tmp_path / "store" / "metrics.jsonl"
+        assert default_out.exists()
+        assert json.loads(default_out.read_text().splitlines()[0])
+
+
 class TestScenarioSubmission:
     def test_scenario_compiles_server_side(self, tmp_path):
         yaml = pytest.importorskip("yaml")

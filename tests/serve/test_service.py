@@ -180,6 +180,46 @@ def test_idle_sweep_enforces_quota(tmp_path):
     assert kept < set(job.keys)
 
 
+def test_cancel_mid_backoff_clears_attempts(tmp_path):
+    """Regression: ``_attempts[key]`` leaked when every waiter cancelled
+    while the key sat in retry backoff — the eventual release dropped
+    the unit from the manager but the service kept the counter."""
+
+    async def body(service):
+        service.pause()
+        job = service.submit_specs([spec(30)])
+        key, sp = service.manager.next_work()  # lease it ourselves
+        service._on_result(key, sp, ("err", "injected"))  # -> backoff
+        assert service._attempts == {key: 1}
+        service.cancel(job.id)  # last waiter gone, lease still out
+        # The backoff fires, release() finds no live waiters, drops the
+        # unit, and on_drop clears the retry bookkeeping.
+        for _ in range(100):
+            if not service._attempts:
+                break
+            await asyncio.sleep(0.01)
+        assert service._attempts == {}
+        assert service.manager._waiters == {}
+        assert service.manager._spec_by_key == {}
+        assert service.manager.outstanding == 0
+
+    with_service(config(tmp_path, retries=5), body)
+
+
+def test_store_seq_write_is_atomic(tmp_path):
+    """The seq file gets tmp+rename like the tenant indexes: no
+    ``seq.tmp*`` residue and always a parseable integer."""
+
+    async def body(service):
+        job = service.submit_specs([spec(31)], namespace="t")
+        await wait_terminal(job)
+
+    with_service(config(tmp_path), body)
+    store_root = tmp_path / "store"
+    assert not list(store_root.glob("seq.tmp*"))
+    assert int((store_root / "seq").read_text()) >= 1
+
+
 def test_service_probe_records(tmp_path):
     from repro.telemetry import TelemetrySession
 
@@ -202,6 +242,7 @@ def test_service_probe_records(tmp_path):
     assert metrics["serve.lease.ok"]["value"] == 1
     assert metrics["serve.specs.cache_hits"]["value"] == 1
     assert metrics["serve.queue.depth"]["value"] == 0
+    assert metrics["serve.workers.connected"]["value"] == 0
 
 
 def test_payload_validation():
