@@ -341,6 +341,28 @@ def _frfcfs():
 
 
 @benchmark(
+    "controller.next_event",
+    params={"queue_depth": 32},
+    smoke=True,
+    description="fused (pick, wake) recompute over a 32-deep queue "
+                "(the event heap's per-reschedule cost)",
+)
+def _next_event():
+    controller, requests = _queued_controller()
+    # Advance ``now`` every call: the fused pass is memoised per
+    # (state version, cycle), so a fresh cycle measures the full
+    # recompute, which is what each controller reschedule pays.
+    clock = [200]
+
+    def query():
+        now = clock[0]
+        clock[0] = now + 1
+        return controller.next_event(now)
+
+    return query
+
+
+@benchmark(
     "core.decision.lookahead",
     params={"queue_depth": 32, "lookahead": 14},
     smoke=True,
@@ -524,6 +546,7 @@ def _mixed_trace():
 @benchmark(
     "sim.run_spec.gups",
     params={"benchmark": "GUPS", "policy": "mil", "accesses_per_core": 120},
+    smoke=True,
     description="small end-to-end GUPS run (trace, simulate, energy)",
 )
 def _end_to_end():
@@ -531,6 +554,25 @@ def _end_to_end():
     from ..core.framework import run_spec
 
     spec = RunSpec(benchmark="GUPS", policy="mil", accesses_per_core=120)
+    return lambda: run_spec(spec)
+
+
+@benchmark(
+    "sim.multi_channel.gups",
+    params={"benchmark": "GUPS", "policy": "mil", "channels": 4,
+            "accesses_per_core": 120},
+    smoke=True,
+    description="end-to-end GUPS run on a 4-channel variant (exercises "
+                "the cross-channel event heap)",
+)
+def _end_to_end_multi_channel():
+    from ..campaign.spec import RunSpec
+    from ..core.framework import run_spec
+
+    spec = RunSpec(
+        benchmark="GUPS", policy="mil", accesses_per_core=120,
+        system_overrides=(("channels", 4),),
+    )
     return lambda: run_spec(spec)
 
 

@@ -26,7 +26,7 @@ from ..dram.channel import DRAMChannel
 from ..dram.commands import CommandType, Geometry
 from ..dram.refresh import RefreshScheduler
 from ..dram.timing import TimingParams
-from .frfcfs import FRFCFSScheduler
+from .frfcfs import CandidateCommand, FRFCFSScheduler
 from .queues import TransactionQueue
 from .request import MemoryRequest
 from .writedrain import WriteDrainPolicy
@@ -116,12 +116,35 @@ class ChannelController:
         # Candidate cache: the FR-FCFS candidate list only changes when
         # device or queue state does, so it is memoised against a state
         # version counter (the dominant cost of the scheduling loop).
-        # REPRO_NO_EVENT_CACHE=1 recomputes everything every call, for
-        # A/B-ing the caches against the protocol auditor.
+        # On top of the whole-list memo, candidates are derived
+        # *incrementally*: each bank contributes exactly one candidate
+        # (oldest row hit, else ACT for the bucket head, else PRE), and
+        # that per-bank derivation is memoised against the queue's
+        # bucket version and the bank's open row, so an enqueue or
+        # issue only re-derives the banks it touched.
+        # REPRO_NO_EVENT_CACHE=1 recomputes everything every call via
+        # the full-scan FRFCFSScheduler.candidates oracle, for A/B-ing
+        # the caches against the protocol auditor.
         self._cache_enabled = _event_cache_enabled()
         self._state_version = 0
         self._cand_version = -1
         self._cand_cache: list = []
+        # Per-bank candidate memos, one per queue direction, keyed by
+        # the bucket key (rank, group, bank) ->
+        # (bucket_version, open_row, kind, request) where kind is
+        # 0=column hit, 1=ACTIVATE, 2=PRECHARGE.
+        self._bank_memo_rd: dict = {}
+        self._bank_memo_wr: dict = {}
+        self.cand_bank_hits = 0
+        self.cand_bank_misses = 0
+        # Fused schedule query memo: (pick, wake) for one (state
+        # version, cycle) pair — the hot path computes both in a single
+        # pass over the bank buckets without materialising a candidate
+        # list (see _schedule_query).
+        self._sched_version = -1
+        self._sched_now = -1
+        self._sched_pick = None
+        self._sched_wake: int | None = None
         # Wake cache: nothing can happen before this absolute cycle
         # unless the state version changes (new request, command issued).
         self._wake_version = -1
@@ -231,25 +254,43 @@ class ChannelController:
         """
         count = 0
         horizon = now + window
-        entries: list[MemoryRequest] = list(self.read_queue)
-        if self.draining_now:
-            entries += list(self.write_queue)
-        for req in entries:
-            if req is exclude:
-                continue
-            if req.is_prefetch and not include_prefetches:
-                continue
-            if reads_only and req.is_write:
-                continue
-            m = req.mapped
-            if self.channel.open_row(m.rank, m.bank_group, m.bank) != m.row:
-                continue
-            cmd = CommandType.WRITE if req.is_write else CommandType.READ
-            earliest = self.channel.earliest_issue(
-                cmd, m.rank, m.bank_group, m.bank, now
+        open_row_of = self.channel.open_row
+        earliest_issue = self.channel.earliest_issue
+        queues = (
+            (self.read_queue, self.write_queue)
+            if self.draining_now
+            else (self.read_queue,)
+        )
+        for queue in queues:
+            cmd = (
+                CommandType.WRITE
+                if queue is self.write_queue
+                else CommandType.READ
             )
-            if earliest <= horizon:
-                count += 1
+            for key, bucket in queue.bank_buckets().items():
+                rank, group, bank = key
+                open_row = open_row_of(rank, group, bank)
+                if open_row is None:
+                    continue
+                # All hits in one bank share the same command timing,
+                # so the bank is probed once, lazily on the first hit.
+                ready = None
+                for req in bucket:
+                    if req.mapped.row != open_row:
+                        continue
+                    if req is exclude:
+                        continue
+                    if req.is_prefetch and not include_prefetches:
+                        continue
+                    if reads_only and req.is_write:
+                        continue
+                    if ready is None:
+                        ready = (
+                            earliest_issue(cmd, rank, group, bank, now)
+                            <= horizon
+                        )
+                    if ready:
+                        count += 1
         return count
 
     def _row_has_more_hits(self, request: MemoryRequest) -> bool:
@@ -287,18 +328,15 @@ class ChannelController:
         for rank in range(self.geometry.ranks):
             if not self.refresh.urgent(rank):
                 continue
-            # Close any open bank, oldest constraint first.
-            best = None
-            for g in range(self.geometry.bank_groups):
-                for b in range(self.geometry.banks_per_group):
-                    if self.channel.open_row(rank, g, b) is not None:
-                        earliest = self.channel.earliest_issue(
-                            CommandType.PRECHARGE, rank, g, b, now
-                        )
-                        if best is None or earliest < best[4]:
-                            best = (CommandType.PRECHARGE, rank, g, b, earliest)
+            # Close any open bank, oldest constraint first.  The channel
+            # scans only its open-bank set, in the same (group, bank)
+            # order the old exhaustive loop used.
+            best = self.channel.earliest_any_issue(
+                CommandType.PRECHARGE, rank, now
+            )
             if best is not None:
-                return best
+                earliest, g, b = best
+                return (CommandType.PRECHARGE, rank, g, b, earliest)
             earliest = self.channel.earliest_issue(
                 CommandType.REFRESH, rank, 0, 0, now
             )
@@ -313,25 +351,26 @@ class ChannelController:
             return None
         for rank in self.refresh.pending_ranks():
             if not self.channel.all_banks_closed(rank):
-                best = None
-                for g in range(self.geometry.bank_groups):
-                    for b in range(self.geometry.banks_per_group):
-                        if self.channel.open_row(rank, g, b) is not None:
-                            earliest = self.channel.earliest_issue(
-                                CommandType.PRECHARGE, rank, g, b, now
-                            )
-                            if best is None or earliest < best[4]:
-                                best = (
-                                    CommandType.PRECHARGE, rank, g, b, earliest
-                                )
-                return best
+                best = self.channel.earliest_any_issue(
+                    CommandType.PRECHARGE, rank, now
+                )
+                if best is None:
+                    return None
+                earliest, g, b = best
+                return (CommandType.PRECHARGE, rank, g, b, earliest)
             earliest = self.channel.earliest_issue(
                 CommandType.REFRESH, rank, 0, 0, now
             )
             return (CommandType.REFRESH, rank, 0, 0, earliest)
         return None
 
-    def _active_entries(self, now: int) -> list[MemoryRequest]:
+    def _sync_drain(self, now: int) -> None:
+        """Advance the write-drain hysteresis from current queue depths.
+
+        Idempotent for fixed queue lengths, so it only needs to run
+        when the state version moved (every push/pop changes a length
+        and bumps the version).
+        """
         draining = self.drain.update(
             len(self.write_queue), len(self.read_queue)
         )
@@ -340,18 +379,229 @@ class ChannelController:
             self._state_version += 1
             if self._probe is not None:
                 self._probe.drain_transition(now, draining)
+
+    def _active_entries(self, now: int) -> list[MemoryRequest]:
+        self._sync_drain(now)
         queue = self.write_queue if self.draining_now else self.read_queue
         return queue.oldest_first()
 
+    def _derive_bank_candidate(self, bucket: list, open_row):
+        """(kind, request) for one bank's queued requests.
+
+        kind 0: column command for the oldest request hitting the open
+        row (oldest by the FR-FCFS (arrival, serial) key).  kind 1:
+        ACTIVATE on behalf of the bucket head (bank closed).  kind 2:
+        PRECHARGE — the open row is wanted by nobody in the bucket.
+        """
+        if open_row is None:
+            return 1, bucket[0]
+        best = None
+        for req in bucket:
+            if req.mapped.row == open_row and (
+                best is None
+                or (req.arrival, req.serial) < (best.arrival, best.serial)
+            ):
+                best = req
+        if best is not None:
+            return 0, best
+        return 2, None
+
+    def _assemble_candidates(self, now: int) -> list:
+        """Incremental equivalent of ``FRFCFSScheduler.candidates``.
+
+        Each bank contributes exactly one candidate; per-bank (kind,
+        request) derivations are memoised against the queue bucket
+        version and the bank's open row, so only banks touched since
+        the last assembly are re-derived.  Assembly order reproduces
+        the full scan: hit/ACT candidates by bucket-head queue
+        position, all PREs after them in the same order — the only
+        orderings ``pick``'s ready[0] tie-break can observe.
+        """
+        queue = self.write_queue if self.draining_now else self.read_queue
+        buckets = queue.bank_buckets()
+        if not buckets:
+            return []
+        channel = self.channel
+        open_row_of = channel.open_row
+        earliest_issue = channel.earliest_issue
+        is_write_q = queue is self.write_queue
+        memo = self._bank_memo_wr if is_write_q else self._bank_memo_rd
+        versions = queue.bank_versions()
+        read_cmd, write_cmd = CommandType.READ, CommandType.WRITE
+        act_cmd, pre_cmd = CommandType.ACTIVATE, CommandType.PRECHARGE
+        main: list = []
+        pres: list = []
+        for key in sorted(buckets, key=lambda k: buckets[k][0].queue_seq):
+            bucket = buckets[key]
+            rank, group, bank = key
+            open_row = open_row_of(rank, group, bank)
+            ver = versions[key]
+            cached = memo.get(key)
+            if cached is not None and cached[0] == ver and cached[1] == open_row:
+                kind, req = cached[2], cached[3]
+                self.cand_bank_hits += 1
+            else:
+                kind, req = self._derive_bank_candidate(bucket, open_row)
+                memo[key] = (ver, open_row, kind, req)
+                self.cand_bank_misses += 1
+            if kind == 0:
+                cmd = write_cmd if req.is_write else read_cmd
+                main.append(CandidateCommand(
+                    cmd, rank, group, bank, open_row,
+                    earliest_issue(cmd, rank, group, bank, now, 4), req,
+                ))
+            elif kind == 1:
+                main.append(CandidateCommand(
+                    act_cmd, rank, group, bank, req.mapped.row,
+                    earliest_issue(act_cmd, rank, group, bank, now), req,
+                ))
+            else:
+                pres.append(CandidateCommand(
+                    pre_cmd, rank, group, bank, open_row,
+                    earliest_issue(pre_cmd, rank, group, bank, now), None,
+                ))
+        if pres:
+            main.extend(pres)
+        return main
+
     def _candidates(self, now: int) -> list:
         """Memoised FR-FCFS candidate list (see ``_state_version``)."""
-        entries = self._active_entries(now)
         if not self._cache_enabled:
-            return self.scheduler.candidates(entries, now)
+            return self.scheduler.candidates(self._active_entries(now), now)
         if self._cand_version != self._state_version:
-            self._cand_cache = self.scheduler.candidates(entries, now)
+            self._sync_drain(now)
+            self._cand_cache = self._assemble_candidates(now)
             self._cand_version = self._state_version
         return self._cand_cache
+
+    def _schedule_query(self, now: int):
+        """Fused ``(pick, wake)`` for cycle ``now`` in one bucket pass.
+
+        Equivalent to ``scheduler.pick(self._candidates(now), now)``
+        plus ``scheduler.next_wakeup(...)`` but without building the
+        list: the pass tracks the oldest ready column (FR-FCFS
+        (arrival, serial) order), the first-generated ready ACTIVATE,
+        the first-generated ready PRECHARGE, and the minimum earliest
+        over all per-bank candidates.  Memoised per (state version,
+        cycle) so ``step`` and ``next_event`` at the same cycle share
+        one pass.
+        """
+        if (
+            self._sched_version == self._state_version
+            and self._sched_now == now
+        ):
+            return self._sched_pick, self._sched_wake
+        self._sync_drain(now)
+        queue = self.write_queue if self.draining_now else self.read_queue
+        buckets = queue.bank_buckets()
+        pick = None
+        wake: int | None = None
+        if buckets:
+            banks = self.channel.banks
+            earliest_issue = self.channel.earliest_issue
+            versions = queue.bank_versions()
+            is_write_q = queue is self.write_queue
+            memo = self._bank_memo_wr if is_write_q else self._bank_memo_rd
+            derive = self._derive_bank_candidate
+            read_cmd, write_cmd = CommandType.READ, CommandType.WRITE
+            act_cmd = CommandType.ACTIVATE
+            best_col = best_col_key = None
+            best_act = best_act_seq = None
+            best_pre = best_pre_seq = None
+            hits = misses = 0
+            for key, bucket in buckets.items():
+                rank, group, bank = key
+                bstate = banks[rank][group][bank]
+                open_row = bstate.open_row
+                ver = versions[key]
+                cached = memo.get(key)
+                if (
+                    cached is not None
+                    and cached[0] == ver
+                    and cached[1] == open_row
+                ):
+                    kind = cached[2]
+                    req = cached[3]
+                    hits += 1
+                else:
+                    kind, req = derive(bucket, open_row)
+                    memo[key] = (ver, open_row, kind, req)
+                    misses += 1
+                # The bank-scope "earliest next" register is an exact
+                # lower bound on the full earliest_issue answer (which
+                # only adds rank/bus constraints).  A bank whose bound
+                # is both past ``now`` (cannot be picked) and at or past
+                # the running ``wake`` minimum (cannot lower it) is
+                # skipped without the expensive full query.
+                if kind == 0:
+                    bound = bstate.next_wr if is_write_q else bstate.next_rd
+                    if bound > now and wake is not None and bound >= wake:
+                        continue
+                    cmd = write_cmd if is_write_q else read_cmd
+                    earliest = earliest_issue(cmd, rank, group, bank, now, 4)
+                    if earliest <= now:
+                        col_key = (req.arrival, req.serial)
+                        if best_col is None or col_key < best_col_key:
+                            best_col = (cmd, rank, group, bank, open_row, req)
+                            best_col_key = col_key
+                elif kind == 1:
+                    bound = bstate.next_act
+                    if bound > now and wake is not None and bound >= wake:
+                        continue
+                    earliest = earliest_issue(act_cmd, rank, group, bank, now)
+                    if earliest <= now and best_col is None:
+                        seq = bucket[0].queue_seq
+                        if best_act is None or seq < best_act_seq:
+                            best_act = (
+                                act_cmd, rank, group, bank,
+                                req.mapped.row, req,
+                            )
+                            best_act_seq = seq
+                else:
+                    # PRECHARGE's only constraint IS the bank register,
+                    # so the bound is the exact answer (see
+                    # DRAMChannel.earliest_issue).
+                    earliest = bstate.next_pre
+                    if earliest < now:
+                        earliest = now
+                    if (
+                        earliest <= now
+                        and best_col is None
+                        and best_act is None
+                    ):
+                        seq = bucket[0].queue_seq
+                        if best_pre is None or seq < best_pre_seq:
+                            best_pre = (
+                                CommandType.PRECHARGE, rank, group, bank,
+                                open_row, None,
+                            )
+                            best_pre_seq = seq
+                if wake is None or earliest < wake:
+                    wake = earliest
+            self.cand_bank_hits += hits
+            self.cand_bank_misses += misses
+            won = best_col if best_col is not None else (
+                best_act if best_act is not None else best_pre
+            )
+            if won is not None:
+                pick = CandidateCommand(
+                    won[0], won[1], won[2], won[3], won[4], now, won[5]
+                )
+        self._sched_version = self._state_version
+        self._sched_now = now
+        self._sched_pick = pick
+        self._sched_wake = wake
+        return pick, wake
+
+    def sync(self, now: int) -> None:
+        """Fold elapsed wall time into mutable bookkeeping.
+
+        The one sanctioned mutation point for refresh debt:
+        :meth:`step` calls this before scheduling, so :meth:`next_event`
+        can stay a pure query (see the purity contract in DESIGN.md).
+        """
+        if self.refresh is not None:
+            self.refresh.accrue(now)
 
     def step(self, now: int) -> bool:
         """Issue at most one command at cycle ``now``; True if issued."""
@@ -364,8 +614,7 @@ class ChannelController:
             and now < self._wake_time
         ):
             return False  # provably nothing to do yet
-        if self.refresh is not None:
-            self.refresh.accrue(now)
+        self.sync(now)
 
         action = self._urgent_refresh_action(now)
         if action is not None:
@@ -379,8 +628,10 @@ class ChannelController:
             self.next_cmd_cycle = now + 1
             return True
 
-        cands = self._candidates(now)
-        pick = self.scheduler.pick(cands, now)
+        if self._cache_enabled:
+            pick, _ = self._schedule_query(now)
+        else:
+            pick = self.scheduler.pick(self._candidates(now), now)
 
         if pick is None:
             action = self._idle_refresh_action(now)
@@ -428,6 +679,13 @@ class ChannelController:
 
         ``None`` means nothing will ever happen without new requests
         (queues empty and refresh disabled).
+
+        Pure query: repeated calls at the same ``now`` return the same
+        value and mutate nothing (refresh debt accrual happens in
+        :meth:`step` via :meth:`sync`).  If refresh intervals have
+        elapsed since the last ``step``, ``refresh.next_event()`` is
+        simply in the past and the ``now + 1`` floor wakes the caller
+        immediately, so no refresh is ever missed.
         """
         floor = max(now + 1, self.next_cmd_cycle)
         if (
@@ -440,7 +698,6 @@ class ChannelController:
 
         times: list[int] = []
         if self.refresh is not None:
-            self.refresh.accrue(now)
             times.append(self.refresh.next_event())
             action = self._urgent_refresh_action(now)
             if action is None and not self.has_pending:
@@ -448,8 +705,10 @@ class ChannelController:
             if action is not None:
                 times.append(action[4])
         if self.has_pending:
-            cands = self._candidates(now)
-            wake = self.scheduler.next_wakeup(cands)
+            if self._cache_enabled:
+                _, wake = self._schedule_query(now)
+            else:
+                wake = self.scheduler.next_wakeup(self._candidates(now))
             if wake is not None:
                 times.append(wake)
         if not times:

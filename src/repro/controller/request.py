@@ -51,6 +51,12 @@ class MemoryRequest:
     mapped: MappedAddress | None = None
     serial: int = field(default_factory=_serial)
 
+    # Position stamp assigned by TransactionQueue.push: the queue's own
+    # FIFO axis, used to order per-bank bucket heads exactly as the
+    # flat entries list would.  (``serial`` is construction order, which
+    # callers may not push in.)
+    queue_seq: int = 0
+
     # Filled in while the request is in flight.
     issue_cycle: int | None = None
     finish_cycle: int | None = None

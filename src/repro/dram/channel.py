@@ -120,6 +120,19 @@ class _RankState:
     open_cycles: int = 0
     close_at: int | None = None
     auto_horizon: int = 0
+    # Fast-path indices for the controller's wake computation.
+    # ``open_keys`` holds the (group, bank) coordinates of every bank
+    # with an open row, so refresh-readiness scans touch only the open
+    # banks instead of all ranks x groups x banks.  ``closed_next_act``
+    # is a running upper bound over the ``next_act`` of every *closed*
+    # bank: it is folded at each close event (PRECHARGE, internal
+    # auto-precharge, REFRESH).  A stale contribution from a bank that
+    # has since reopened is always dominated by that bank's own
+    # precharge-path bound (its ACTIVATE cycle is >= the stale value,
+    # and tRAS + tRP are positive), so the pair reproduces the full
+    # per-bank scan exactly.
+    open_keys: set = field(default_factory=set)
+    closed_next_act: int = 0
 
 
 class DRAMChannel:
@@ -185,8 +198,9 @@ class DRAMChannel:
         """Access one bank's state."""
         return self.banks[rank][group][bank]
 
-    def _rank_open(self, r: _RankState, cycle: int) -> None:
+    def _rank_open(self, r: _RankState, cycle: int, group: int, bank: int) -> None:
         """A bank in the rank gained an open row at ``cycle``."""
+        r.open_keys.add((group, bank))
         if r.open_banks == 0:
             if r.close_at is not None and cycle <= r.close_at:
                 # An internal precharge was still draining: the rank
@@ -200,7 +214,9 @@ class DRAMChannel:
                 r.open_since = cycle
         r.open_banks += 1
 
-    def _rank_close(self, r: _RankState, closes_at: int) -> None:
+    def _rank_close(
+        self, r: _RankState, closes_at: int, group: int, bank: int
+    ) -> None:
         """A bank in the rank loses its open row, effective ``closes_at``.
 
         For an explicit PRECHARGE ``closes_at`` is the command cycle;
@@ -209,6 +225,7 @@ class DRAMChannel:
         credited once a later event proves it really ended (a reopening
         ACTIVATE, or :meth:`rank_open_cycles` closing the books).
         """
+        r.open_keys.discard((group, bank))
         r.auto_horizon = max(r.auto_horizon, closes_at)
         r.open_banks -= 1
         if r.open_banks == 0:
@@ -279,15 +296,13 @@ class DRAMChannel:
             # query, and the controller's refresh path probes it
             # speculatively — so an open bank contributes the earliest
             # cycle its required precharge could complete instead.
-            earliest = now
-            for grp in self.banks[rank]:
-                for bb in grp:
-                    if bb.open_row is not None:
-                        earliest = max(
-                            earliest, max(now, bb.next_pre) + t.RP
-                        )
-                    else:
-                        earliest = max(earliest, bb.next_act)
+            # Closed banks are covered wholesale by the rank's running
+            # ``closed_next_act`` bound, so only open banks are visited.
+            earliest = max(now, r.closed_next_act)
+            banks_r = self.banks[rank]
+            for grp_i, bank_i in r.open_keys:
+                bb = banks_r[grp_i][bank_i]
+                earliest = max(earliest, max(now, bb.next_pre) + t.RP)
             return earliest
 
         raise ValueError(f"unknown command {cmd}")
@@ -362,7 +377,7 @@ class DRAMChannel:
 
         if cmd is CommandType.ACTIVATE:
             b.open_row = row
-            self._rank_open(r, cycle)
+            self._rank_open(r, cycle, group, bank)
             b.next_rd = max(b.next_rd, cycle + t.RCD)
             b.next_wr = max(b.next_wr, cycle + t.RCD)
             b.next_pre = max(b.next_pre, cycle + t.RAS)
@@ -380,8 +395,9 @@ class DRAMChannel:
 
         if cmd is CommandType.PRECHARGE:
             b.open_row = None
-            self._rank_close(r, cycle)
+            self._rank_close(r, cycle, group, bank)
             b.next_act = max(b.next_act, cycle + t.RP)
+            r.closed_next_act = max(r.closed_next_act, b.next_act)
             if self.probe is not None:
                 self.probe.precharge(cycle, rank)
             return cycle + t.RP
@@ -425,8 +441,9 @@ class DRAMChannel:
                 # precharge, so occupancy closes at ``pre_at``.
                 pre_at = b.next_pre
                 b.open_row = None
-                self._rank_close(r, pre_at)
+                self._rank_close(r, pre_at, group, bank)
                 b.next_act = max(b.next_act, pre_at + t.RP)
+                r.closed_next_act = max(r.closed_next_act, b.next_act)
                 self.auto_precharges += 1
 
             self.bus_free_at = data_end
@@ -458,6 +475,7 @@ class DRAMChannel:
             for grp in self.banks[rank]:
                 for bb in grp:
                     bb.next_act = max(bb.next_act, done)
+            r.closed_next_act = max(r.closed_next_act, done)
             self.refresh_count += 1
             if self.probe is not None:
                 self.probe.refresh(cycle, rank)
@@ -473,10 +491,38 @@ class DRAMChannel:
         return self.banks[rank][group][bank].open_row
 
     def all_banks_closed(self, rank: int) -> bool:
-        """True when the rank can accept a refresh."""
-        return all(
-            bb.open_row is None for grp in self.banks[rank] for bb in grp
-        )
+        """True when the rank can accept a refresh (O(1))."""
+        return not self.ranks[rank].open_keys
+
+    def open_bank_keys(self, rank: int) -> list:
+        """Sorted ``(group, bank)`` coordinates of banks with open rows.
+
+        Sorting reproduces the lexicographic visit order of the old
+        all-banks nested loop, so callers that break ties by "first
+        seen" stay bit-identical to the full scan.
+        """
+        return sorted(self.ranks[rank].open_keys)
+
+    def earliest_any_issue(
+        self, cmd: CommandType, rank: int, now: int
+    ) -> tuple | None:
+        """Best ``(earliest, group, bank)`` for ``cmd`` over the rank.
+
+        The bank-ready primitive behind the controller's refresh paths:
+        for PRECHARGE it scans only the open banks (the only legal
+        targets) and returns the first-seen minimum in ``(group, bank)``
+        order — exactly what the old exhaustive scan picked.  Returns
+        ``None`` when no bank can accept the command.  Pure query.
+        """
+        if cmd is not CommandType.PRECHARGE:
+            raise ValueError(f"earliest_any_issue only supports PRECHARGE, got {cmd}")
+        best = None
+        banks_r = self.banks[rank]
+        for grp_i, bank_i in self.open_bank_keys(rank):
+            earliest = max(now, banks_r[grp_i][bank_i].next_pre)
+            if best is None or earliest < best[0]:
+                best = (earliest, grp_i, bank_i)
+        return best
 
     def rank_open_cycles(self, rank: int, now: int) -> int:
         """Cycles rank ``rank`` spent with at least one open row.

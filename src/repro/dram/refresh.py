@@ -79,5 +79,15 @@ class RefreshScheduler:
         self._debt[rank] -= 1
 
     def next_event(self) -> int:
-        """Cycle at which the next obligation accrues (for event skipping)."""
+        """Cycle at which the next obligation accrues (for event skipping).
+
+        Pure query — no accrual happens here.  Only
+        :meth:`ChannelController.sync` (called from ``step``) turns
+        elapsed time into debt, which is what lets the controller's own
+        ``next_event`` stay side-effect free.  If intervals have already
+        elapsed, the returned cycle is simply in the past and the
+        caller's ``now + 1`` floor wakes it immediately, so no refresh
+        is ever missed (the purity contract in DESIGN.md, "Event
+        core").
+        """
         return min(self._next_due)

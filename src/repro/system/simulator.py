@@ -15,22 +15,41 @@ machine that honours, per record:
 
 Execution time is the cycle at which every demand access has completed,
 which is how longer coded bursts turn into the Figure 16 performance
-deltas.  The loop is event-skipping: it advances straight to the next
-cycle at which a controller, a completion, or a core can make progress.
+deltas.
+
+The engine is event-driven: a cross-channel
+:class:`~repro.system.events.EventQueue` holds completion times, core
+arm times, and per-controller wakes, and the main loop jumps from one
+populated cycle to the next — an idle channel is never polled while
+another streams a burst.  Setting ``REPRO_NO_EVENT_CACHE=1`` falls back
+to the original lockstep loop (every core and every controller visited
+at every global event time), which doubles as the equivalence oracle:
+both paths must produce byte-identical command logs (see DESIGN.md,
+"Event core").
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 
-from ..controller.controller import AlwaysScheme, ChannelController
+from ..controller.controller import (
+    AlwaysScheme,
+    ChannelController,
+    NO_EVENT_CACHE_ENV,
+)
 from ..controller.request import MemoryRequest
 from ..dram.address import AddressMapper
 from ..workloads.trace import MemoryTrace
+from .events import EventQueue
 from .machine import SystemConfig
 
-__all__ = ["SimulationResult", "simulate"]
+__all__ = ["SimulationResult", "simulate", "accrue_pending_cycles"]
+
+
+def _event_core_enabled() -> bool:
+    return os.environ.get(NO_EVENT_CACHE_ENV, "") not in ("1", "true", "yes")
 
 
 @dataclass
@@ -99,6 +118,369 @@ class _CoreState:
         return self.index >= len(self.records)
 
 
+def accrue_pending_cycles(controllers, pending_cycles, now, nxt) -> None:
+    """Charge the jump ``now -> nxt`` to each channel's pending counter.
+
+    "Pending" in the Figure 5 sense: work queued *or* a burst still
+    streaming on the data bus.  A channel with queued requests is
+    pending for the whole jump; an empty channel whose last burst's
+    data tail extends past ``now`` is pending until the tail ends
+    (clipped to ``nxt``).  The accrual telescopes: splitting a jump at
+    any intermediate event-free cycle charges the same total, which is
+    what lets the event heap visit fewer cycles than the lockstep loop
+    without changing the counters.
+    """
+    for ch, mc in enumerate(controllers):
+        if mc.has_pending:
+            pending_cycles[ch] += nxt - now
+        else:
+            bus_free_at = mc.channel.bus_free_at
+            if bus_free_at > now:
+                pending_cycles[ch] += min(nxt, bus_free_at) - now
+
+
+class _SimCore:
+    """The simulation engine: cores, controllers, and the event loop.
+
+    All mutable loop state lives in slots; the hot methods bind their
+    attributes to locals once per call.  Two drivers share every
+    state-transition method: :meth:`run_event` (the cross-channel event
+    heap) and :meth:`run_lockstep` (the original
+    advance-everything-to-the-global-minimum loop, kept verbatim as the
+    ``REPRO_NO_EVENT_CACHE=1`` oracle).
+    """
+
+    __slots__ = (
+        "cores", "controllers", "mapper", "mlp", "address_mask",
+        "completion_heap", "inflight", "pending_cycles",
+        "demand_reads", "read_latency_sum", "dropped_prefetches",
+        "last_completion", "now", "events", "waiters", "done_cores",
+    )
+
+    def __init__(self, trace, config, controllers, mapper):
+        self.cores = [_CoreState(recs) for recs in trace.records_by_core]
+        self.controllers = controllers
+        self.mapper = mapper
+        self.mlp = config.mlp
+        self.address_mask = mapper.capacity_bytes - 1
+        self.completion_heap: list[tuple[int, int]] = []  # (finish, serial)
+        self.inflight: dict[int, tuple[MemoryRequest, int]] = {}
+        self.pending_cycles = [0] * config.channels
+        self.demand_reads = 0
+        self.read_latency_sum = 0
+        self.dropped_prefetches = 0
+        self.last_completion = 0
+        self.now = 0
+        self.events: EventQueue | None = None
+        # Cores stalled on a full transaction queue, per channel; woken
+        # when that channel's controller issues (the only event that can
+        # free a slot).
+        self.waiters: list[set] = [set() for _ in range(config.channels)]
+        # Cores with empty traces are born done; _arm_next counts the
+        # rest exactly once, when their index first passes the end.
+        self.done_cores = sum(1 for core in self.cores if not core.records)
+
+    # ------------------------------------------------------------------
+    # Core-side transitions (shared by both drivers)
+    # ------------------------------------------------------------------
+    def _issue_from_core(self, core_id: int, core: _CoreState, now: int,
+                         dirty) -> bool:
+        """Try to issue the core's next record; True on progress.
+
+        ``dirty`` is a set collecting the channels enqueued into this
+        round (the event driver steps exactly those; the lockstep
+        driver passes a throwaway).
+        """
+        rec = core.records[core.index]
+        if now < core.earliest:
+            return False
+        if rec.dependent and core.wait_completion_of is not None:
+            return False
+        if not rec.is_write and not rec.is_prefetch:
+            if core.outstanding >= self.mlp:
+                return False
+        address = rec.address & self.address_mask
+        mapped = self.mapper.map(address)
+        mc = self.controllers[mapped.channel]
+        if rec.is_prefetch:
+            if not mc.can_accept(False):
+                self.dropped_prefetches += 1
+                core.index += 1
+                self._arm_next(core, now)
+                return True
+        elif not mc.can_accept(rec.is_write):
+            return False
+
+        request = MemoryRequest(
+            address=address,
+            is_write=rec.is_write,
+            core=core_id,
+            line_id=rec.line_id,
+            is_prefetch=rec.is_prefetch,
+        )
+        request.mapped = mapped
+        mc.enqueue(request, now)
+        dirty.add(mapped.channel)
+        if request.completed:
+            # Forwarded from the write queue: done instantly.
+            pass
+        elif not rec.is_write and not rec.is_prefetch:
+            core.outstanding += 1
+            self.inflight[request.serial] = (request, core_id)
+            core.last_demand_read = request
+        core.index += 1
+        self._arm_next(core, now)
+        return True
+
+    def _arm_next(self, core: _CoreState, now: int) -> None:
+        """Set earliest-issue constraints for the core's next record."""
+        if core.index >= len(core.records):
+            self.done_cores += 1
+            return
+        nxt = core.records[core.index]
+        core.earliest = now + nxt.gap
+        if nxt.dependent and core.last_demand_read is not None:
+            if core.last_demand_read.completed:
+                core.wait_completion_of = None
+                core.earliest = max(
+                    core.earliest,
+                    core.last_demand_read.finish_cycle + nxt.gap,
+                )
+            else:
+                core.wait_completion_of = core.last_demand_read.serial
+        else:
+            core.wait_completion_of = None
+
+    def _drive_core(self, core_id: int, now: int, dirty) -> None:
+        """Issue as much as the core can, then schedule its wake-up.
+
+        The block classification mirrors the lockstep loop's candidate
+        rules: a core waiting on a completion (dependence or MLP) is
+        woken by the completion retire; a core inside its think time is
+        armed in the event queue; a core stalled on a full queue waits
+        on that channel's next issued command.
+        """
+        core = self.cores[core_id]
+        records = core.records
+        if core.index >= len(records):
+            return
+        while core.index < len(records) and self._issue_from_core(
+            core_id, core, now, dirty
+        ):
+            pass
+        if core.index >= len(records):
+            return
+        if core.wait_completion_of is not None:
+            return  # the completion event wakes this core
+        rec = records[core.index]
+        if not rec.is_write and not rec.is_prefetch:
+            if core.outstanding >= self.mlp:
+                return  # a completion will free an MLP slot
+        if core.earliest > now:
+            self.events.push_core(core_id, core.earliest)
+            return
+        # Ready but blocked on queue capacity: wake on the next command
+        # issued by the channel the stalled record maps to.
+        mapped = self.mapper.map(rec.address & self.address_mask)
+        self.waiters[mapped.channel].add(core_id)
+
+    def _retire_completions(self, serials, freed) -> None:
+        """Retire finished demand reads; collect their cores in ``freed``."""
+        inflight = self.inflight
+        cores = self.cores
+        for serial in serials:
+            request, core_id = inflight.pop(serial)
+            core = cores[core_id]
+            core.outstanding -= 1
+            if core.wait_completion_of == serial:
+                core.wait_completion_of = None
+                # The dependent record's think time starts when the data
+                # arrives, not when the load issued.
+                if core.index < len(core.records):
+                    gap = core.records[core.index].gap
+                    core.earliest = max(
+                        core.earliest, request.finish_cycle + gap
+                    )
+            freed.add(core_id)
+
+    def _collect_completions(self, mc, push) -> None:
+        """Fold one controller's completed requests into the bookkeeping.
+
+        ``push(finish, serial)`` schedules the retire — a heap push for
+        the lockstep driver, an event push for the event driver.
+        """
+        for request in mc.drain_completions():
+            finish = request.finish_cycle
+            if finish > self.last_completion:
+                self.last_completion = finish
+            if request.is_write or request.is_prefetch:
+                continue
+            self.demand_reads += 1
+            self.read_latency_sum += request.queue_latency()
+            if request.serial in self.inflight:
+                push(finish, request.serial)
+
+    def _finished(self) -> bool:
+        return (
+            self.done_cores >= len(self.cores)
+            and not self.inflight
+            and not any(mc.has_pending for mc in self.controllers)
+        )
+
+    def _deadlock(self) -> RuntimeError:
+        return RuntimeError(
+            f"simulation deadlocked at cycle {self.now} "
+            f"({sum(c.done for c in self.cores)}/{len(self.cores)} cores done)"
+        )
+
+    # ------------------------------------------------------------------
+    # Event-heap driver
+    # ------------------------------------------------------------------
+    def run_event(self, max_cycles: int) -> None:
+        """Drive the simulation off the cross-channel event heap.
+
+        Each round processes one populated cycle in the same phase
+        order as the lockstep loop (retire, core issue, controller
+        step, completion collection), but only touches the cores and
+        controllers that have an event there — plus the controllers
+        that received an enqueue this round, since an enqueue at ``t``
+        can enable an issue at ``t``.
+        """
+        cores = self.cores
+        controllers = self.controllers
+        events = self.events = EventQueue(len(controllers), len(cores))
+        waiters = self.waiters
+        push = events.push_completion
+
+        now = 0
+        completions: list = []
+        attempt = set(range(len(cores)))
+        due = range(len(controllers))
+        while now < max_cycles:
+            # 1. Retire completions whose data arrives this cycle.
+            if completions:
+                self._retire_completions(completions, attempt)
+
+            # 2. Let the woken cores push work into the controllers.
+            dirty: set = set()
+            for core_id in sorted(attempt):
+                self._drive_core(core_id, now, dirty)
+
+            # 3. One scheduling step per due-or-enqueued controller,
+            #    then reschedule its wake.
+            for ch in sorted(set(due) | dirty):
+                mc = controllers[ch]
+                if mc.step(now):
+                    events.push_ctrl(ch, now + 1)
+                    stalled = waiters[ch]
+                    if stalled:
+                        for core_id in stalled:
+                            events.push_core(core_id, now + 1)
+                        stalled.clear()
+                else:
+                    wake = mc.next_event(now)
+                    if wake is None:
+                        events.cancel_ctrl(ch)
+                    else:
+                        events.push_ctrl(ch, wake)
+                # 4. Collect newly scheduled transfers.
+                if mc.completed:
+                    self._collect_completions(mc, push)
+
+            if self._finished():
+                break
+
+            # 5. Jump to the next populated cycle.
+            round_ = events.pop_round()
+            if round_ is None:
+                self.now = now
+                raise self._deadlock()
+            nxt, completions, armed, due = round_
+            accrue_pending_cycles(
+                controllers, self.pending_cycles, now, nxt
+            )
+            now = nxt
+            attempt = set(armed)
+        self.now = now
+
+    # ------------------------------------------------------------------
+    # Lockstep driver (the REPRO_NO_EVENT_CACHE oracle)
+    # ------------------------------------------------------------------
+    def run_lockstep(self, max_cycles: int) -> None:
+        """Advance every core and controller to each global event time.
+
+        This is the original main loop, preserved as the equivalence
+        oracle for the event-heap driver: under
+        ``REPRO_NO_EVENT_CACHE=1`` the controller also recomputes its
+        candidate list from scratch each call, so the pair proves the
+        whole caching stack transparent (byte-identical command logs).
+        """
+        cores = self.cores
+        controllers = self.controllers
+        completion_heap = self.completion_heap
+        inflight = self.inflight
+        mlp = self.mlp
+
+        def push(finish: int, serial: int) -> None:
+            heapq.heappush(completion_heap, (finish, serial))
+
+        dirty: set = set()  # unused by this driver; throwaway sink
+        now = 0
+        while now < max_cycles:
+            # 1. Retire completions whose data has arrived.
+            ready: list = []
+            while completion_heap and completion_heap[0][0] <= now:
+                ready.append(heapq.heappop(completion_heap)[1])
+            if ready:
+                self._retire_completions(ready, set())
+
+            # 2. Let every core push work into the controllers.
+            for core_id, core in enumerate(cores):
+                while core.index < len(core.records) and self._issue_from_core(
+                    core_id, core, now, dirty
+                ):
+                    pass
+
+            # 3. One scheduling step per controller.
+            stepped = [mc.step(now) for mc in controllers]
+
+            # 4. Collect newly scheduled transfers into the heap.
+            for mc in controllers:
+                self._collect_completions(mc, push)
+
+            if self._finished():
+                break
+
+            # 5. Jump to the next event.
+            candidates: list[int] = []
+            if completion_heap:
+                candidates.append(completion_heap[0][0])
+            for mc, did in zip(controllers, stepped):
+                nxt = (now + 1) if did else mc.next_event(now)
+                if nxt is not None:
+                    candidates.append(nxt)
+            for core in cores:
+                if core.index >= len(core.records):
+                    continue
+                if core.wait_completion_of is not None:
+                    continue  # completion heap covers the wake-up
+                rec = core.records[core.index]
+                if not rec.is_write and not rec.is_prefetch:
+                    if core.outstanding >= mlp:
+                        continue  # a completion will free a slot
+                candidates.append(max(now + 1, core.earliest))
+
+            if not candidates:
+                self.now = now
+                raise self._deadlock()
+            nxt = max(now + 1, min(candidates))
+            accrue_pending_cycles(
+                controllers, self.pending_cycles, now, nxt
+            )
+            now = nxt
+        self.now = now
+
+
 def simulate(
     trace: MemoryTrace,
     config: SystemConfig,
@@ -147,174 +529,32 @@ def simulate(
     policy = controllers[0].policy
     policy_name = getattr(policy, "scheme", None) or type(policy).__name__
 
-    cores = [_CoreState(recs) for recs in trace.records_by_core]
-    completion_heap: list[tuple[int, int]] = []  # (finish_cycle, serial)
-    inflight: dict[int, tuple[MemoryRequest, int]] = {}  # serial -> (req, core)
+    engine = _SimCore(trace, config, controllers, mapper)
+    if _event_core_enabled():
+        engine.run_event(max_cycles)
+    else:
+        engine.run_lockstep(max_cycles)
 
-    pending_cycles = [0] * config.channels
-    demand_reads = 0
-    read_latency_sum = 0
-    dropped_prefetches = 0
-    last_completion = 0
-    address_mask = mapper.capacity_bytes - 1
+    events = engine.events
+    if telemetry is not None and events is not None:
+        telemetry.sim_probe().event_queue(events.pops, events.stale)
 
-    def issue_from_core(core_id: int, core: _CoreState, now: int) -> bool:
-        """Try to issue the core's next record; True on progress."""
-        nonlocal dropped_prefetches
-        rec = core.records[core.index]
-        if now < core.earliest:
-            return False
-        if rec.dependent and core.wait_completion_of is not None:
-            return False
-        if not rec.is_write and not rec.is_prefetch:
-            if core.outstanding >= config.mlp:
-                return False
-        address = rec.address & address_mask
-        mapped = mapper.map(address)
-        mc = controllers[mapped.channel]
-        if rec.is_prefetch:
-            if not mc.can_accept(False):
-                dropped_prefetches += 1
-                core.index += 1
-                _arm_next(core, now)
-                return True
-        elif not mc.can_accept(rec.is_write):
-            return False
-
-        request = MemoryRequest(
-            address=address,
-            is_write=rec.is_write,
-            core=core_id,
-            line_id=rec.line_id,
-            is_prefetch=rec.is_prefetch,
-        )
-        request.mapped = mapped
-        mc.enqueue(request, now)
-        if request.completed:
-            # Forwarded from the write queue: done instantly.
-            pass
-        elif not rec.is_write and not rec.is_prefetch:
-            core.outstanding += 1
-            inflight[request.serial] = (request, core_id)
-            core.last_demand_read = request
-        core.index += 1
-        _arm_next(core, now)
-        return True
-
-    def _arm_next(core: _CoreState, now: int) -> None:
-        """Set earliest-issue constraints for the core's next record."""
-        if core.done:
-            return
-        nxt = core.records[core.index]
-        core.earliest = now + nxt.gap
-        if nxt.dependent and core.last_demand_read is not None:
-            if core.last_demand_read.completed:
-                core.wait_completion_of = None
-                core.earliest = max(
-                    core.earliest,
-                    core.last_demand_read.finish_cycle + nxt.gap,
-                )
-            else:
-                core.wait_completion_of = core.last_demand_read.serial
-        else:
-            core.wait_completion_of = None
-
-    now = 0
-    while now < max_cycles:
-        # 1. Retire completions whose data has arrived.
-        while completion_heap and completion_heap[0][0] <= now:
-            finish, serial = heapq.heappop(completion_heap)
-            request, core_id = inflight.pop(serial)
-            core = cores[core_id]
-            core.outstanding -= 1
-            if core.wait_completion_of == serial:
-                core.wait_completion_of = None
-                # The dependent record's think time starts when the data
-                # arrives, not when the load issued.
-                if not core.done:
-                    gap = core.records[core.index].gap
-                    core.earliest = max(core.earliest, finish + gap)
-
-        # 2. Let every core push work into the controllers.
-        for core_id, core in enumerate(cores):
-            while core.index < len(core.records) and issue_from_core(
-                core_id, core, now
-            ):
-                pass
-
-        # 3. One scheduling step per controller.
-        stepped = [mc.step(now) for mc in controllers]
-
-        # 4. Collect newly scheduled transfers into the completion heap.
-        for mc in controllers:
-            for request in mc.drain_completions():
-                if request.is_write or request.is_prefetch:
-                    last_completion = max(last_completion, request.finish_cycle)
-                    continue
-                demand_reads += 1
-                read_latency_sum += request.queue_latency()
-                last_completion = max(last_completion, request.finish_cycle)
-                if request.serial in inflight:
-                    heapq.heappush(
-                        completion_heap, (request.finish_cycle, request.serial)
-                    )
-
-        all_cores_done = all(
-            core.index >= len(core.records) for core in cores
-        )
-        if all_cores_done and not inflight and not any(
-            mc.has_pending for mc in controllers
-        ):
-            break
-
-        # 5. Jump to the next event.
-        candidates: list[int] = []
-        if completion_heap:
-            candidates.append(completion_heap[0][0])
-        for mc, did in zip(controllers, stepped):
-            nxt = (now + 1) if did else mc.next_event(now)
-            if nxt is not None:
-                candidates.append(nxt)
-        for core in cores:
-            if core.index >= len(core.records):
-                continue
-            if core.wait_completion_of is not None:
-                continue  # completion heap covers the wake-up
-            rec = core.records[core.index]
-            if not rec.is_write and not rec.is_prefetch:
-                if core.outstanding >= config.mlp:
-                    continue  # a completion will free a slot
-            candidates.append(max(now + 1, core.earliest))
-
-        if not candidates:
-            raise RuntimeError(
-                f"simulation deadlocked at cycle {now} "
-                f"({sum(c.done for c in cores)}/{len(cores)} cores done)"
-            )
-        nxt = max(now + 1, min(candidates))
-        for ch, mc in enumerate(controllers):
-            # "Pending" in the Figure 5 sense: work queued *or* a burst
-            # still streaming on the data bus.
-            if mc.has_pending:
-                pending_cycles[ch] += nxt - now
-            elif mc.channel.bus_free_at > now:
-                pending_cycles[ch] += min(nxt, mc.channel.bus_free_at) - now
-        now = nxt
-
-    cycles = max(last_completion, now)
+    cycles = max(engine.last_completion, engine.now)
     return SimulationResult(
         name=trace.name,
         system=config.name,
         policy=policy_name,
         cycles=cycles,
         controllers=controllers,
-        pending_cycles=pending_cycles,
-        demand_reads=demand_reads,
-        read_latency_sum=read_latency_sum,
-        dropped_prefetches=dropped_prefetches,
+        pending_cycles=engine.pending_cycles,
+        demand_reads=engine.demand_reads,
+        read_latency_sum=engine.read_latency_sum,
+        dropped_prefetches=engine.dropped_prefetches,
         stats={
             "trace_records": trace.total_records,
             "forwarded_reads": sum(mc.forwarded_reads for mc in controllers),
             "coalesced_writes": sum(mc.coalesced_writes for mc in controllers),
+            "event_queue_pops": events.pops if events is not None else 0,
+            "event_queue_stale": events.stale if events is not None else 0,
         },
     )

@@ -20,7 +20,9 @@ from .clock import monotonic_ts
 from .registry import MetricRegistry
 from .trace import TraceBuffer
 
-__all__ = ["ChannelProbe", "CampaignProbe", "PhaseTimer", "ServiceProbe"]
+__all__ = [
+    "ChannelProbe", "CampaignProbe", "PhaseTimer", "ServiceProbe", "SimProbe",
+]
 
 # Queue occupancies bucketed at powers of two up to a 64-entry queue.
 _QUEUE_BOUNDS = (0, 1, 2, 4, 8, 16, 32, 64)
@@ -153,6 +155,31 @@ class ChannelProbe:
 
     def write_optimized(self) -> None:
         self.write_opt.inc()
+
+
+class SimProbe:
+    """Simulator-level instrumentation (the event-core health counters).
+
+    ``sim.event_queue.pops`` counts every heap pop the event driver
+    performed; ``sim.event_queue.stale`` the subset discarded by lazy
+    invalidation.  Their ratio is the scheduling-cache hit rate — the
+    observable the event-core refactor is tuned against (see DESIGN.md,
+    "Event core").  Counters are flushed once per run, after the main
+    loop exits, so the hot loop never touches the registry.
+    """
+
+    __slots__ = ("pops", "stale")
+
+    def __init__(self, registry: MetricRegistry):
+        self.pops = registry.counter("sim.event_queue.pops")
+        self.stale = registry.counter("sim.event_queue.stale")
+
+    def event_queue(self, pops: int, stale: int) -> None:
+        """Fold one run's final EventQueue counters in."""
+        if pops:
+            self.pops.inc(pops)
+        if stale:
+            self.stale.inc(stale)
 
 
 class PhaseTimer:

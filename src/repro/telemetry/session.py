@@ -15,7 +15,7 @@ clock of :mod:`repro.telemetry.clock`).
 
 from __future__ import annotations
 
-from .probes import CampaignProbe, ChannelProbe, ServiceProbe
+from .probes import CampaignProbe, ChannelProbe, ServiceProbe, SimProbe
 from .registry import MetricRegistry
 from .trace import DEFAULT_CAPACITY, TraceBuffer
 
@@ -44,6 +44,7 @@ class TelemetrySession:
         self._channel_probes: dict[int, ChannelProbe] = {}
         self._campaign_probe: CampaignProbe | None = None
         self._service_probe: ServiceProbe | None = None
+        self._sim_probe: SimProbe | None = None
 
     # -- probe wiring ---------------------------------------------------
     def channel_probe(self, channel: int) -> ChannelProbe:
@@ -57,6 +58,11 @@ class TelemetrySession:
         if self._campaign_probe is None:
             self._campaign_probe = CampaignProbe(self.registry, self.trace)
         return self._campaign_probe
+
+    def sim_probe(self) -> SimProbe:
+        if self._sim_probe is None:
+            self._sim_probe = SimProbe(self.registry)
+        return self._sim_probe
 
     def service_probe(self) -> ServiceProbe:
         if self._service_probe is None:

@@ -1,0 +1,97 @@
+"""``ChannelController.next_event`` must be a pure query.
+
+The event heap calls ``next_event`` to (re)schedule a channel and
+trusts that asking is free: repeated calls at the same cycle return the
+same value and mutate nothing.  Historically refresh-debt accrual
+lived inside ``next_event``, so merely *querying* a controller during a
+long idle advanced its refresh bookkeeping — the classic observer
+effect the event-core rebuild removed (accrual now happens only in
+``step`` via ``sync``; see DESIGN.md, "Event core").
+"""
+
+from __future__ import annotations
+
+from repro.controller import ChannelController
+from repro.dram import DDR4_3200, DDR4_GEOMETRY
+from repro.dram.refresh import MAX_POSTPONED
+
+from .test_controller import make_request
+
+
+def _controller(**kwargs) -> ChannelController:
+    return ChannelController(DDR4_3200, DDR4_GEOMETRY, **kwargs)
+
+
+def _refresh_snapshot(mc):
+    return list(mc.refresh._debt), list(mc.refresh._next_due)
+
+
+class TestIdempotence:
+    def test_repeated_calls_same_cycle_agree(self):
+        mc = _controller()
+        for i in range(6):
+            mc.enqueue(make_request(i * 37), now=0)
+        for now in (0, 5, DDR4_3200.REFI + 3):
+            first = mc.next_event(now)
+            second = mc.next_event(now)
+            third = mc.next_event(now)
+            assert first == second == third
+
+    def test_empty_controller_agrees_too(self):
+        mc = _controller()
+        now = 2 * DDR4_3200.REFI + 11
+        assert mc.next_event(now) == mc.next_event(now)
+
+
+class TestNoMutation:
+    def test_refresh_debt_unchanged_across_elapsed_intervals(self):
+        mc = _controller()
+        mc.enqueue(make_request(1), now=0)
+        # Well past several refresh intervals: a query here must NOT
+        # fold the elapsed time into debt.
+        now = 3 * DDR4_3200.REFI + 17
+        before = _refresh_snapshot(mc)
+        mc.next_event(now)
+        mc.next_event(now)
+        assert _refresh_snapshot(mc) == before
+
+    def test_state_version_unchanged(self):
+        mc = _controller()
+        mc.enqueue(make_request(2), now=0)
+        version = mc._state_version
+        mc.next_event(0)
+        mc.next_event(DDR4_3200.REFI + 1)
+        assert mc._state_version == version
+
+    def test_step_still_accrues(self):
+        # The sanctioned mutation point: step -> sync -> accrue.
+        mc = _controller()
+        now = DDR4_3200.REFI + 1
+        before = _refresh_snapshot(mc)
+        mc.step(now)
+        assert _refresh_snapshot(mc) != before
+        assert mc.refresh.any_debt()
+
+
+class TestNoRefreshMissed:
+    def test_stale_due_time_wakes_immediately(self):
+        """A query after a long idle returns a wake in the near future.
+
+        ``refresh.next_event()`` may be in the past; the ``now + 1``
+        floor converts that into an immediate wake, so the caller
+        steps, accrues, and pays the debt — rather than sleeping
+        through it.
+        """
+        mc = _controller()
+        now = 5 * DDR4_3200.REFI
+        wake = mc.next_event(now)
+        assert wake == now + 1
+        # Driving from that wake must actually burn the debt down.
+        cycle = wake
+        for _ in range(4 * MAX_POSTPONED):
+            mc.step(cycle)
+            nxt = mc.next_event(cycle)
+            if nxt is None or not mc.refresh.any_debt():
+                break
+            cycle = nxt
+        assert not mc.refresh.any_debt()

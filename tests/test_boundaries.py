@@ -72,3 +72,59 @@ class TestBoundaryLint:
             "bl = scheme_info('dbi').burst_length\n"
         )
         assert lint.check_source(good, "fake.py") == []
+
+
+class TestEventCoreBoundaries:
+    """The event-core ownership rules (DESIGN.md, "Event core")."""
+
+    def test_catches_event_heap_import(self):
+        lint = _load_linter()
+        for bad in (
+            "from repro.system.events import EventQueue\n",
+            "from ..system.events import EventQueue\n",
+            "from repro.system import events\n",
+            "import repro.system.events\n",
+        ):
+            problems = lint.check_source(bad, "fake.py")
+            assert len(problems) == 1, bad
+            assert "repro.system.events" in problems[0]
+
+    def test_owner_package_may_use_the_heap(self):
+        lint = _load_linter()
+        good = "from .events import EventQueue\n"
+        assert lint.check_source(good, "fake.py", package="system") == []
+
+    def test_other_events_modules_stay_importable(self):
+        lint = _load_linter()
+        good = (
+            "from .events import RunEvent, null_sink\n"
+            "from repro.campaign.events import ProgressLine\n"
+            "from repro.serve.events import EventLog\n"
+        )
+        assert lint.check_source(good, "fake.py", package="campaign") == []
+
+    def test_catches_controller_internal_attribute(self):
+        lint = _load_linter()
+        bad = (
+            "mc = build()\n"
+            "cands = mc._candidates(now)\n"
+            "pick, wake = mc._schedule_query(now)\n"
+        )
+        problems = lint.check_source(bad, "fake.py")
+        assert len(problems) == 2
+        assert "_candidates" in problems[0]
+        assert "_schedule_query" in problems[1]
+
+    def test_controller_package_is_exempt(self):
+        lint = _load_linter()
+        good = "pick, wake = self._schedule_query(now)\n"
+        assert lint.check_source(good, "fake.py", package="controller") == []
+
+    def test_public_surface_stays_clean(self):
+        lint = _load_linter()
+        good = (
+            "mc.sync(now)\n"
+            "issued = mc.step(now)\n"
+            "wake = mc.next_event(now)\n"
+        )
+        assert lint.check_source(good, "fake.py") == []

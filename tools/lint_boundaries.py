@@ -25,6 +25,18 @@ A module defining its *own* local name (e.g. an experiment's private
 ``_SCHEMES`` tuple of strings) is fine — the lint only polices imports
 from ``repro.coding``.
 
+Two further ownership boundaries from the event-core rebuild (see
+DESIGN.md, "Event core"):
+
+* ``repro.system.events`` (the cross-channel ``EventQueue``) is
+  internal to ``repro.system`` — no module outside that package may
+  import it, by any spelling;
+* the controller's scheduling internals (``_candidates``,
+  ``_assemble_candidates``, ``_schedule_query``,
+  ``_derive_bank_candidate``, ``_bank_memo_rd``, ``_bank_memo_wr``)
+  are internal to ``repro.controller`` — outside it, only the public
+  ``step`` / ``next_event`` / ``sync`` surface exists.
+
 Run from the repository root (CI does)::
 
     python tools/lint_boundaries.py
@@ -54,6 +66,28 @@ CODEC_CLASS_NAMES = frozenset({
 })
 SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
 EXEMPT = "coding"  # the package that owns (and may use) the legacy views
+# Controller scheduling internals: the incremental candidate cache and
+# the fused (pick, wake) query.  Only repro.controller may touch them.
+CONTROLLER_INTERNALS = frozenset({
+    "_candidates",
+    "_assemble_candidates",
+    "_schedule_query",
+    "_derive_bank_candidate",
+    "_bank_memo_rd",
+    "_bank_memo_wr",
+})
+# The event heap's owning package; repro.system.events may not be
+# imported from anywhere else.
+EVENTS_OWNER = "system"
+
+
+def _is_system_events_module(module: str) -> bool:
+    """True for any spelling of the ``repro.system.events`` module."""
+    parts = module.split(".")
+    for i, part in enumerate(parts[:-1]):
+        if part == "system" and parts[i + 1] == "events":
+            return True
+    return False
 
 
 def _is_coding_module(module: str) -> bool:
@@ -62,14 +96,37 @@ def _is_coding_module(module: str) -> bool:
     return "coding" in parts
 
 
-def check_source(source: str, filename: str) -> list[str]:
-    """Return ``file:line: message`` strings for every violation."""
+def check_source(source: str, filename: str, package: str = "") -> list[str]:
+    """Return ``file:line: message`` strings for every violation.
+
+    ``package`` is the module's first-level subpackage under ``repro``
+    (e.g. ``"system"``), used to exempt a boundary's owning package
+    from its own rule.
+    """
     problems = []
     tree = ast.parse(source, filename=filename)
     coding_aliases = set()
     for node in ast.walk(tree):
         if isinstance(node, ast.ImportFrom):
             module = node.module or ""
+            if package != EVENTS_OWNER:
+                if _is_system_events_module(module) or (
+                    module.split(".")[-1:] == [EVENTS_OWNER]
+                    and any(a.name == "events" for a in node.names)
+                ):
+                    problems.append(
+                        f"{filename}:{node.lineno}: imports the event "
+                        "heap (repro.system.events); it is internal to "
+                        "repro.system.simulator"
+                    )
+            if package != "controller":
+                for alias in node.names:
+                    if alias.name in CONTROLLER_INTERNALS:
+                        problems.append(
+                            f"{filename}:{node.lineno}: imports "
+                            f"controller internal {alias.name}; use the "
+                            "public step/next_event/sync surface"
+                        )
             if not (_is_coding_module(module) or node.level and not module):
                 continue
             for alias in node.names:
@@ -93,6 +150,15 @@ def check_source(source: str, filename: str) -> list[str]:
                     coding_aliases.add(alias.asname or alias.name)
         elif isinstance(node, ast.Import):
             for alias in node.names:
+                if (
+                    package != EVENTS_OWNER
+                    and _is_system_events_module(alias.name)
+                ):
+                    problems.append(
+                        f"{filename}:{node.lineno}: imports the event "
+                        "heap (repro.system.events); it is internal to "
+                        "repro.system.simulator"
+                    )
                 if _is_coding_module(alias.name):
                     coding_aliases.add(
                         alias.asname or alias.name.split(".")[0]
@@ -103,6 +169,15 @@ def check_source(source: str, filename: str) -> list[str]:
                     f"{filename}:{node.lineno}: accesses .{node.attr}; "
                     "use repro.coding.registry"
                 )
+            elif (
+                node.attr in CONTROLLER_INTERNALS
+                and package != "controller"
+            ):
+                problems.append(
+                    f"{filename}:{node.lineno}: accesses controller "
+                    f"internal .{node.attr}; use the public "
+                    "step/next_event/sync surface"
+                )
     return problems
 
 
@@ -112,8 +187,11 @@ def check_tree(root: Path = SRC_ROOT) -> list[str]:
         rel = path.relative_to(root)
         if rel.parts and rel.parts[0] == EXEMPT:
             continue
+        package = rel.parts[0] if len(rel.parts) > 1 else ""
         problems.extend(
-            check_source(path.read_text(encoding="utf-8"), str(path))
+            check_source(
+                path.read_text(encoding="utf-8"), str(path), package
+            )
         )
     return problems
 
